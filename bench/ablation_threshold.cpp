@@ -1,0 +1,73 @@
+// Ablation: the normalization-check threshold T.
+//
+// The paper fixes T = 100. This sweep shows the trade-off the choice
+// encodes: a tiny T rejects well-normalized designs (false rejections of
+// clean candidates), a huge T lets raw-unit features through (missed
+// detections of planted unnormalized candidates).
+#include <iostream>
+#include <optional>
+
+#include "bench/bench_common.h"
+#include "filter/checks.h"
+#include "gen/state_gen.h"
+
+int main() {
+  using namespace nada;
+  const auto scale = util::ScaleConfig::from_env();
+  bench::banner("Ablation — normalization threshold T sweep", scale);
+  bench::Stopwatch timer;
+
+  const std::size_t n = std::max<std::size_t>(scale.gen_count(3000), 1200);
+  gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
+                                31337);
+  const auto batch = generator.generate_batch(n);
+
+  // Pre-compile once; the sweep only re-runs the fuzz check.
+  struct Compiled {
+    dsl::StateProgram program;
+    gen::InjectedFlaw flaw;
+  };
+  std::vector<Compiled> compiled;
+  for (const auto& cand : batch) {
+    std::optional<dsl::StateProgram> program;
+    if (filter::compilation_check(cand.source, &program).passed) {
+      compiled.push_back(Compiled{*std::move(program), cand.flaw});
+    }
+  }
+
+  util::TextTable table("Threshold sweep (paper uses T = 100)");
+  table.set_header({"T", "Pass rate", "Clean rejected (false rejects)",
+                    "Raw-unit passed (missed)"});
+  for (const double t : {1.0, 10.0, 50.0, 100.0, 500.0, 1e6}) {
+    std::size_t passed = 0;
+    std::size_t clean_total = 0, clean_rejected = 0;
+    std::size_t raw_total = 0, raw_passed = 0;
+    for (const auto& c : compiled) {
+      const bool pass = filter::normalization_check(c.program, t).passed;
+      passed += pass ? 1 : 0;
+      if (c.flaw == gen::InjectedFlaw::kNone) {
+        ++clean_total;
+        if (!pass) ++clean_rejected;
+      } else if (c.flaw == gen::InjectedFlaw::kUnnormalized) {
+        ++raw_total;
+        if (pass) ++raw_passed;
+      }
+    }
+    auto rate = [](std::size_t num, std::size_t den) {
+      return den == 0 ? std::string("n/a")
+                      : util::format_double(
+                            100.0 * static_cast<double>(num) /
+                                static_cast<double>(den),
+                            1) + "%";
+    };
+    table.add_row({util::format_double(t, 0),
+                   rate(passed, compiled.size()),
+                   rate(clean_rejected, clean_total),
+                   rate(raw_passed, raw_total)});
+  }
+  table.print(std::cout);
+  bench::save_csv("ablation_threshold.csv", table);
+  std::cout << "[done] " << util::format_double(timer.seconds(), 1)
+            << " s\n";
+  return 0;
+}

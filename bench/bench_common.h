@@ -1,0 +1,50 @@
+// Shared helpers for the experiment benches. Every table/figure binary
+// prints the paper's reported values next to the measured ones and writes
+// machine-readable CSVs under bench_results/.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "util/scale.h"
+#include "util/table.h"
+
+namespace nada::bench {
+
+/// Prints the standard bench banner (name + scale factors in effect).
+inline void banner(const std::string& name, const util::ScaleConfig& scale) {
+  std::cout << "\n############################################################\n"
+            << "# " << name << "\n"
+            << "# " << scale.describe()
+            << "  (override via NADA_SCALE_GEN / _EPOCHS / _SEEDS / _TRACES;"
+            << " 1.0 = paper scale)\n"
+            << "############################################################\n";
+}
+
+/// Where CSV artifacts land.
+inline std::string results_path(const std::string& filename) {
+  return "bench_results/" + filename;
+}
+
+inline void save_csv(const std::string& filename,
+                     const util::TextTable& table) {
+  const std::string path = results_path(filename);
+  util::write_file(path, table.to_csv());
+  std::cout << "[csv] wrote " << path << "\n";
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nada::bench

@@ -1,0 +1,47 @@
+// Table 1: network traces used in the study.
+//
+// Builds the four synthetic datasets and reports, for each, the trace
+// counts, total hours, and mean throughput next to the paper's values,
+// plus the training budget columns (epochs, checkpoint interval).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "trace/generator.h"
+
+int main() {
+  using namespace nada;
+  const auto scale = util::ScaleConfig::from_env();
+  bench::banner("Table 1 — Network traces used in the study", scale);
+  bench::Stopwatch timer;
+
+  util::TextTable table("Table 1 (paper value in parentheses)");
+  table.set_header({"Dataset", "Train traces", "Train hours", "Test traces",
+                    "Test hours", "Tput Mbps", "Train epochs",
+                    "Test interval"});
+
+  for (const auto env : trace::all_environments()) {
+    const trace::DatasetSpec spec = trace::paper_spec(env);
+    const trace::Dataset ds = trace::build_dataset(env, scale.traces, 42);
+    auto with_paper = [](double measured, double paper, int precision = 1) {
+      return util::format_double(measured, precision) + " (" +
+             util::format_double(paper, precision) + ")";
+    };
+    table.add_row({
+        trace::environment_name(env),
+        std::to_string(ds.train.size()) + " (" +
+            std::to_string(spec.train_traces) + ")",
+        with_paper(ds.train_hours(), spec.train_hours),
+        std::to_string(ds.test.size()) + " (" +
+            std::to_string(spec.test_traces) + ")",
+        with_paper(ds.test_hours(), spec.test_hours),
+        with_paper(ds.mean_throughput_mbps(), spec.mean_throughput_mbps),
+        std::to_string(spec.train_epochs),
+        std::to_string(spec.test_interval),
+    });
+  }
+  table.print(std::cout);
+  bench::save_csv("table1_traces.csv", table);
+  std::cout << "[done] " << util::format_double(timer.seconds(), 1)
+            << " s\n";
+  return 0;
+}

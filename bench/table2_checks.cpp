@@ -1,0 +1,75 @@
+// Table 2: fraction of generated ABR state designs that pass the
+// compilation check and the normalization check, per LLM profile.
+//
+// The paper generates 3,000 states with each of GPT-3.5 and GPT-4; the
+// candidate generators here are calibrated to those rates, and this bench
+// regenerates the table end-to-end through the real checks.
+#include <iostream>
+#include <optional>
+
+#include "bench/bench_common.h"
+#include "filter/checks.h"
+#include "gen/state_gen.h"
+#include "util/thread_pool.h"
+
+int main() {
+  using namespace nada;
+  const auto scale = util::ScaleConfig::from_env();
+  bench::banner("Table 2 — Compilation / normalization check pass rates",
+                scale);
+  bench::Stopwatch timer;
+  // Generation + checks are cheap; run at least 1,500 even when scaled.
+  const std::size_t n = std::max<std::size_t>(scale.gen_count(3000), 1500);
+
+  struct PaperRow {
+    gen::LlmProfile profile;
+    double paper_compilable;
+    double paper_normalized;
+  };
+  const PaperRow rows[] = {
+      {gen::gpt35_profile(), 0.412, 0.274},
+      {gen::gpt4_profile(), 0.686, 0.502},
+  };
+
+  util::TextTable table("Table 2 (paper value in parentheses)");
+  table.set_header({"Nada", "Total", "Compilable", "Well Normalized"});
+  util::ThreadPool pool;
+
+  for (const auto& row : rows) {
+    gen::StateGenerator generator(row.profile, gen::PromptStrategy{}, 2024);
+    const auto batch = generator.generate_batch(n);
+    std::vector<int> compiled(n, 0);
+    std::vector<int> normalized(n, 0);
+    pool.parallel_for(n, [&](std::size_t i) {
+      std::optional<dsl::StateProgram> program;
+      if (!filter::compilation_check(batch[i].source, &program).passed) {
+        return;
+      }
+      compiled[i] = 1;
+      if (filter::normalization_check(*program).passed) normalized[i] = 1;
+    });
+    std::size_t n_compiled = 0;
+    std::size_t n_normalized = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      n_compiled += compiled[i];
+      n_normalized += normalized[i];
+    }
+    const double pc = static_cast<double>(n_compiled) / n;
+    const double pn = static_cast<double>(n_normalized) / n;
+    table.add_row({
+        "w/ " + row.profile.name,
+        std::to_string(n),
+        std::to_string(n_compiled) + " = " +
+            util::format_double(pc * 100, 1) + "% (paper " +
+            util::format_double(row.paper_compilable * 100, 1) + "%)",
+        std::to_string(n_normalized) + " = " +
+            util::format_double(pn * 100, 1) + "% (paper " +
+            util::format_double(row.paper_normalized * 100, 1) + "%)",
+    });
+  }
+  table.print(std::cout);
+  bench::save_csv("table2_checks.csv", table);
+  std::cout << "[done] " << util::format_double(timer.seconds(), 1)
+            << " s\n";
+  return 0;
+}

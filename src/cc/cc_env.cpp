@@ -1,0 +1,151 @@
+#include "cc/cc_env.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nada::cc {
+
+const std::vector<double>& rate_actions() {
+  static const std::vector<double> kActions = {0.6, 0.85, 1.0, 1.15, 1.5};
+  return kActions;
+}
+
+CcEnv::CcEnv(const trace::Trace& capacity, CcConfig config, util::Rng& rng)
+    : capacity_(&capacity), config_(config), rng_(&rng) {
+  if (config_.interval_s <= 0.0 || config_.steps_per_episode == 0) {
+    throw std::invalid_argument("CcEnv: degenerate config");
+  }
+  if (config_.min_rate_mbps <= 0.0 ||
+      config_.min_rate_mbps >= config_.max_rate_mbps) {
+    throw std::invalid_argument("CcEnv: bad rate bounds");
+  }
+  reset();
+}
+
+CcObservation CcEnv::reset() {
+  clock_s_ = rng_->uniform(0.0, std::max(capacity_->duration_s() - 1.0, 0.0));
+  rate_mbps_ = config_.init_rate_mbps;
+  queue_ms_ = 0.0;
+  step_ = 0;
+  send_hist_.assign(kCcHistoryLen, 0.0);
+  ack_hist_.assign(kCcHistoryLen, 0.0);
+  rtt_hist_.assign(kCcHistoryLen, config_.base_rtt_ms);
+  loss_hist_.assign(kCcHistoryLen, 0.0);
+  return make_observation();
+}
+
+void CcEnv::push(std::vector<double>& hist, double v) {
+  hist.erase(hist.begin());
+  hist.push_back(v);
+}
+
+CcStepResult CcEnv::step(std::size_t action) {
+  if (done()) throw std::logic_error("CcEnv::step after episode end");
+  if (action >= rate_actions().size()) {
+    throw std::out_of_range("CcEnv::step: action index");
+  }
+  rate_mbps_ = std::clamp(rate_mbps_ * rate_actions()[action],
+                          config_.min_rate_mbps, config_.max_rate_mbps);
+
+  // One monitor interval: offered load vs trace capacity. Excess feeds the
+  // queue (measured in drain-time ms at current capacity); queue overflow
+  // is loss.
+  const double capacity_mbps =
+      std::max(capacity_->bandwidth_kbps_at(clock_s_) / 1000.0, 1e-3);
+  const double offered_mbit = rate_mbps_ * config_.interval_s;
+  const double drained_mbit = capacity_mbps * config_.interval_s;
+
+  // Queue currently holds queue_ms_ worth of drain time.
+  double backlog_mbit = queue_ms_ / 1000.0 * capacity_mbps;
+  backlog_mbit += offered_mbit;
+  double delivered_mbit = std::min(backlog_mbit, drained_mbit);
+  backlog_mbit -= delivered_mbit;
+
+  // Convert back to queuing delay; drop what exceeds the buffer.
+  double new_queue_ms = backlog_mbit / capacity_mbps * 1000.0;
+  double lost_mbit = 0.0;
+  if (new_queue_ms > config_.queue_capacity_ms) {
+    const double overflow_ms = new_queue_ms - config_.queue_capacity_ms;
+    lost_mbit = overflow_ms / 1000.0 * capacity_mbps;
+    new_queue_ms = config_.queue_capacity_ms;
+  }
+  queue_ms_ = new_queue_ms;
+  clock_s_ += config_.interval_s;
+  ++step_;
+
+  const double throughput_mbps = delivered_mbit / config_.interval_s;
+  const double rtt_ms = config_.base_rtt_ms + queue_ms_ +
+                        rng_->uniform(0.0, 1.0);  // measurement jitter
+  const double loss =
+      offered_mbit > 0.0 ? std::clamp(lost_mbit / offered_mbit, 0.0, 1.0)
+                         : 0.0;
+
+  push(send_hist_, rate_mbps_);
+  push(ack_hist_, throughput_mbps);
+  push(rtt_hist_, rtt_ms);
+  push(loss_hist_, loss);
+
+  CcStepResult result;
+  result.throughput_mbps = throughput_mbps;
+  result.rtt_ms = rtt_ms;
+  result.loss = loss;
+  result.reward = throughput_mbps -
+                  config_.latency_penalty * (queue_ms_ / 1000.0) *
+                      throughput_mbps -
+                  config_.loss_penalty * loss;
+  result.done = done();
+  result.observation = make_observation();
+  return result;
+}
+
+CcObservation CcEnv::make_observation() const {
+  CcObservation obs;
+  obs.send_rate_mbps = send_hist_;
+  obs.ack_rate_mbps = ack_hist_;
+  obs.rtt_ms = rtt_hist_;
+  obs.loss_fraction = loss_hist_;
+  obs.min_rtt_ms = config_.base_rtt_ms;
+  obs.current_rate_mbps = rate_mbps_;
+  return obs;
+}
+
+AimdController::AimdController(double increase_mbps, double decrease_factor)
+    : increase_mbps_(increase_mbps), decrease_factor_(decrease_factor) {
+  if (increase_mbps_ <= 0.0 || decrease_factor_ <= 0.0 ||
+      decrease_factor_ >= 1.0) {
+    throw std::invalid_argument("AimdController: bad parameters");
+  }
+}
+
+void AimdController::reset() {}
+
+std::size_t AimdController::act(const CcObservation& obs) {
+  const double rate = std::max(obs.current_rate_mbps, 1e-6);
+  const auto& actions = rate_actions();
+  if (!obs.loss_fraction.empty() && obs.loss_fraction.back() > 0.0) {
+    // Multiplicative decrease: the action nearest the decrease factor.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < actions.size(); ++i) {
+      if (std::abs(actions[i] - decrease_factor_) <
+          std::abs(actions[best] - decrease_factor_)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  // Additive increase: the discrete grid cannot express "+increase_mbps"
+  // exactly, so always probe with the smallest up-multiplier that reaches
+  // at least the additive target (never hold flat while loss-free).
+  const double desired = (rate + increase_mbps_) / rate;
+  std::size_t best = actions.size() - 1;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i] > 1.0 && actions[i] >= std::min(desired, actions.back())) {
+      best = i;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace nada::cc

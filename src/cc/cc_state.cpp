@@ -1,0 +1,42 @@
+#include "cc/cc_state.h"
+
+namespace nada::cc {
+
+dsl::Bindings bindings_from_cc_observation(const CcObservation& obs) {
+  dsl::Bindings b;
+  b.emplace("send_rate_mbps", dsl::Value(obs.send_rate_mbps));
+  b.emplace("ack_rate_mbps", dsl::Value(obs.ack_rate_mbps));
+  b.emplace("rtt_ms", dsl::Value(obs.rtt_ms));
+  b.emplace("loss_fraction", dsl::Value(obs.loss_fraction));
+  b.emplace("min_rtt_ms", dsl::Value(obs.min_rtt_ms));
+  b.emplace("current_rate_mbps", dsl::Value(obs.current_rate_mbps));
+  return b;
+}
+
+const std::vector<CcInputVariable>& cc_input_variables() {
+  static const std::vector<CcInputVariable> kVars = {
+      {"send_rate_mbps", true},   {"ack_rate_mbps", true},
+      {"rtt_ms", true},           {"loss_fraction", true},
+      {"min_rtt_ms", false},      {"current_rate_mbps", false},
+  };
+  return kVars;
+}
+
+const std::string& default_cc_state_source() {
+  static const std::string kSource = R"(# Hand-written CC state: normalized rates, RTT inflation, loss history.
+emit "rate" = log1p(current_rate_mbps) / 6.0;
+emit "ack_rate" = log1p(ack_rate_mbps) / 6.0;
+emit "utilization" = min(ack_rate_mbps / max(send_rate_mbps, vec(8, 0.001)), vec(8, 2.0));
+emit "rtt_inflation" = rtt_ms / min_rtt_ms / 10.0;
+emit "loss" = loss_fraction;
+emit "rtt_trend" = trend(rtt_ms) / min_rtt_ms;
+)";
+  return kSource;
+}
+
+dsl::StateMatrix run_cc_program(const dsl::Program& program,
+                                const CcObservation& obs) {
+  return dsl::run_program(program, bindings_from_cc_observation(obs));
+}
+
+}  // namespace nada::cc

@@ -1,0 +1,37 @@
+// NadaScript bindings for congestion control.
+//
+// The same DSL that expresses ABR state functions expresses CC state
+// functions: only the input variables change. This is the concrete form of
+// the paper's claim that NADA is "applicable to any network algorithm"
+// with a code implementation and a simulator (§1, §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/cc_env.h"
+#include "dsl/interpreter.h"
+
+namespace nada::cc {
+
+/// Interpreter bindings for a CC observation (semantic names, as the
+/// paper's prompting strategy prescribes).
+[[nodiscard]] dsl::Bindings bindings_from_cc_observation(
+    const CcObservation& obs);
+
+/// Names/kinds of the CC input variables (generator and docs).
+struct CcInputVariable {
+  std::string name;
+  bool is_vector = false;
+};
+[[nodiscard]] const std::vector<CcInputVariable>& cc_input_variables();
+
+/// A reasonable hand-written CC state (the "original design" for a CC
+/// search): normalized rate, throughput, RTT inflation, and loss history.
+[[nodiscard]] const std::string& default_cc_state_source();
+
+/// Runs a compiled NadaScript program against a CC observation.
+[[nodiscard]] dsl::StateMatrix run_cc_program(const dsl::Program& program,
+                                              const CcObservation& obs);
+
+}  // namespace nada::cc

@@ -1,0 +1,336 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace nada::core {
+namespace {
+
+/// Probe curves are compared via their tail: the mean of the last quarter
+/// of the early-training rewards.
+double probe_score(const std::vector<double>& early_rewards) {
+  if (early_rewards.empty()) return -1e9;
+  return util::tail_mean(early_rewards,
+                         std::max<std::size_t>(early_rewards.size() / 4, 4));
+}
+
+filter::DesignRecord make_record(const CandidateOutcome& outcome,
+                                 double normalizer) {
+  filter::DesignRecord record;
+  record.id = outcome.id;
+  record.source_text = outcome.source;
+  record.early_rewards = outcome.early_rewards;
+  const double denom = std::max(std::abs(normalizer), 0.1);
+  for (double& r : record.early_rewards) r /= denom;
+  record.final_score = probe_score(outcome.early_rewards) / denom;
+  return record;
+}
+
+}  // namespace
+
+Pipeline::Pipeline(const trace::Dataset& dataset, const video::Video& video,
+                   PipelineConfig config, std::uint64_t seed,
+                   util::ThreadPool* pool)
+    : dataset_(&dataset), video_(&video), config_(std::move(config)),
+      seed_(seed), pool_(pool) {
+  if (config_.num_candidates == 0) {
+    throw std::invalid_argument("Pipeline: zero candidates");
+  }
+  if (config_.full_train_top == 0) {
+    throw std::invalid_argument("Pipeline: full_train_top is zero");
+  }
+}
+
+const rl::SessionResult& Pipeline::original_baseline() {
+  if (!original_.has_value()) {
+    const dsl::StateProgram original_state =
+        dsl::StateProgram::compile(dsl::pensieve_state_source());
+    rl::SessionConfig sc;
+    sc.seeds = config_.seeds;
+    sc.train = config_.train;
+    original_ = rl::run_sessions(*dataset_, *video_, original_state,
+                                 config_.baseline_arch, sc,
+                                 seed_ ^ 0x0817b05eULL, pool_);
+  }
+  return *original_;
+}
+
+std::vector<std::size_t> Pipeline::select_survivors(
+    const std::vector<CandidateOutcome>& outcomes,
+    const filter::EarlyStopModel* early_stop_model,
+    std::vector<CandidateOutcome>& all) const {
+  // Candidates eligible for selection: probed ones.
+  std::vector<std::size_t> probed;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].early_probed) probed.push_back(i);
+  }
+
+  std::vector<std::size_t> kept;
+  if (early_stop_model != nullptr) {
+    const double normalizer =
+        original_.has_value() ? original_->test_score : 1.0;
+    for (std::size_t i : probed) {
+      const auto record = make_record(outcomes[i], normalizer);
+      if (early_stop_model->keep(record)) {
+        kept.push_back(i);
+      } else {
+        all[i].early_stopped = true;
+      }
+    }
+  } else {
+    kept = probed;
+  }
+
+  // Rank the kept probes by tail reward and take the full-training slots.
+  std::sort(kept.begin(), kept.end(), [&outcomes](std::size_t a,
+                                                  std::size_t b) {
+    return probe_score(outcomes[a].early_rewards) >
+           probe_score(outcomes[b].early_rewards);
+  });
+  if (kept.size() > config_.full_train_top) {
+    for (std::size_t r = config_.full_train_top; r < kept.size(); ++r) {
+      all[kept[r]].early_stopped = true;
+    }
+    kept.resize(config_.full_train_top);
+  }
+  return kept;
+}
+
+void Pipeline::apply_session_results(
+    std::vector<CandidateOutcome>& outcomes,
+    const std::vector<std::size_t>& selected,
+    const std::vector<rl::SessionResult>& sessions) {
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    CandidateOutcome& outcome = outcomes[selected[k]];
+    const rl::SessionResult& session = sessions[k];
+    outcome.fully_trained = !session.failed;
+    outcome.test_score = session.test_score;
+    outcome.emulation_score = session.emulation_score;
+    outcome.median_curve = session.median_curve;
+    outcome.curve_epochs = session.curve_epochs;
+  }
+}
+
+PipelineResult Pipeline::search_states(
+    gen::StateGenerator& generator, const nn::ArchSpec& arch,
+    const filter::EarlyStopModel* early_stop_model) {
+  PipelineResult result;
+  const auto candidates = generator.generate_batch(config_.num_candidates);
+  result.n_total = candidates.size();
+
+  // Baseline first: selection and reporting are relative to it.
+  result.original = original_baseline();
+  result.original_score = result.original.test_score;
+
+  // Stage 1+2: pre-checks. Cheap and embarrassingly parallel.
+  std::vector<CandidateOutcome> outcomes(candidates.size());
+  std::vector<std::optional<dsl::StateProgram>> programs(candidates.size());
+  auto precheck = [&](std::size_t i) {
+    CandidateOutcome& outcome = outcomes[i];
+    outcome.id = candidates[i].id;
+    outcome.source = candidates[i].source;
+    const auto compile = filter::compilation_check(candidates[i].source,
+                                                   &programs[i]);
+    outcome.compiled = compile.passed;
+    outcome.compile_error = compile.reason;
+    if (!compile.passed) return;
+    const auto norm = filter::normalization_check(
+        *programs[i], config_.normalization_threshold,
+        config_.normalization_fuzz_runs, seed_ ^ (i * 0x9e3779b9ULL));
+    outcome.normalized = norm.passed;
+    outcome.normalization_error = norm.reason;
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(candidates.size(), precheck);
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) precheck(i);
+  }
+
+  // Stage 3: the early "batch training" probe.
+  std::vector<std::size_t> probe_set;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].compiled) ++result.n_compiled;
+    if (outcomes[i].compiled && outcomes[i].normalized) {
+      ++result.n_normalized;
+      probe_set.push_back(i);
+    }
+  }
+  rl::TrainConfig probe_config = config_.train;
+  probe_config.epochs = config_.early_epochs;
+  probe_config.evaluate_checkpoints = false;
+  auto probe = [&](std::size_t k) {
+    const std::size_t i = probe_set[k];
+    rl::Trainer trainer(*dataset_, *video_, probe_config,
+                        seed_ ^ (0xb10b << 8) ^ i);
+    const rl::TrainResult probe_result = trainer.train(*programs[i], arch);
+    if (!probe_result.failed) {
+      outcomes[i].early_probed = true;
+      outcomes[i].early_rewards = probe_result.train_rewards;
+    } else {
+      // Blew up only under real training inputs; treat as compile-stage
+      // failure discovered late.
+      outcomes[i].compile_error = probe_result.error;
+    }
+  };
+  if (pool_ != nullptr && probe_set.size() > 1) {
+    pool_->parallel_for(probe_set.size(), probe);
+  } else {
+    for (std::size_t k = 0; k < probe_set.size(); ++k) probe(k);
+  }
+
+  // Stage 4: selection (early-stop model or tail-reward ranking).
+  const std::vector<std::size_t> selected =
+      select_survivors(outcomes, early_stop_model, outcomes);
+  for (const auto& outcome : outcomes) {
+    if (outcome.early_stopped) ++result.n_early_stopped;
+  }
+
+  // Stage 5: full-scale training of the survivors, every (design, seed)
+  // pair scheduled independently on the pool.
+  rl::SessionConfig session_config;
+  session_config.seeds = config_.seeds;
+  session_config.train = config_.train;
+  std::vector<rl::SessionJob> jobs;
+  jobs.reserve(selected.size());
+  for (std::size_t i : selected) {
+    jobs.push_back(rl::SessionJob{&*programs[i], &arch,
+                                  seed_ ^ (0xf111 << 4) ^ i});
+  }
+  const auto sessions =
+      rl::run_session_batch(*dataset_, *video_, jobs, session_config, pool_);
+  apply_session_results(outcomes, selected, sessions);
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].fully_trained) continue;
+    ++result.n_fully_trained;
+    if (outcomes[i].test_score > result.best_score) {
+      result.best_score = outcomes[i].test_score;
+      result.best_index = i;
+    }
+  }
+  result.outcomes = std::move(outcomes);
+  return result;
+}
+
+PipelineResult Pipeline::search_archs(
+    gen::ArchGenerator& generator, const dsl::StateProgram& state,
+    const filter::EarlyStopModel* early_stop_model) {
+  PipelineResult result;
+  const auto candidates = generator.generate_batch(config_.num_candidates);
+  result.n_total = candidates.size();
+
+  result.original = original_baseline();
+  result.original_score = result.original.test_score;
+
+  const nn::StateSignature signature = rl::derive_signature(state);
+
+  std::vector<CandidateOutcome> outcomes(candidates.size());
+  std::vector<std::size_t> probe_set;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    outcomes[i].id = candidates[i].id;
+    outcomes[i].arch = candidates[i].spec;
+    outcomes[i].source = candidates[i].description;
+    const auto check = filter::arch_compilation_check(
+        candidates[i].spec, signature, video_->ladder().levels());
+    outcomes[i].compiled = check.passed;
+    outcomes[i].compile_error = check.reason;
+    // The normalization check does not apply to architectures (§2.2).
+    outcomes[i].normalized = check.passed;
+    if (check.passed) {
+      ++result.n_compiled;
+      ++result.n_normalized;
+      probe_set.push_back(i);
+    }
+  }
+
+  rl::TrainConfig probe_config = config_.train;
+  probe_config.epochs = config_.early_epochs;
+  probe_config.evaluate_checkpoints = false;
+  auto probe = [&](std::size_t k) {
+    const std::size_t i = probe_set[k];
+    rl::Trainer trainer(*dataset_, *video_, probe_config,
+                        seed_ ^ (0xa10b << 8) ^ i);
+    const rl::TrainResult probe_result = trainer.train(state, *outcomes[i].arch);
+    if (!probe_result.failed) {
+      outcomes[i].early_probed = true;
+      outcomes[i].early_rewards = probe_result.train_rewards;
+    } else {
+      outcomes[i].compile_error = probe_result.error;
+    }
+  };
+  if (pool_ != nullptr && probe_set.size() > 1) {
+    pool_->parallel_for(probe_set.size(), probe);
+  } else {
+    for (std::size_t k = 0; k < probe_set.size(); ++k) probe(k);
+  }
+
+  const std::vector<std::size_t> selected =
+      select_survivors(outcomes, early_stop_model, outcomes);
+  for (const auto& outcome : outcomes) {
+    if (outcome.early_stopped) ++result.n_early_stopped;
+  }
+
+  rl::SessionConfig session_config;
+  session_config.seeds = config_.seeds;
+  session_config.train = config_.train;
+  std::vector<rl::SessionJob> jobs;
+  jobs.reserve(selected.size());
+  for (std::size_t i : selected) {
+    jobs.push_back(rl::SessionJob{&state, &*outcomes[i].arch,
+                                  seed_ ^ (0xf222 << 4) ^ i});
+  }
+  const auto sessions =
+      rl::run_session_batch(*dataset_, *video_, jobs, session_config, pool_);
+  apply_session_results(outcomes, selected, sessions);
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].fully_trained) continue;
+    ++result.n_fully_trained;
+    if (outcomes[i].test_score > result.best_score) {
+      result.best_score = outcomes[i].test_score;
+      result.best_index = i;
+    }
+  }
+  result.outcomes = std::move(outcomes);
+  return result;
+}
+
+PipelineConfig scaled_pipeline_config(trace::Environment env,
+                                      const util::ScaleConfig& scale) {
+  const trace::DatasetSpec spec = trace::paper_spec(env);
+  PipelineConfig config;
+  config.num_candidates = scale.gen_count(3000);
+  config.seeds = scale.seed_count(5);
+  config.train.epochs = scale.epoch_count(spec.train_epochs, 120);
+  // Keep roughly the paper's checkpoints-per-run ratio (~80 for FCC/4G/5G,
+  // 40 for Starlink) but never fewer than 10 checkpoints.
+  const std::size_t paper_checkpoints =
+      std::max<std::size_t>(spec.train_epochs / spec.test_interval, 10);
+  config.train.test_interval = std::max<std::size_t>(
+      config.train.epochs / std::min<std::size_t>(paper_checkpoints, 40), 1);
+  config.train.max_eval_traces = 12;
+  // First-quarter probe window (the paper watches the first 10k of 40k),
+  // capped so probing the many pre-check survivors stays cheaper than fully
+  // training the few selected ones.
+  config.early_epochs = std::clamp<std::size_t>(config.train.epochs / 4, 20,
+                                                400);
+  config.full_train_top = 6;
+
+  // Model scale: the paper's 128-wide towers shrink for bench runtime.
+  const double model_scale = util::env_double("NADA_SCALE_MODEL", 0.25);
+  auto scaled_width = [model_scale](std::size_t w) {
+    return std::max<std::size_t>(
+        static_cast<std::size_t>(std::lround(w * model_scale)), 8);
+  };
+  nn::ArchSpec arch = nn::ArchSpec::pensieve();
+  arch.conv_filters = scaled_width(arch.conv_filters);
+  arch.rnn_hidden = scaled_width(arch.rnn_hidden);
+  arch.scalar_hidden = scaled_width(arch.scalar_hidden);
+  arch.merge_hidden = scaled_width(arch.merge_hidden);
+  config.baseline_arch = arch;
+  return config;
+}
+
+}  // namespace nada::core

@@ -1,0 +1,137 @@
+// The NADA pipeline (Figure 1): generate -> pre-check -> batch-train with
+// early stopping -> full-scale training -> rank.
+//
+// This is the paper's primary contribution: an orchestration loop that
+// turns a stream of LLM-generated candidate code blocks into a ranked set
+// of validated designs while spending as little training compute as
+// possible on the duds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/state_program.h"
+#include "filter/checks.h"
+#include "filter/earlystop.h"
+#include "gen/arch_gen.h"
+#include "gen/state_gen.h"
+#include "rl/session.h"
+#include "rl/trainer.h"
+#include "trace/generator.h"
+#include "util/scale.h"
+#include "util/thread_pool.h"
+#include "video/video.h"
+
+namespace nada::core {
+
+struct PipelineConfig {
+  std::size_t num_candidates = 150;
+  /// Epochs for the early "batch training" probe (the paper's first-K
+  /// reward window).
+  std::size_t early_epochs = 60;
+  /// How many ranked survivors get the full training budget.
+  std::size_t full_train_top = 6;
+  /// Sessions (seeds) for full-scale training.
+  std::size_t seeds = 3;
+  rl::TrainConfig train;  ///< full-scale budget; early probe reuses it with
+                          ///< `early_epochs` epochs
+  /// Architecture used for the baseline and for state-search candidates.
+  nn::ArchSpec baseline_arch = nn::ArchSpec::pensieve();
+  double normalization_threshold = filter::kNormalizationThreshold;
+  std::size_t normalization_fuzz_runs = 16;
+};
+
+/// Everything that happened to one candidate on its way through the funnel.
+struct CandidateOutcome {
+  std::string id;
+  std::string source;            ///< state candidates only
+  std::optional<nn::ArchSpec> arch;  ///< architecture candidates only
+  bool compiled = false;
+  std::string compile_error;
+  bool normalized = false;       ///< always true for architecture candidates
+  std::string normalization_error;
+  bool early_probed = false;
+  std::vector<double> early_rewards;
+  bool early_stopped = false;    ///< filtered out after the probe
+  bool fully_trained = false;
+  double test_score = -1e9;      ///< paper's test score (median over seeds)
+  double emulation_score = 0.0;  ///< Table-4 style emulation score, if asked
+  std::vector<double> curve_epochs;  ///< checkpoint curve of the full run
+  std::vector<double> median_curve;
+};
+
+struct PipelineResult {
+  std::vector<CandidateOutcome> outcomes;
+  std::size_t n_total = 0;
+  std::size_t n_compiled = 0;
+  std::size_t n_normalized = 0;
+  std::size_t n_early_stopped = 0;
+  std::size_t n_fully_trained = 0;
+  /// Baseline: the original design trained with the same protocol.
+  rl::SessionResult original;
+  double original_score = 0.0;
+  /// Index into `outcomes` of the best fully trained candidate, or npos.
+  std::size_t best_index = SIZE_MAX;
+  double best_score = -1e9;
+
+  [[nodiscard]] bool has_best() const { return best_index != SIZE_MAX; }
+  [[nodiscard]] double improvement() const {
+    return original_score != 0.0 && has_best()
+               ? (best_score - original_score) / std::abs(original_score)
+               : 0.0;
+  }
+};
+
+class Pipeline {
+ public:
+  /// `pool` may be null (serial execution).
+  Pipeline(const trace::Dataset& dataset, const video::Video& video,
+           PipelineConfig config, std::uint64_t seed,
+           util::ThreadPool* pool = nullptr);
+
+  /// Searches over state functions with a fixed architecture. When
+  /// `early_stop_model` is null the pipeline ranks probes by their tail
+  /// reward and fully trains the top `full_train_top` (the behaviour the
+  /// paper's heuristic baseline provides); otherwise the fitted model
+  /// decides which probes continue, and the top `full_train_top` of the
+  /// kept set get full training.
+  [[nodiscard]] PipelineResult search_states(
+      gen::StateGenerator& generator, const nn::ArchSpec& arch,
+      const filter::EarlyStopModel* early_stop_model = nullptr);
+
+  /// Searches over architectures with a fixed state program.
+  [[nodiscard]] PipelineResult search_archs(
+      gen::ArchGenerator& generator, const dsl::StateProgram& state,
+      const filter::EarlyStopModel* early_stop_model = nullptr);
+
+  /// Trains the original Pensieve design (state + architecture) under the
+  /// same protocol; used as the comparison baseline and cached.
+  [[nodiscard]] const rl::SessionResult& original_baseline();
+
+ private:
+  static void apply_session_results(
+      std::vector<CandidateOutcome>& outcomes,
+      const std::vector<std::size_t>& selected,
+      const std::vector<rl::SessionResult>& sessions);
+  [[nodiscard]] std::vector<std::size_t> select_survivors(
+      const std::vector<CandidateOutcome>& outcomes,
+      const filter::EarlyStopModel* early_stop_model,
+      std::vector<CandidateOutcome>& all) const;
+
+  const trace::Dataset* dataset_;
+  const video::Video* video_;
+  PipelineConfig config_;
+  std::uint64_t seed_;
+  util::ThreadPool* pool_;
+  std::optional<rl::SessionResult> original_;
+};
+
+/// Environment-scaled PipelineConfig: applies ScaleConfig to the paper's
+/// budgets for `env` (Table 1 epochs / test interval, 3,000 candidates).
+[[nodiscard]] PipelineConfig scaled_pipeline_config(
+    trace::Environment env, const util::ScaleConfig& scale);
+
+}  // namespace nada::core

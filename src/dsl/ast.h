@@ -1,0 +1,77 @@
+// NadaScript abstract syntax tree.
+//
+// Programs are a sequence of `let` bindings and `emit` statements; the
+// emitted rows form the state matrix fed to the actor-critic network.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nada::dsl {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLess, kGreater, kLessEq, kGreaterEq, kEq, kNotEq,
+  kAnd, kOr,
+};
+
+[[nodiscard]] const char* binary_op_name(BinaryOp op);
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class ExprKind {
+  kNumber,
+  kVariable,
+  kUnary,
+  kBinary,
+  kTernary,
+  kCall,
+  kIndex,
+  kVectorLiteral,
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+  std::size_t line = 1;
+
+  // kNumber
+  double number = 0.0;
+  // kVariable / kCall
+  std::string name;
+  // kUnary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  // kBinary
+  BinaryOp binary_op = BinaryOp::kAdd;
+  // children: kUnary uses [0]; kBinary uses [0], [1]; kTernary uses
+  // [0]=cond, [1]=then, [2]=else; kCall uses all as arguments; kIndex uses
+  // [0]=base, [1]=index; kVectorLiteral uses all as elements.
+  std::vector<ExprPtr> children;
+};
+
+enum class StatementKind { kLet, kEmit };
+
+struct Statement {
+  StatementKind kind = StatementKind::kLet;
+  std::size_t line = 1;
+  std::string name;  ///< binding name (let) or row name (emit)
+  ExprPtr expr;
+};
+
+struct Program {
+  std::vector<Statement> statements;
+
+  [[nodiscard]] std::size_t emit_count() const {
+    std::size_t n = 0;
+    for (const auto& s : statements) {
+      if (s.kind == StatementKind::kEmit) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace nada::dsl

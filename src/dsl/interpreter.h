@@ -1,0 +1,70 @@
+// NadaScript interpreter.
+//
+// Evaluates a parsed Program against a set of named input values (the raw
+// observation) and collects the emitted state rows. The builtin library
+// intentionally covers the numeric toolbox the paper reports LLM-generated
+// states drawing on: moving averages, variance, trends, linear-regression
+// prediction (statsmodels in the paper), and Savitzky-Golay smoothing
+// (scipy in the paper).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsl/ast.h"
+#include "dsl/value.h"
+
+namespace nada::dsl {
+
+using Bindings = std::unordered_map<std::string, Value>;
+
+/// A builtin function: validated arity plus an implementation.
+struct Builtin {
+  std::size_t min_args = 1;
+  std::size_t max_args = 1;
+  std::string signature;  ///< human-readable, e.g. "ema(v, alpha)"
+  std::function<Value(const std::vector<Value>&)> fn;
+};
+
+/// The builtin registry, keyed by function name. Stable across the process;
+/// the candidate generator enumerates this to assemble programs.
+[[nodiscard]] const std::map<std::string, Builtin>& builtins();
+
+/// Evaluates one expression. `inputs` are the observation variables;
+/// `locals` are let-bindings accumulated so far.
+[[nodiscard]] Value eval_expr(const Expr& expr, const Bindings& inputs,
+                              const Bindings& locals);
+
+/// One emitted state row.
+struct StateRow {
+  std::string name;
+  std::vector<double> values;  ///< single element for scalar rows
+  bool is_vector = false;
+};
+
+/// The state matrix produced by one program run.
+struct StateMatrix {
+  std::vector<StateRow> rows;
+
+  /// Row lengths (1 for scalar rows) — the network input signature.
+  [[nodiscard]] std::vector<std::size_t> row_lengths() const;
+
+  /// Largest absolute feature value (the normalization-check statistic).
+  [[nodiscard]] double max_abs() const;
+
+  /// True if every value is finite.
+  [[nodiscard]] bool all_finite() const;
+
+  /// Flattens to per-row vectors for the network.
+  [[nodiscard]] std::vector<std::vector<double>> to_network_rows() const;
+};
+
+/// Runs a full program; throws RuntimeError on any evaluation error.
+[[nodiscard]] StateMatrix run_program(const Program& program,
+                                      const Bindings& inputs);
+
+}  // namespace nada::dsl

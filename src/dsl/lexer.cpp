@@ -1,0 +1,195 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "dsl/value.h"
+
+namespace nada::dsl {
+
+const char* token_type_name(TokenType t) {
+  switch (t) {
+    case TokenType::kNumber: return "number";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kString: return "string";
+    case TokenType::kLet: return "'let'";
+    case TokenType::kEmit: return "'emit'";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kPercent: return "'%'";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kLBracket: return "'['";
+    case TokenType::kRBracket: return "']'";
+    case TokenType::kComma: return "','";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kAssign: return "'='";
+    case TokenType::kLess: return "'<'";
+    case TokenType::kGreater: return "'>'";
+    case TokenType::kLessEq: return "'<='";
+    case TokenType::kGreaterEq: return "'>='";
+    case TokenType::kEqEq: return "'=='";
+    case TokenType::kNotEq: return "'!='";
+    case TokenType::kAndAnd: return "'&&'";
+    case TokenType::kOrOr: return "'||'";
+    case TokenType::kBang: return "'!'";
+    case TokenType::kQuestion: return "'?'";
+    case TokenType::kColon: return "':'";
+    case TokenType::kEof: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto push = [&tokens, &line](TokenType type, std::string text = {}) {
+    tokens.push_back(Token{type, std::move(text), 0.0, line});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      const std::size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.' || source[i] == 'e' ||
+                       source[i] == 'E' ||
+                       ((source[i] == '+' || source[i] == '-') && i > start &&
+                        (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        ++i;
+      }
+      const std::string text(source.substr(start, i - start));
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        throw CompileError("malformed number '" + text + "'", line);
+      }
+      Token tok{TokenType::kNumber, text, value, line};
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      const std::string word(source.substr(start, i - start));
+      if (word == "let") {
+        push(TokenType::kLet, word);
+      } else if (word == "emit") {
+        push(TokenType::kEmit, word);
+      } else {
+        push(TokenType::kIdentifier, word);
+      }
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t start = ++i;
+      while (i < n && source[i] != '"' && source[i] != '\n') ++i;
+      if (i >= n || source[i] != '"') {
+        throw CompileError("unterminated string literal", line);
+      }
+      push(TokenType::kString, std::string(source.substr(start, i - start)));
+      ++i;
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < n && source[i + 1] == second;
+    };
+    switch (c) {
+      case '+': push(TokenType::kPlus); ++i; break;
+      case '-': push(TokenType::kMinus); ++i; break;
+      case '*': push(TokenType::kStar); ++i; break;
+      case '/': push(TokenType::kSlash); ++i; break;
+      case '%': push(TokenType::kPercent); ++i; break;
+      case '(': push(TokenType::kLParen); ++i; break;
+      case ')': push(TokenType::kRParen); ++i; break;
+      case '[': push(TokenType::kLBracket); ++i; break;
+      case ']': push(TokenType::kRBracket); ++i; break;
+      case ',': push(TokenType::kComma); ++i; break;
+      case ';': push(TokenType::kSemicolon); ++i; break;
+      case '?': push(TokenType::kQuestion); ++i; break;
+      case ':': push(TokenType::kColon); ++i; break;
+      case '=':
+        if (two('=')) {
+          push(TokenType::kEqEq);
+          i += 2;
+        } else {
+          push(TokenType::kAssign);
+          ++i;
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenType::kLessEq);
+          i += 2;
+        } else {
+          push(TokenType::kLess);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenType::kGreaterEq);
+          i += 2;
+        } else {
+          push(TokenType::kGreater);
+          ++i;
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenType::kNotEq);
+          i += 2;
+        } else {
+          push(TokenType::kBang);
+          ++i;
+        }
+        break;
+      case '&':
+        if (two('&')) {
+          push(TokenType::kAndAnd);
+          i += 2;
+        } else {
+          throw CompileError("stray '&' (did you mean '&&'?)", line);
+        }
+        break;
+      case '|':
+        if (two('|')) {
+          push(TokenType::kOrOr);
+          i += 2;
+        } else {
+          throw CompileError("stray '|' (did you mean '||'?)", line);
+        }
+        break;
+      default:
+        throw CompileError(std::string("unexpected character '") + c + "'",
+                           line);
+    }
+  }
+  tokens.push_back(Token{TokenType::kEof, "", 0.0, line});
+  return tokens;
+}
+
+}  // namespace nada::dsl

@@ -1,0 +1,44 @@
+// NadaScript lexer.
+//
+// Token stream for the state-function language. `#` starts a comment that
+// runs to end of line (generated programs carry explanatory comments, like
+// the LLM output the paper describes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nada::dsl {
+
+enum class TokenType {
+  kNumber,
+  kIdentifier,
+  kString,     // double-quoted, used for emit row names
+  kLet,        // keyword
+  kEmit,       // keyword
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kLParen, kRParen,
+  kLBracket, kRBracket,
+  kComma, kSemicolon, kAssign,
+  kLess, kGreater, kLessEq, kGreaterEq, kEqEq, kNotEq,
+  kAndAnd, kOrOr, kBang,
+  kQuestion, kColon,
+  kEof,
+};
+
+[[nodiscard]] const char* token_type_name(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;       // raw text (identifier name / string contents)
+  double number = 0.0;    // valid when type == kNumber
+  std::size_t line = 1;
+};
+
+/// Tokenizes `source`; throws CompileError on unrecognized characters,
+/// unterminated strings, or malformed numbers.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace nada::dsl

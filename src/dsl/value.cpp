@@ -1,0 +1,28 @@
+#include "dsl/value.h"
+
+namespace nada::dsl {
+
+double Value::as_scalar() const {
+  if (is_vector_) {
+    throw RuntimeError("expected scalar, got vector of length " +
+                       std::to_string(vector_.size()));
+  }
+  return scalar_;
+}
+
+const std::vector<double>& Value::as_vector() const {
+  if (!is_vector_) throw RuntimeError("expected vector, got scalar");
+  return vector_;
+}
+
+double Value::element(std::size_t i) const {
+  if (!is_vector_) return scalar_;
+  if (i >= vector_.size()) {
+    throw RuntimeError("index " + std::to_string(i) +
+                       " out of range for vector of length " +
+                       std::to_string(vector_.size()));
+  }
+  return vector_[i];
+}
+
+}  // namespace nada::dsl

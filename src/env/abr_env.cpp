@@ -1,0 +1,84 @@
+#include "env/abr_env.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nada::env {
+
+AbrEnv::AbrEnv(const trace::Trace& trace, const video::Video& video,
+               Fidelity fidelity, util::Rng& rng)
+    : trace_(&trace),
+      video_(&video),
+      fidelity_(fidelity),
+      rng_(&rng),
+      qoe_(video.ladder()) {
+  reset();
+}
+
+Observation AbrEnv::reset() {
+  // Random offset so different episodes see different trace regions; leave
+  // at least a second of slack inside the trace.
+  const double offset =
+      rng_->uniform(0.0, std::max(trace_->duration_s() - 1.0, 0.0));
+  if (fidelity_ == Fidelity::kSimulation) {
+    session_ = std::make_unique<StreamingSession>(*trace_, *video_,
+                                                  SimConfig{}, offset);
+  } else {
+    session_ =
+        std::make_unique<EmuSession>(*trace_, *video_, *rng_, EmuConfig{},
+                                     offset);
+  }
+  throughput_hist_.assign(kHistoryLen, 0.0);
+  download_hist_.assign(kHistoryLen, 0.0);
+  buffer_hist_.assign(kHistoryLen, 0.0);
+  last_level_ = 0;  // Pensieve starts at the lowest quality
+  return make_observation();
+}
+
+void AbrEnv::push_history(std::vector<double>& hist, double value) {
+  hist.erase(hist.begin());
+  hist.push_back(value);
+}
+
+StepResult AbrEnv::step(std::size_t level) {
+  if (done()) throw std::logic_error("AbrEnv::step after episode end");
+  const DownloadResult dl = session_->download_chunk(level);
+
+  push_history(throughput_hist_, dl.throughput_mbps);
+  push_history(download_hist_, dl.download_time_s);
+  push_history(buffer_hist_, dl.buffer_s);
+
+  StepResult result;
+  result.reward = qoe_.chunk_reward(level, last_level_, dl.rebuffer_s);
+  result.rebuffer_s = dl.rebuffer_s;
+  result.download_time_s = dl.download_time_s;
+  result.done = dl.video_finished;
+  last_level_ = level;
+  result.observation = make_observation();
+  return result;
+}
+
+bool AbrEnv::done() const { return session_->finished(); }
+
+Observation AbrEnv::make_observation() const {
+  Observation obs;
+  obs.throughput_mbps = throughput_hist_;
+  obs.download_time_s = download_hist_;
+  obs.buffer_s_history = buffer_hist_;
+  obs.buffer_s = session_->buffer_s();
+  obs.chunks_remaining = static_cast<double>(session_->chunks_remaining());
+  obs.total_chunks = static_cast<double>(video_->num_chunks());
+  obs.last_bitrate_kbps = video_->ladder().kbps(last_level_);
+  obs.chunk_len_s = video_->chunk_len_s();
+  const auto ladder = video_->ladder().all_kbps();
+  obs.ladder_kbps.assign(ladder.begin(), ladder.end());
+  if (!session_->finished()) {
+    obs.next_chunk_bytes =
+        video_->chunk_bytes_all_levels(session_->next_chunk_index());
+  } else {
+    obs.next_chunk_bytes.assign(video_->ladder().levels(), 0.0);
+  }
+  return obs;
+}
+
+}  // namespace nada::env

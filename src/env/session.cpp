@@ -1,0 +1,155 @@
+#include "env/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nada::env {
+namespace {
+
+// Integrates `wire_bytes` over the trace's piecewise-constant bandwidth
+// starting at absolute time `start_s`; returns elapsed seconds.
+double integrate_transfer(const trace::Trace& tr, double wire_bytes,
+                          double start_s) {
+  if (wire_bytes <= 0.0) return 0.0;
+  const double duration = tr.duration_s();
+  if (duration <= 0.0) {
+    throw std::invalid_argument("integrate_transfer: degenerate trace");
+  }
+  double remaining = wire_bytes;
+  double t = start_s;
+  // Hard cap to avoid infinite loops if bandwidth is pathologically small.
+  const double deadline = start_s + 3600.0;
+  while (remaining > 0.0 && t < deadline) {
+    const std::size_t idx = tr.index_at(t);
+    const auto& points = tr.points();
+    const double seg_end_abs = [&] {
+      double wrapped = std::fmod(t, duration);
+      if (wrapped < 0.0) wrapped += duration;
+      const double seg_end_wrapped = (idx + 1 < points.size())
+                                         ? points[idx + 1].time_s
+                                         : duration;
+      return t + (seg_end_wrapped - wrapped);
+    }();
+    const double bytes_per_s =
+        std::max(points[idx].bandwidth_kbps, 1.0) * 1000.0 / 8.0;
+    const double seg_time = std::max(seg_end_abs - t, 1e-9);
+    const double seg_capacity = bytes_per_s * seg_time;
+    if (seg_capacity >= remaining) {
+      t += remaining / bytes_per_s;
+      remaining = 0.0;
+    } else {
+      remaining -= seg_capacity;
+      t = seg_end_abs;
+    }
+  }
+  return t - start_s;
+}
+
+}  // namespace
+
+StreamingSession::StreamingSession(const trace::Trace& trace,
+                                   const video::Video& video, SimConfig config,
+                                   double start_offset_s)
+    : trace_(&trace),
+      video_(&video),
+      config_(config),
+      clock_s_(start_offset_s) {
+  if (config_.packet_payload_ratio <= 0.0 ||
+      config_.packet_payload_ratio > 1.0) {
+    throw std::invalid_argument("SimConfig: bad packet_payload_ratio");
+  }
+}
+
+std::size_t StreamingSession::chunks_remaining() const {
+  return video_->num_chunks() - next_chunk_;
+}
+
+DownloadResult StreamingSession::download_chunk(std::size_t level) {
+  if (finished()) {
+    throw std::logic_error("download_chunk: video already finished");
+  }
+  if (level >= video_->ladder().levels()) {
+    throw std::out_of_range("download_chunk: bitrate level out of range");
+  }
+  DownloadResult result;
+  result.chunk_bytes = video_->chunk_bytes(next_chunk_, level);
+
+  const double dt = transfer_time_s(result.chunk_bytes, clock_s_);
+  clock_s_ += dt;
+  result.download_time_s = dt;
+  result.throughput_mbps = result.chunk_bytes * 8.0 / 1e6 / std::max(dt, 1e-9);
+
+  // Buffer drains while downloading; stall if it empties.
+  result.rebuffer_s = std::max(dt - buffer_s_, 0.0);
+  buffer_s_ = std::max(buffer_s_ - dt, 0.0);
+  buffer_s_ += video_->chunk_len_s();
+
+  // Client pauses requests while the buffer is above the cap (Pensieve
+  // drains in fixed quanta while wall-clock time advances).
+  if (buffer_s_ > config_.buffer_cap_s) {
+    const double excess = buffer_s_ - config_.buffer_cap_s;
+    const double quanta =
+        std::ceil(excess / config_.drain_quantum_s) * config_.drain_quantum_s;
+    result.sleep_s = quanta;
+    buffer_s_ -= quanta;
+    clock_s_ += quanta;
+  }
+
+  result.buffer_s = buffer_s_;
+  ++next_chunk_;
+  result.video_finished = finished();
+  return result;
+}
+
+double StreamingSession::transfer_time_s(double bytes, double start_s) {
+  const double wire_bytes = bytes / config_.packet_payload_ratio;
+  return config_.link_rtt_s + integrate_transfer(*trace_, wire_bytes, start_s);
+}
+
+EmuSession::EmuSession(const trace::Trace& trace, const video::Video& video,
+                       util::Rng& rng, EmuConfig config, double start_offset_s)
+    : StreamingSession(trace, video,
+                       SimConfig{config.base_rtt_s, 1.0, config.buffer_cap_s,
+                                 config.drain_quantum_s},
+                       start_offset_s),
+      emu_config_(config),
+      rng_(&rng) {}
+
+double EmuSession::transfer_time_s(double bytes, double start_s) {
+  // Per-request overhead: request RTT with jitter plus server think time.
+  const double rtt =
+      emu_config_.base_rtt_s + rng_->uniform(0.0, emu_config_.rtt_jitter_s);
+  double t = start_s + rtt + emu_config_.server_delay_s;
+
+  // TCP slow start: the connection's allowed rate doubles every RTT from an
+  // initial window until it reaches the trace's available bandwidth. We
+  // integrate in small steps, applying min(cwnd rate, link rate).
+  double wire_bytes = bytes / emu_config_.header_overhead_ratio;
+  double window_bytes = emu_config_.slow_start_init_bytes;
+  const double step = std::max(rtt / 4.0, 0.005);
+  const double deadline = t + 3600.0;
+  while (wire_bytes > 0.0 && t < deadline) {
+    const double link_bytes_per_s =
+        std::max(trace_->bandwidth_kbps_at(t), 1.0) * 1000.0 / 8.0;
+    const double cwnd_bytes_per_s = window_bytes / rtt;
+    const double rate = std::min(link_bytes_per_s, cwnd_bytes_per_s);
+    const double sent = rate * step;
+    if (sent >= wire_bytes) {
+      t += wire_bytes / rate;
+      wire_bytes = 0.0;
+    } else {
+      wire_bytes -= sent;
+      t += step;
+      // Exponential growth until the congestion window stops being the
+      // bottleneck (we do not model loss-based back-off: mahimahi's default
+      // drop-tail queue rarely forces it at these chunk sizes).
+      if (cwnd_bytes_per_s < link_bytes_per_s) {
+        window_bytes *= std::pow(2.0, step / rtt);
+      }
+    }
+  }
+  return t - start_s;
+}
+
+}  // namespace nada::env

@@ -1,0 +1,261 @@
+#include "filter/earlystop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/mat.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace nada::filter {
+
+const char* early_stop_method_name(EarlyStopMethod m) {
+  switch (m) {
+    case EarlyStopMethod::kRewardOnly: return "Reward Only";
+    case EarlyStopMethod::kTextOnly: return "Text Only";
+    case EarlyStopMethod::kTextReward: return "Text + Reward";
+    case EarlyStopMethod::kHeuristicMax: return "Heuristic Max";
+    case EarlyStopMethod::kHeuristicLast: return "Heuristic Last";
+  }
+  return "?";
+}
+
+const std::vector<EarlyStopMethod>& all_early_stop_methods() {
+  static const std::vector<EarlyStopMethod> kAll = {
+      EarlyStopMethod::kRewardOnly, EarlyStopMethod::kTextOnly,
+      EarlyStopMethod::kTextReward, EarlyStopMethod::kHeuristicMax,
+      EarlyStopMethod::kHeuristicLast};
+  return kAll;
+}
+
+nn::Vec embed_text(const std::string& text, std::size_t dim) {
+  if (dim == 0) throw std::invalid_argument("embed_text: zero dim");
+  nn::Vec embedding(dim, 0.0);
+  if (text.size() >= 3) {
+    for (std::size_t i = 0; i + 3 <= text.size(); ++i) {
+      const std::uint64_t h = util::fnv1a64(text.substr(i, 3));
+      const std::size_t bucket = h % dim;
+      // Sign hashing keeps the expectation of collisions at zero.
+      const double sign = ((h >> 32) & 1) != 0 ? 1.0 : -1.0;
+      embedding[bucket] += sign;
+    }
+  }
+  const double norm = nn::l2_norm(embedding);
+  if (norm > 0.0) {
+    for (double& v : embedding) v /= norm;
+  }
+  return embedding;
+}
+
+EarlyStopModel::EarlyStopModel(EarlyStopMethod method, EarlyStopConfig config,
+                               std::uint64_t seed)
+    : method_(method), config_(std::move(config)), seed_(seed) {
+  if (config_.top_fraction <= 0.0 || config_.top_fraction > 1.0) {
+    throw std::invalid_argument("EarlyStopModel: bad top_fraction");
+  }
+  if (config_.smooth_fraction < config_.top_fraction ||
+      config_.smooth_fraction > 1.0) {
+    throw std::invalid_argument("EarlyStopModel: bad smooth_fraction");
+  }
+}
+
+nn::Vec EarlyStopModel::features(const DesignRecord& record) const {
+  auto curve = [&] {
+    nn::Vec c = nn::resample_linear(record.early_rewards, config_.curve_len);
+    for (double& v : c) v = std::clamp(v, -10.0, 10.0);
+    return c;
+  };
+  switch (method_) {
+    case EarlyStopMethod::kRewardOnly:
+      return curve();
+    case EarlyStopMethod::kTextOnly:
+      return embed_text(record.source_text, config_.embed_dim);
+    case EarlyStopMethod::kTextReward: {
+      nn::Vec f = curve();
+      const nn::Vec e = embed_text(record.source_text, config_.embed_dim);
+      f.insert(f.end(), e.begin(), e.end());
+      return f;
+    }
+    case EarlyStopMethod::kHeuristicMax:
+    case EarlyStopMethod::kHeuristicLast:
+      return {};
+  }
+  return {};
+}
+
+namespace {
+
+double heuristic_score(EarlyStopMethod method, const DesignRecord& record) {
+  if (record.early_rewards.empty()) return -1e9;
+  if (method == EarlyStopMethod::kHeuristicMax) {
+    return *std::max_element(record.early_rewards.begin(),
+                             record.early_rewards.end());
+  }
+  return record.early_rewards.back();
+}
+
+/// Indices of `records` sorted by descending final score.
+std::vector<std::size_t> rank_by_final(
+    const std::vector<DesignRecord>& records) {
+  std::vector<std::size_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&records](std::size_t a,
+                                                   std::size_t b) {
+    return records[a].final_score > records[b].final_score;
+  });
+  return order;
+}
+
+std::size_t top_count(std::size_t n, double fraction) {
+  const auto k = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n) * fraction));
+  return std::clamp<std::size_t>(k, 1, n);
+}
+
+}  // namespace
+
+void EarlyStopModel::fit(const std::vector<DesignRecord>& records) {
+  if (records.size() < 5) {
+    throw std::invalid_argument("EarlyStopModel::fit: corpus too small");
+  }
+  const std::vector<std::size_t> order = rank_by_final(records);
+
+  const bool is_classifier = method_ == EarlyStopMethod::kRewardOnly ||
+                             method_ == EarlyStopMethod::kTextOnly ||
+                             method_ == EarlyStopMethod::kTextReward;
+  if (is_classifier) {
+    // Label-smoothing variant: train against the widened positive band.
+    const double band = config_.use_label_smoothing ? config_.smooth_fraction
+                                                    : config_.top_fraction;
+    const std::size_t positives = top_count(records.size(), band);
+    std::vector<double> labels(records.size(), 0.0);
+    for (std::size_t r = 0; r < positives; ++r) labels[order[r]] = 1.0;
+
+    std::vector<nn::Vec> xs;
+    xs.reserve(records.size());
+    for (const auto& rec : records) xs.push_back(features(rec));
+
+    util::Rng rng(seed_);
+    if (method_ == EarlyStopMethod::kRewardOnly) {
+      classifier_ = std::make_unique<nn::Conv1DClassifier>(
+          config_.curve_len, config_.cnn_filters, config_.cnn_kernel,
+          config_.hidden, rng);
+    } else {
+      classifier_ = std::make_unique<nn::MlpClassifier>(
+          xs.front().size(), std::vector<std::size_t>{config_.hidden}, rng);
+    }
+    classifier_->train(xs, labels, config_.train);
+  }
+
+  // Threshold tuning: revert to the true top-1% labels and push the
+  // threshold as high as possible while keeping every true positive
+  // (0% FNR on the training set), then back off by the safety margin.
+  const std::size_t true_positives =
+      top_count(records.size(), config_.top_fraction);
+  double min_positive_score = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < true_positives; ++r) {
+    min_positive_score = std::min(min_positive_score, score(records[order[r]]));
+  }
+  threshold_ = min_positive_score - config_.threshold_margin;
+}
+
+double EarlyStopModel::score(const DesignRecord& record) const {
+  if (method_ == EarlyStopMethod::kHeuristicMax ||
+      method_ == EarlyStopMethod::kHeuristicLast) {
+    return heuristic_score(method_, record);
+  }
+  if (classifier_ == nullptr) {
+    throw std::logic_error("EarlyStopModel::score before fit");
+  }
+  return const_cast<nn::BinaryClassifier&>(*classifier_).predict(
+      features(record));
+}
+
+bool EarlyStopModel::keep(const DesignRecord& record) const {
+  return score(record) >= threshold_;
+}
+
+std::vector<bool> label_top_fraction(const std::vector<DesignRecord>& records,
+                                     double top_fraction) {
+  std::vector<bool> labels(records.size(), false);
+  if (records.empty()) return labels;
+  const auto order = rank_by_final(records);
+  const std::size_t k = top_count(records.size(), top_fraction);
+  for (std::size_t r = 0; r < k; ++r) labels[order[r]] = true;
+  return labels;
+}
+
+EarlyStopMetrics evaluate_early_stop(const EarlyStopModel& model,
+                                     const std::vector<DesignRecord>& records,
+                                     const std::vector<bool>& is_top) {
+  if (records.size() != is_top.size()) {
+    throw std::invalid_argument("evaluate_early_stop: size mismatch");
+  }
+  EarlyStopMetrics m;
+  std::size_t false_negatives = 0;
+  std::size_t true_negatives = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const bool kept = model.keep(records[i]);
+    if (is_top[i]) {
+      ++m.positives;
+      if (!kept) ++false_negatives;
+    } else {
+      ++m.negatives;
+      if (!kept) ++true_negatives;
+    }
+  }
+  m.false_negative_rate =
+      m.positives > 0
+          ? static_cast<double>(false_negatives) /
+                static_cast<double>(m.positives)
+          : 0.0;
+  m.true_negative_rate =
+      m.negatives > 0
+          ? static_cast<double>(true_negatives) /
+                static_cast<double>(m.negatives)
+          : 0.0;
+  return m;
+}
+
+std::vector<EarlyStopMetrics> cross_validate(
+    EarlyStopMethod method, const EarlyStopConfig& config,
+    const std::vector<DesignRecord>& records, std::size_t folds,
+    std::uint64_t seed) {
+  if (folds < 2 || records.size() < folds * 5) {
+    throw std::invalid_argument("cross_validate: corpus too small");
+  }
+  // Ground-truth labels come from the full corpus.
+  const std::vector<bool> global_labels =
+      label_top_fraction(records, config.top_fraction);
+
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<EarlyStopMetrics> per_fold;
+  per_fold.reserve(folds);
+  for (std::size_t f = 0; f < folds; ++f) {
+    // The paper's inverted protocol: train on one fold (~20%), validate on
+    // the remaining designs.
+    std::vector<DesignRecord> train_set;
+    std::vector<DesignRecord> test_set;
+    std::vector<bool> test_labels;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i % folds == f) {
+        train_set.push_back(records[order[i]]);
+      } else {
+        test_set.push_back(records[order[i]]);
+        test_labels.push_back(global_labels[order[i]]);
+      }
+    }
+    EarlyStopModel model(method, config, seed + f * 1000003ULL);
+    model.fit(train_set);
+    per_fold.push_back(evaluate_early_stop(model, test_set, test_labels));
+  }
+  return per_fold;
+}
+
+}  // namespace nada::filter

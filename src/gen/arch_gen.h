@@ -1,0 +1,54 @@
+// Neural-network architecture candidate generator (§3.3's LLM stand-in).
+//
+// Samples ArchSpec mutations around Pensieve's original actor-critic
+// network: hidden sizes, activation swaps (Leaky ReLU for FCC), temporal
+// unit replacement (RNN for Starlink, LSTM for 4G), and a shared
+// actor/critic trunk (5G) — the exact families §4 reports. Invalid specs
+// (kernels longer than the history, zero/oversized widths, too-deep merge
+// stacks) are produced at a profile-calibrated rate; they fail when the
+// filter tries to instantiate them, which is the architecture version of
+// the compilation check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/profile.h"
+#include "nn/arch.h"
+#include "util/rng.h"
+
+namespace nada::gen {
+
+struct ArchCandidate {
+  std::string id;
+  nn::ArchSpec spec;
+  bool intended_invalid = false;  ///< ground truth for tests only
+  std::string description;
+};
+
+class ArchGenerator {
+ public:
+  /// `width_scale` shrinks the sampled layer widths (benchmarks use ~0.25
+  /// so paper-shaped searches finish quickly); 1.0 reproduces the paper's
+  /// 32-256 unit range. Validity rates are unaffected.
+  ArchGenerator(const LlmProfile& profile, const PromptStrategy& strategy,
+                std::uint64_t seed, double width_scale = 1.0);
+
+  [[nodiscard]] ArchCandidate generate();
+  [[nodiscard]] std::vector<ArchCandidate> generate_batch(std::size_t n);
+
+ private:
+  [[nodiscard]] nn::ArchSpec sample_valid_spec();
+  void make_invalid(nn::ArchSpec& spec);
+
+  LlmProfile profile_;
+  util::Rng rng_;
+  std::uint64_t counter_ = 0;
+  std::string id_prefix_;
+  double width_scale_ = 1.0;
+
+  [[nodiscard]] std::size_t scaled_width(std::size_t w) const;
+};
+
+}  // namespace nada::gen

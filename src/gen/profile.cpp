@@ -1,0 +1,76 @@
+#include "gen/profile.h"
+
+#include <algorithm>
+
+namespace nada::gen {
+
+const char* injected_flaw_name(InjectedFlaw flaw) {
+  switch (flaw) {
+    case InjectedFlaw::kNone: return "none";
+    case InjectedFlaw::kSyntax: return "syntax";
+    case InjectedFlaw::kRuntime: return "runtime";
+    case InjectedFlaw::kUnnormalized: return "unnormalized";
+  }
+  return "?";
+}
+
+LlmProfile LlmProfile::with_strategy(const PromptStrategy& s) const {
+  LlmProfile p = *this;
+  // §2.1: semantic renaming + code comments help the model reference the
+  // right quantities — without them, semantic mistakes rise steeply.
+  if (!s.semantic_names) {
+    p.p_runtime_error = std::min(1.0, p.p_runtime_error * 2.5);
+  }
+  // Without the explicit normalization request, raw-unit features appear
+  // far more often.
+  if (!s.request_normalization) {
+    p.p_unnormalized = std::min(1.0, p.p_unnormalized * 2.5);
+  }
+  // Chain-of-thought mainly buys diversity; without it designs cluster
+  // near the original.
+  if (!s.chain_of_thought) {
+    p.creativity *= 0.4;
+  }
+  // Renormalize if the fates now exceed 1.
+  const double total = p.p_syntax_error + p.p_runtime_error + p.p_unnormalized;
+  if (total > 0.95) {
+    const double scale = 0.95 / total;
+    p.p_syntax_error *= scale;
+    p.p_runtime_error *= scale;
+    p.p_unnormalized *= scale;
+  }
+  return p;
+}
+
+LlmProfile gpt35_profile() {
+  LlmProfile p;
+  p.name = "GPT-3.5";
+  // Table 2 row 1: 41.2% compilable => 58.8% compile failures, split
+  // between syntax and semantic/runtime errors; 27.4% of all candidates
+  // both compile and pass the normalization check, so 41.2% - 27.4% =
+  // 13.8% compile but carry raw-unit features.
+  p.p_syntax_error = 0.35;
+  p.p_runtime_error = 0.238;
+  p.p_unnormalized = 0.138;
+  // §3.3: 760/3000 architectures compilable.
+  p.p_arch_invalid = 0.747;
+  p.creativity = 0.55;
+  return p;
+}
+
+LlmProfile gpt4_profile() {
+  LlmProfile p;
+  p.name = "GPT-4";
+  // Table 2 row 2: 68.6% compilable, 50.2% well-normalized.
+  p.p_syntax_error = 0.19;
+  p.p_runtime_error = 0.124;
+  p.p_unnormalized = 0.184;
+  // The paper does not report GPT-4 architecture statistics (budget
+  // constraints, §3.3); we extrapolate the same relative improvement seen
+  // on states.
+  p.p_arch_invalid = 0.55;
+  p.creativity = 0.8;
+  return p;
+}
+
+}  // namespace nada::gen

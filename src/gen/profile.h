@@ -1,0 +1,61 @@
+// LLM generation profiles.
+//
+// The paper drives NADA with GPT-3.5 and GPT-4 and reports sharply
+// different code-quality statistics (Table 2: 41.2% vs 68.6% of generated
+// states compilable; 27.4% vs 50.2% well-normalized; §3.3: 25.3% of
+// GPT-3.5 architectures compilable). No LLM is available offline, so this
+// module substitutes a *calibrated stochastic generator*: candidates are
+// genuine NadaScript programs / ArchSpecs assembled from a design space,
+// with flaw-injection rates matched to the paper's measured statistics.
+//
+// The prompting strategies of §2.1 (chain-of-thought, semantic variable
+// naming, explicit normalization requests) become multipliers on those
+// rates: turning a strategy off degrades the corresponding statistic,
+// which is what the prompt-ablation bench demonstrates.
+#pragma once
+
+#include <string>
+
+namespace nada::gen {
+
+/// Which flaw, if any, is injected into a candidate. Pipeline code must
+/// never branch on this — the filters do the real detection work; the field
+/// exists so tests can verify that checks catch what was planted.
+enum class InjectedFlaw { kNone, kSyntax, kRuntime, kUnnormalized };
+
+[[nodiscard]] const char* injected_flaw_name(InjectedFlaw flaw);
+
+/// Prompting strategies from §2.1. All enabled reproduces the paper's
+/// headline rates; disabling one degrades the relevant failure rate.
+struct PromptStrategy {
+  bool chain_of_thought = true;     ///< more diverse / creative designs
+  bool semantic_names = true;       ///< fewer semantic (runtime) errors
+  bool request_normalization = true;  ///< fewer unnormalized states
+};
+
+/// Flaw-injection rates for state-function generation. The three
+/// probabilities are sampled as mutually exclusive "fates"; the remainder
+/// is a clean candidate.
+struct LlmProfile {
+  std::string name;
+  double p_syntax_error = 0.0;
+  double p_runtime_error = 0.0;
+  double p_unnormalized = 0.0;
+  /// Architecture generation: probability of an invalid ArchSpec.
+  double p_arch_invalid = 0.0;
+  /// Richness of the design space explored (0..1): higher profiles sample
+  /// advanced features and bolder mutations more often.
+  double creativity = 0.5;
+
+  /// Applies prompt-strategy multipliers and returns the effective profile.
+  [[nodiscard]] LlmProfile with_strategy(const PromptStrategy& s) const;
+};
+
+/// Calibrated to Table 2: 41.2% compilable, 27.4% well-normalized, and
+/// §3.3's 760/3000 compilable architectures.
+[[nodiscard]] LlmProfile gpt35_profile();
+
+/// Calibrated to Table 2: 68.6% compilable, 50.2% well-normalized.
+[[nodiscard]] LlmProfile gpt4_profile();
+
+}  // namespace nada::gen

@@ -1,0 +1,305 @@
+#include "gen/state_gen.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace nada::gen {
+namespace {
+
+// Variant tables. Every entry here is a complete, well-normalized
+// expression: under the fuzz observation ranges (throughput up to 400 Mbps,
+// chunk sizes up to ~35 MB, buffers up to 60 s) all values stay well below
+// the normalization threshold T=100.
+
+struct Variant {
+  const char* expr;
+  const char* tag;
+};
+
+// -- core rows (Pensieve's six), index 0 is the original design
+constexpr Variant kLastQuality[] = {
+    {"last_bitrate_kbps / max_bitrate_kbps", "orig"},
+    {"2.0 * (last_bitrate_kbps / max_bitrate_kbps) - 1.0", "range_pm1"},
+    {"log1p(last_bitrate_kbps) / log1p(max_bitrate_kbps)", "log_quality"},
+};
+
+constexpr Variant kBuffer[] = {
+    {"buffer_size_s / 10.0", "orig"},
+    {"buffer_size_s / 60.0", "norm60"},
+    {"buffer_size_s / 30.0 - 1.0", "range_pm1"},
+    {"clip(buffer_size_s / 10.0, 0.0, 4.0)", "clipped"},
+};
+
+constexpr Variant kThroughput[] = {
+    {"throughput_mbps / 8.0", "orig"},
+    {"throughput_mbps / (max_bitrate_kbps / 1000.0)", "ladder_rel"},
+    {"throughput_mbps / 4.0 - 1.0", "range_pm1"},
+    {"smooth(throughput_mbps, 3) / 8.0", "smoothed"},
+    {"smooth(throughput_mbps, 3) / (max_bitrate_kbps / 1000.0)",
+     "smoothed_ladder_rel"},
+    {"log1p(throughput_mbps) / 4.0", "log"},
+    {"ema(throughput_mbps, 0.5) / 8.0", "ema"},
+};
+
+constexpr Variant kDownloadTime[] = {
+    {"download_time_s / 10.0", "orig"},
+    {"download_time_s / (chunk_length_s * 10.0)", "chunk_rel"},
+    {"smooth(download_time_s, 3) / 10.0", "smoothed"},
+    {"clip(download_time_s / 10.0, 0.0, 4.0)", "clipped"},
+};
+
+constexpr Variant kNextSizes[] = {
+    {"next_chunk_sizes_bytes / 1000000.0", "orig"},
+    {"next_chunk_sizes_bytes * 8.0 / (max_bitrate_kbps * 1000.0 * "
+     "chunk_length_s)",
+     "ladder_rel"},
+    {"log1p(next_chunk_sizes_bytes) / 20.0", "log"},
+};
+
+constexpr Variant kChunksLeft[] = {
+    {"chunks_remaining / total_chunks", "orig"},
+    {"2.0 * (chunks_remaining / total_chunks) - 1.0", "range_pm1"},
+};
+
+// -- additional engineered features (§4's discoveries)
+constexpr Variant kAdvanced[] = {
+    {"ema_last(throughput_mbps, 0.4) / 8.0", "tput_ema_last"},
+    {"std(throughput_mbps / 8.0)", "tput_std"},
+    {"trend(throughput_mbps) / 8.0", "tput_trend"},
+    {"linreg_predict(throughput_mbps) / 8.0", "tput_pred"},
+    {"linreg_predict(throughput_mbps) / (max_bitrate_kbps / 1000.0)",
+     "tput_pred_ladder"},
+    {"linreg_predict(download_time_s) / 10.0", "dl_pred"},
+    {"trend(download_time_s) / 10.0", "dl_trend"},
+    {"buffer_size_s_history / 60.0", "buf_history"},
+    {"trend(buffer_size_s_history) / chunk_length_s", "buf_trend"},
+    {"diff(buffer_size_s_history) / 10.0", "buf_diff"},
+    {"savgol(buffer_size_s_history) / 60.0", "buf_savgol"},
+    {"std(buffer_size_s_history / 10.0)", "buf_std"},
+    {"(buffer_size_s_history[-1] - buffer_size_s_history[-2]) / "
+     "chunk_length_s",
+     "buf_last_diff"},
+    {"where(buffer_size_s > 15.0, 1.0, 0.0)", "buf_headroom_flag"},
+    {"min(throughput_mbps / 8.0, vec(8, 1.0))", "tput_capped"},
+};
+
+// -- raw-unit variants (planted normalization failures): magnitudes exceed
+// T=100 under the fuzz ranges with near-certainty.
+constexpr Variant kUnnormalized[] = {
+    {"throughput_mbps * 1000.0", "raw_tput_kbps"},
+    {"next_chunk_sizes_bytes", "raw_sizes_bytes"},
+    {"download_time_s * 1000.0", "raw_dl_ms"},
+    {"last_bitrate_kbps", "raw_last_kbps"},
+    {"next_chunk_sizes_bytes / 1000.0", "sizes_kb"},
+};
+
+// -- semantic bugs (planted compile/trial-run failures): each reliably
+// throws during a trial run — undefined names, bad arity, bad indices,
+// type errors. These mimic the Python exceptions the paper's compilation
+// check catches.
+constexpr Variant kRuntimeBugs[] = {
+    {"throghput_mbps / 8.0", "typo_variable"},
+    {"moving_average(throughput_mbps, 3)", "unknown_function"},
+    {"ema(throughput_mbps)", "bad_arity"},
+    {"throughput_mbps[12]", "index_out_of_range"},
+    {"diff(buffer_size_s)", "diff_of_scalar"},
+    {"slice(throughput_mbps, 5, 3)", "bad_slice"},
+    {"sqrt(trend(throughput_mbps) - 100.0)", "sqrt_negative"},
+    {"normalize_minmax(vec(8, 1.0))", "constant_minmax"},
+    {"throughput_mbps / (buffer_size_s - buffer_size_s)", "div_by_zero"},
+    {"log(trend(download_time_s) - 50.0)", "log_negative"},
+};
+
+const char* kIdeas[] = {
+    "re-balance normalization ranges so features share scale",
+    "expose short-term throughput dynamics to the policy",
+    "let the policy see how the playback buffer has been evolving",
+    "predict upcoming network conditions instead of only reacting",
+    "simplify the state to reduce overfitting on small trace sets",
+    "make normalization ladder-aware so high-bitrate regimes stay bounded",
+    "smooth noisy measurements before they reach the network",
+};
+
+template <std::size_t N>
+const Variant& pick(util::Rng& rng, const Variant (&table)[N]) {
+  return table[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(N) - 1))];
+}
+
+template <std::size_t N>
+const Variant& pick_mutated(util::Rng& rng, const Variant (&table)[N],
+                            double mutate_prob) {
+  if (N > 1 && rng.bernoulli(mutate_prob)) {
+    // Pick any non-original variant.
+    return table[static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(N) - 1))];
+  }
+  return table[0];
+}
+
+}  // namespace
+
+StateGenerator::StateGenerator(const LlmProfile& profile,
+                               const PromptStrategy& strategy,
+                               std::uint64_t seed)
+    : profile_(profile.with_strategy(strategy)), rng_(seed) {
+  id_prefix_ = util::to_lower(profile_.name);
+  std::erase_if(id_prefix_, [](char c) { return c == '.' || c == ' '; });
+}
+
+std::vector<StateGenerator::RowChoice> StateGenerator::sample_clean_rows() {
+  const double mutate = 0.25 + 0.5 * profile_.creativity;
+  std::vector<RowChoice> rows;
+
+  auto add = [&rows](const std::string& name, const Variant& v) {
+    rows.push_back(RowChoice{name, v.expr, v.tag});
+  };
+
+  add("last_quality", pick_mutated(rng_, kLastQuality, mutate * 0.5));
+  add("buffer_s", pick_mutated(rng_, kBuffer, mutate * 0.5));
+  add("throughput", pick_mutated(rng_, kThroughput, mutate));
+  add("download_time", pick_mutated(rng_, kDownloadTime, mutate * 0.6));
+  add("next_sizes", pick_mutated(rng_, kNextSizes, mutate * 0.8));
+  add("chunks_left", pick_mutated(rng_, kChunksLeft, mutate * 0.3));
+
+  // Feature removal (the paper's Starlink insight: drop download times and
+  // next-chunk sizes to fight overfitting on small datasets).
+  if (rng_.bernoulli(0.25 * profile_.creativity)) {
+    static constexpr const char* kRemovable[] = {"download_time",
+                                                 "next_sizes", "chunks_left"};
+    const std::size_t n_remove =
+        rng_.bernoulli(0.4) ? 2 : 1;
+    for (std::size_t r = 0; r < n_remove; ++r) {
+      const char* target =
+          kRemovable[rng_.uniform_int(0, 2)];
+      std::erase_if(rows, [target](const RowChoice& rc) {
+        return rc.name == target;
+      });
+    }
+  }
+
+  // Additional engineered features.
+  std::size_t extras = 0;
+  double p_extra = 0.3 + 0.5 * profile_.creativity;
+  while (extras < 3 && rng_.bernoulli(p_extra)) {
+    const Variant& v = pick(rng_, kAdvanced);
+    const std::string name = v.tag;
+    // Avoid duplicate rows.
+    const bool duplicate =
+        std::any_of(rows.begin(), rows.end(), [&name](const RowChoice& rc) {
+          return rc.name == name;
+        });
+    if (!duplicate) {
+      rows.push_back(RowChoice{name, v.expr, v.tag});
+      ++extras;
+    }
+    p_extra *= 0.6;
+  }
+  return rows;
+}
+
+void StateGenerator::force_unnormalized(std::vector<RowChoice>& rows) {
+  const Variant& v = pick(rng_, kUnnormalized);
+  // Replace a random row's expression with the raw-unit one.
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1));
+  rows[idx].expr = v.expr;
+  rows[idx].tag = v.tag;
+}
+
+void StateGenerator::inject_runtime_error(std::vector<RowChoice>& rows) {
+  const Variant& v = pick(rng_, kRuntimeBugs);
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1));
+  rows[idx].expr = v.expr;
+  rows[idx].tag = v.tag;
+}
+
+std::string StateGenerator::render(const std::vector<RowChoice>& rows,
+                                   const std::string& idea_comment) {
+  std::ostringstream out;
+  out << "# Idea: " << idea_comment << "\n";
+  for (const auto& row : rows) {
+    out << "emit \"" << row.name << "\" = " << row.expr << ";\n";
+  }
+  return out.str();
+}
+
+std::string StateGenerator::corrupt_syntax(std::string source) {
+  const std::string original = source;
+  switch (rng_.uniform_int(0, 4)) {
+    case 0:
+      break;  // handled by the fallback below (drop a semicolon)
+    case 1: {  // unbalanced parenthesis
+      const auto pos = source.find('(');
+      if (pos != std::string::npos) source.erase(pos, 1);
+      break;
+    }
+    case 2:  // misspelled keyword
+      source = util::replace_all(std::move(source), "emit \"throughput\"",
+                                 "emti \"throughput\"");
+      source = util::replace_all(std::move(source), "emit \"buffer_s\"",
+                                 "emitt \"buffer_s\"");
+      break;
+    case 3:  // the model ran out of tokens mid-expression
+      source += "emit \"extra_feature\" = clip(throughput_mbps / (\n";
+      break;
+    default:  // duplicated operator
+      source = util::replace_all(std::move(source), " / ", " / / ");
+      break;
+  }
+  if (source == original) {
+    // Chosen corruption did not apply to this program; fall back to
+    // deleting the first semicolon, which every program has.
+    const auto pos = source.find(';');
+    if (pos != std::string::npos) source.erase(pos, 1);
+  }
+  return source;
+}
+
+StateCandidate StateGenerator::generate() {
+  StateCandidate cand;
+  {
+    std::ostringstream id;
+    id << id_prefix_ << "-state-" << counter_++;
+    cand.id = id.str();
+  }
+
+  // Sample the candidate's fate. Mutually exclusive flaw classes keep the
+  // aggregate rates directly interpretable against Table 2.
+  const double roll = rng_.uniform();
+  InjectedFlaw fate = InjectedFlaw::kNone;
+  if (roll < profile_.p_syntax_error) {
+    fate = InjectedFlaw::kSyntax;
+  } else if (roll < profile_.p_syntax_error + profile_.p_runtime_error) {
+    fate = InjectedFlaw::kRuntime;
+  } else if (roll < profile_.p_syntax_error + profile_.p_runtime_error +
+                        profile_.p_unnormalized) {
+    fate = InjectedFlaw::kUnnormalized;
+  }
+
+  std::vector<RowChoice> rows = sample_clean_rows();
+  if (fate == InjectedFlaw::kUnnormalized) force_unnormalized(rows);
+  if (fate == InjectedFlaw::kRuntime) inject_runtime_error(rows);
+
+  const char* idea =
+      kIdeas[rng_.uniform_int(0, std::size(kIdeas) - 1)];
+  std::string source = render(rows, idea);
+  if (fate == InjectedFlaw::kSyntax) source = corrupt_syntax(std::move(source));
+
+  cand.source = std::move(source);
+  cand.flaw = fate;
+  for (const auto& row : rows) cand.feature_tags.push_back(row.tag);
+  return cand;
+}
+
+std::vector<StateCandidate> StateGenerator::generate_batch(std::size_t n) {
+  std::vector<StateCandidate> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(generate());
+  return out;
+}
+
+}  // namespace nada::gen

@@ -1,0 +1,62 @@
+// State-function candidate generator (the LLM stand-in for §2.1).
+//
+// Generates NadaScript programs by sampling a structured design space
+// around Pensieve's original state: per-row normalization variants (range
+// remaps, factor changes, ladder-relative scaling), feature removal, and
+// additional engineered features (EMA/smoothed throughput, variance,
+// trends, linear-regression prediction, Savitzky-Golay buffer smoothing,
+// buffer differences) — the exact families of changes §4 reports the LLMs
+// discovering. Flaws (syntax errors, semantic/runtime errors, raw-unit
+// features) are injected at profile-calibrated rates; the downstream
+// filters must detect them the hard way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/profile.h"
+#include "util/rng.h"
+
+namespace nada::gen {
+
+struct StateCandidate {
+  std::string id;       ///< e.g. "gpt4-state-00042"
+  std::string source;   ///< NadaScript program text
+  InjectedFlaw flaw = InjectedFlaw::kNone;  ///< ground truth for tests only
+  std::vector<std::string> feature_tags;    ///< which templates were used
+};
+
+class StateGenerator {
+ public:
+  StateGenerator(const LlmProfile& profile, const PromptStrategy& strategy,
+                 std::uint64_t seed);
+
+  [[nodiscard]] StateCandidate generate();
+  [[nodiscard]] std::vector<StateCandidate> generate_batch(std::size_t n);
+
+  [[nodiscard]] const LlmProfile& effective_profile() const {
+    return profile_;
+  }
+
+ private:
+  struct RowChoice {
+    std::string name;
+    std::string expr;
+    std::string tag;
+  };
+
+  [[nodiscard]] std::vector<RowChoice> sample_clean_rows();
+  void force_unnormalized(std::vector<RowChoice>& rows);
+  void inject_runtime_error(std::vector<RowChoice>& rows);
+  [[nodiscard]] static std::string render(
+      const std::vector<RowChoice>& rows, const std::string& idea_comment);
+  [[nodiscard]] std::string corrupt_syntax(std::string source);
+
+  LlmProfile profile_;  // effective (strategy applied)
+  util::Rng rng_;
+  std::uint64_t counter_ = 0;
+  std::string id_prefix_;
+};
+
+}  // namespace nada::gen

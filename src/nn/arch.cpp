@@ -1,0 +1,287 @@
+#include "nn/arch.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace nada::nn {
+
+const char* temporal_unit_name(TemporalUnit u) {
+  switch (u) {
+    case TemporalUnit::kConv1D: return "conv1d";
+    case TemporalUnit::kRnn: return "rnn";
+    case TemporalUnit::kLstm: return "lstm";
+    case TemporalUnit::kDense: return "dense";
+  }
+  return "?";
+}
+
+std::string ArchSpec::describe() const {
+  std::ostringstream out;
+  out << "arch{" << temporal_unit_name(temporal);
+  if (temporal == TemporalUnit::kConv1D) {
+    out << "(f=" << conv_filters << ",k=" << conv_kernel << ")";
+  } else if (temporal != TemporalUnit::kDense) {
+    out << "(h=" << rnn_hidden << ")";
+  }
+  out << ", scalar=" << scalar_hidden << ", merge=" << merge_hidden << "x"
+      << merge_layers << ", act=" << activation_name(activation)
+      << (shared_trunk ? ", shared" : ", separate") << "}";
+  return out.str();
+}
+
+ArchSpec ArchSpec::pensieve() { return ArchSpec{}; }
+
+void validate_spec(const ArchSpec& spec, const StateSignature& sig) {
+  if (sig.rows() == 0) throw ArchError("state signature has no rows");
+  constexpr std::size_t kMaxWidth = 1024;
+  auto check_width = [](std::size_t w, const char* what) {
+    if (w == 0) throw ArchError(std::string(what) + " is zero");
+    if (w > kMaxWidth) {
+      throw ArchError(std::string(what) + " exceeds " +
+                      std::to_string(kMaxWidth));
+    }
+  };
+  check_width(spec.scalar_hidden, "scalar_hidden");
+  check_width(spec.merge_hidden, "merge_hidden");
+  if (spec.merge_layers == 0 || spec.merge_layers > 3) {
+    throw ArchError("merge_layers must be in [1, 3]");
+  }
+  switch (spec.temporal) {
+    case TemporalUnit::kConv1D: {
+      check_width(spec.conv_filters, "conv_filters");
+      if (spec.conv_kernel == 0) throw ArchError("conv_kernel is zero");
+      const auto min_vec = [&sig] {
+        std::size_t m = std::numeric_limits<std::size_t>::max();
+        for (std::size_t len : sig.row_lengths) {
+          if (len > 1) m = std::min(m, len);
+        }
+        return m;
+      }();
+      if (min_vec != std::numeric_limits<std::size_t>::max() &&
+          spec.conv_kernel > min_vec) {
+        throw ArchError("conv_kernel " + std::to_string(spec.conv_kernel) +
+                        " larger than shortest vector row " +
+                        std::to_string(min_vec));
+      }
+      break;
+    }
+    case TemporalUnit::kRnn:
+    case TemporalUnit::kLstm:
+      check_width(spec.rnn_hidden, "rnn_hidden");
+      break;
+    case TemporalUnit::kDense:
+      break;
+  }
+}
+
+// ---- Tower -----------------------------------------------------------------
+
+Vec ActorCriticNet::Tower::forward(const std::vector<Vec>& rows) {
+  if (rows.size() != branches.size()) {
+    throw std::invalid_argument("Tower::forward: row count mismatch");
+  }
+  branch_offsets.assign(branches.size(), 0);
+  concat_cache.clear();
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    branch_offsets[i] = concat_cache.size();
+    const Vec out = branches[i]->forward(rows[i]);
+    concat_cache.insert(concat_cache.end(), out.begin(), out.end());
+  }
+  Vec h = concat_cache;
+  for (auto& layer : merge) h = layer->forward(h);
+  if (head) h = head->forward(h);
+  return h;
+}
+
+void ActorCriticNet::Tower::backward(const Vec& dhead) {
+  Vec dh = dhead;
+  if (head) dh = head->backward(dh);
+  for (auto it = merge.rbegin(); it != merge.rend(); ++it) {
+    dh = (*it)->backward(dh);
+  }
+  // Split the concat gradient back into branches (input grads discarded:
+  // upstream is the observation, not a trainable tensor).
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    const std::size_t begin = branch_offsets[i];
+    const std::size_t end = i + 1 < branches.size() ? branch_offsets[i + 1]
+                                                    : dh.size();
+    const Vec slice(dh.begin() + static_cast<std::ptrdiff_t>(begin),
+                    dh.begin() + static_cast<std::ptrdiff_t>(end));
+    branches[i]->backward(slice);
+  }
+}
+
+void ActorCriticNet::Tower::collect_params(std::vector<ParamRef>& out) {
+  for (auto& b : branches) {
+    for (auto p : b->params()) out.push_back(p);
+  }
+  for (auto& m : merge) {
+    for (auto p : m->params()) out.push_back(p);
+  }
+  if (head) {
+    for (auto p : head->params()) out.push_back(p);
+  }
+}
+
+// ---- ActorCriticNet ---------------------------------------------------------
+
+ActorCriticNet::Tower ActorCriticNet::build_tower(const StateSignature& sig,
+                                                  std::size_t head_dim,
+                                                  util::Rng& rng) const {
+  Tower tower;
+  std::size_t concat_dim = 0;
+  for (std::size_t len : sig.row_lengths) {
+    std::unique_ptr<Layer> branch;
+    if (len <= 1) {
+      branch = std::make_unique<Dense>(1, spec_.scalar_hidden,
+                                       spec_.activation, rng);
+    } else {
+      switch (spec_.temporal) {
+        case TemporalUnit::kConv1D:
+          branch = std::make_unique<Conv1D>(len, spec_.conv_filters,
+                                            spec_.conv_kernel,
+                                            spec_.activation, rng);
+          break;
+        case TemporalUnit::kRnn:
+          branch = std::make_unique<SimpleRnn>(len, spec_.rnn_hidden, rng);
+          break;
+        case TemporalUnit::kLstm:
+          branch = std::make_unique<Lstm>(len, spec_.rnn_hidden, rng);
+          break;
+        case TemporalUnit::kDense:
+          branch = std::make_unique<Dense>(len, spec_.scalar_hidden,
+                                           spec_.activation, rng);
+          break;
+      }
+    }
+    concat_dim += branch->out_dim();
+    tower.branches.push_back(std::move(branch));
+  }
+  std::size_t in_dim = concat_dim;
+  for (std::size_t i = 0; i < spec_.merge_layers; ++i) {
+    tower.merge.push_back(std::make_unique<Dense>(in_dim, spec_.merge_hidden,
+                                                  spec_.activation, rng));
+    in_dim = spec_.merge_hidden;
+  }
+  if (head_dim > 0) {
+    tower.head =
+        std::make_unique<Dense>(in_dim, head_dim, Activation::kLinear, rng);
+  }
+  return tower;
+}
+
+ActorCriticNet::ActorCriticNet(const ArchSpec& spec, const StateSignature& sig,
+                               std::size_t num_actions, util::Rng& rng)
+    : spec_(spec), sig_(sig), num_actions_(num_actions),
+      shared_(spec.shared_trunk) {
+  if (num_actions_ < 2) throw ArchError("need at least two actions");
+  validate_spec(spec_, sig_);
+  if (shared_) {
+    trunk_ = build_tower(sig_, 0, rng);
+    actor_head_ = std::make_unique<Dense>(spec_.merge_hidden, num_actions_,
+                                          Activation::kLinear, rng);
+    critic_head_ =
+        std::make_unique<Dense>(spec_.merge_hidden, 1, Activation::kLinear,
+                                rng);
+  } else {
+    actor_ = build_tower(sig_, num_actions_, rng);
+    critic_ = build_tower(sig_, 1, rng);
+  }
+}
+
+ActorCriticNet::Output ActorCriticNet::forward(
+    const std::vector<Vec>& state_rows) {
+  if (state_rows.size() != sig_.rows()) {
+    throw std::invalid_argument("ActorCriticNet::forward: row count " +
+                                std::to_string(state_rows.size()) +
+                                " != signature " + std::to_string(sig_.rows()));
+  }
+  for (std::size_t i = 0; i < state_rows.size(); ++i) {
+    const std::size_t expect = std::max<std::size_t>(sig_.row_lengths[i], 1);
+    if (state_rows[i].size() != expect) {
+      throw std::invalid_argument("ActorCriticNet::forward: row " +
+                                  std::to_string(i) + " length mismatch");
+    }
+  }
+  Output out;
+  if (shared_) {
+    trunk_out_cache_ = trunk_.forward(state_rows);
+    out.logits = actor_head_->forward(trunk_out_cache_);
+    out.value = critic_head_->forward(trunk_out_cache_)[0];
+  } else {
+    out.logits = actor_.forward(state_rows);
+    out.value = critic_.forward(state_rows)[0];
+  }
+  out.probs = softmax(out.logits);
+  return out;
+}
+
+void ActorCriticNet::backward(const Vec& dlogits, double dvalue) {
+  if (dlogits.size() != num_actions_) {
+    throw std::invalid_argument("ActorCriticNet::backward: dlogits size");
+  }
+  const Vec dvalue_vec{dvalue};
+  if (shared_) {
+    Vec dtrunk = actor_head_->backward(dlogits);
+    const Vec dtrunk_v = critic_head_->backward(dvalue_vec);
+    vec_add_inplace(dtrunk, dtrunk_v);
+    trunk_.backward(dtrunk);
+  } else {
+    actor_.backward(dlogits);
+    critic_.backward(dvalue_vec);
+  }
+}
+
+std::vector<ParamRef> ActorCriticNet::params() {
+  std::vector<ParamRef> out;
+  if (shared_) {
+    trunk_.collect_params(out);
+    for (auto p : actor_head_->params()) out.push_back(p);
+    for (auto p : critic_head_->params()) out.push_back(p);
+  } else {
+    actor_.collect_params(out);
+    critic_.collect_params(out);
+  }
+  return out;
+}
+
+void ActorCriticNet::zero_grad() {
+  for (auto& p : params()) p.grad->zero();
+}
+
+Vec ActorCriticNet::get_weights() const {
+  Vec flat;
+  auto* self = const_cast<ActorCriticNet*>(this);
+  for (const auto& p : self->params()) {
+    const Vec& d = p.value->data();
+    flat.insert(flat.end(), d.begin(), d.end());
+  }
+  return flat;
+}
+
+void ActorCriticNet::set_weights(const Vec& weights) {
+  std::size_t offset = 0;
+  for (auto& p : params()) {
+    Vec& d = p.value->data();
+    if (offset + d.size() > weights.size()) {
+      throw std::invalid_argument("set_weights: vector too short");
+    }
+    std::copy(weights.begin() + static_cast<std::ptrdiff_t>(offset),
+              weights.begin() + static_cast<std::ptrdiff_t>(offset + d.size()),
+              d.begin());
+    offset += d.size();
+  }
+  if (offset != weights.size()) {
+    throw std::invalid_argument("set_weights: vector too long");
+  }
+}
+
+std::size_t ActorCriticNet::num_params() const {
+  auto* self = const_cast<ActorCriticNet*>(this);
+  std::size_t total = 0;
+  for (const auto& p : self->params()) total += p.value->size();
+  return total;
+}
+
+}  // namespace nada::nn

@@ -1,0 +1,188 @@
+#include "nn/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nada::nn {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+namespace detail {
+
+void train_bce(const std::vector<Vec>& features,
+               const std::vector<double>& labels,
+               const ClassifierTrainOptions& options,
+               const std::function<double(const Vec&)>& forward,
+               const std::function<void(double)>& backward,
+               const std::function<std::vector<ParamRef>()>& params,
+               util::Rng& rng) {
+  if (features.size() != labels.size()) {
+    throw std::invalid_argument("train_bce: features/labels size mismatch");
+  }
+  if (features.empty()) {
+    throw std::invalid_argument("train_bce: empty training set");
+  }
+  for (double y : labels) {
+    if (y < 0.0 || y > 1.0) {
+      throw std::invalid_argument("train_bce: label outside [0, 1]");
+    }
+  }
+  Adam optimizer(options.learning_rate);
+  std::vector<std::size_t> order(features.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      const double logit = forward(features[idx]);
+      const double p = sigmoid(logit);
+      // d(BCE)/d(logit) = p - y, averaged over the batch at step time.
+      backward((p - labels[idx]) /
+               static_cast<double>(options.batch_size));
+      if (++in_batch == options.batch_size) {
+        auto ps = params();
+        if (options.l2 > 0.0) {
+          for (auto& pr : ps) {
+            const auto& w = pr.value->data();
+            auto& g = pr.grad->data();
+            for (std::size_t j = 0; j < w.size(); ++j) {
+              g[j] += options.l2 * w[j];
+            }
+          }
+        }
+        Optimizer::clip_global_norm(ps, 5.0);
+        optimizer.step(ps);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      auto ps = params();
+      Optimizer::clip_global_norm(ps, 5.0);
+      optimizer.step(ps);
+    }
+  }
+}
+
+}  // namespace detail
+
+// ---- Conv1DClassifier -------------------------------------------------------
+
+Conv1DClassifier::Conv1DClassifier(std::size_t seq_len, std::size_t filters,
+                                   std::size_t kernel, std::size_t hidden,
+                                   util::Rng& rng)
+    : seq_len_(seq_len),
+      filters_(filters),
+      out_len_(seq_len - kernel + 1),
+      conv_(seq_len, filters, kernel, Activation::kRelu, rng),
+      fc1_(filters, hidden, Activation::kRelu, rng),
+      fc2_(hidden, 1, Activation::kLinear, rng),
+      rng_(rng.fork()) {
+  if (kernel > seq_len) {
+    throw std::invalid_argument("Conv1DClassifier: kernel > seq_len");
+  }
+}
+
+double Conv1DClassifier::forward_logit(const Vec& x) {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("Conv1DClassifier: input size mismatch");
+  }
+  conv_out_cache_ = conv_.forward(x);
+  // Global average pool over time (conv output is time-major).
+  pooled_cache_.assign(filters_, 0.0);
+  for (std::size_t t = 0; t < out_len_; ++t) {
+    for (std::size_t f = 0; f < filters_; ++f) {
+      pooled_cache_[f] += conv_out_cache_[t * filters_ + f];
+    }
+  }
+  for (double& v : pooled_cache_) v /= static_cast<double>(out_len_);
+  const Vec h = fc1_.forward(pooled_cache_);
+  return fc2_.forward(h)[0];
+}
+
+void Conv1DClassifier::backward_logit(double dlogit) {
+  const Vec dh = fc2_.backward(Vec{dlogit});
+  const Vec dpool = fc1_.backward(dh);
+  Vec dconv(out_len_ * filters_, 0.0);
+  for (std::size_t t = 0; t < out_len_; ++t) {
+    for (std::size_t f = 0; f < filters_; ++f) {
+      dconv[t * filters_ + f] = dpool[f] / static_cast<double>(out_len_);
+    }
+  }
+  conv_.backward(dconv);
+}
+
+double Conv1DClassifier::predict(const Vec& features) {
+  return sigmoid(forward_logit(features));
+}
+
+void Conv1DClassifier::train(const std::vector<Vec>& features,
+                             const std::vector<double>& labels,
+                             const ClassifierTrainOptions& options) {
+  detail::train_bce(
+      features, labels, options,
+      [this](const Vec& x) { return forward_logit(x); },
+      [this](double d) { backward_logit(d); },
+      [this] {
+        std::vector<ParamRef> ps;
+        for (auto p : conv_.params()) ps.push_back(p);
+        for (auto p : fc1_.params()) ps.push_back(p);
+        for (auto p : fc2_.params()) ps.push_back(p);
+        return ps;
+      },
+      rng_);
+}
+
+// ---- MlpClassifier ----------------------------------------------------------
+
+MlpClassifier::MlpClassifier(std::size_t input_dim,
+                             std::vector<std::size_t> hidden, util::Rng& rng)
+    : input_dim_(input_dim), rng_(rng.fork()) {
+  if (input_dim_ == 0) throw std::invalid_argument("MlpClassifier: dim 0");
+  std::size_t in = input_dim_;
+  for (std::size_t h : hidden) {
+    layers_.push_back(std::make_unique<Dense>(in, h, Activation::kRelu, rng));
+    in = h;
+  }
+  layers_.push_back(std::make_unique<Dense>(in, 1, Activation::kLinear, rng));
+}
+
+double MlpClassifier::forward_logit(const Vec& x) {
+  if (x.size() != input_dim_) {
+    throw std::invalid_argument("MlpClassifier: input size mismatch");
+  }
+  Vec h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h[0];
+}
+
+void MlpClassifier::backward_logit(double dlogit) {
+  Vec d{dlogit};
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    d = (*it)->backward(d);
+  }
+}
+
+double MlpClassifier::predict(const Vec& features) {
+  return sigmoid(forward_logit(features));
+}
+
+void MlpClassifier::train(const std::vector<Vec>& features,
+                          const std::vector<double>& labels,
+                          const ClassifierTrainOptions& options) {
+  detail::train_bce(
+      features, labels, options,
+      [this](const Vec& x) { return forward_logit(x); },
+      [this](double d) { backward_logit(d); },
+      [this] {
+        std::vector<ParamRef> ps;
+        for (auto& layer : layers_) {
+          for (auto p : layer->params()) ps.push_back(p);
+        }
+        return ps;
+      },
+      rng_);
+}
+
+}  // namespace nada::nn

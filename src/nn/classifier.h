@@ -1,0 +1,108 @@
+// Binary classifiers used by NADA's early-stopping filter.
+//
+// The paper's "Reward Only" method trains a one-dimensional CNN on the
+// training rewards from the first K epochs and predicts whether a design
+// will rank among the top performers. "Text Only" embeds the candidate's
+// code and feeds an MLP; "Text + Reward" concatenates both feature sets.
+// Both network shapes live here; the filtering logic (label smoothing,
+// threshold tuning) lives in src/filter.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace nada::nn {
+
+struct ClassifierTrainOptions {
+  std::size_t epochs = 60;
+  std::size_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double l2 = 1e-4;  ///< weight decay applied through the gradient
+};
+
+/// Interface: score in (0, 1), higher = more likely positive.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  [[nodiscard]] virtual double predict(const Vec& features) = 0;
+
+  /// Trains with binary cross-entropy. `labels` must be in [0, 1]
+  /// (soft labels are allowed — NADA's label-smoothing variant uses them).
+  virtual void train(const std::vector<Vec>& features,
+                     const std::vector<double>& labels,
+                     const ClassifierTrainOptions& options) = 0;
+
+  [[nodiscard]] virtual std::size_t input_dim() const = 0;
+};
+
+/// 1D-CNN over a fixed-length series: Conv1D -> ReLU -> global average
+/// pooling per filter -> Dense -> Dense(1) -> sigmoid.
+class Conv1DClassifier : public BinaryClassifier {
+ public:
+  Conv1DClassifier(std::size_t seq_len, std::size_t filters,
+                   std::size_t kernel, std::size_t hidden, util::Rng& rng);
+
+  double predict(const Vec& features) override;
+  void train(const std::vector<Vec>& features,
+             const std::vector<double>& labels,
+             const ClassifierTrainOptions& options) override;
+  [[nodiscard]] std::size_t input_dim() const override { return seq_len_; }
+
+ private:
+  double forward_logit(const Vec& x);
+  void backward_logit(double dlogit);
+
+  std::size_t seq_len_, filters_, out_len_;
+  Conv1D conv_;
+  Dense fc1_;
+  Dense fc2_;
+  Vec conv_out_cache_;
+  Vec pooled_cache_;
+  util::Rng rng_;
+};
+
+/// Plain MLP classifier for embedding-style inputs.
+class MlpClassifier : public BinaryClassifier {
+ public:
+  MlpClassifier(std::size_t input_dim, std::vector<std::size_t> hidden,
+                util::Rng& rng);
+
+  double predict(const Vec& features) override;
+  void train(const std::vector<Vec>& features,
+             const std::vector<double>& labels,
+             const ClassifierTrainOptions& options) override;
+  [[nodiscard]] std::size_t input_dim() const override { return input_dim_; }
+
+ private:
+  double forward_logit(const Vec& x);
+  void backward_logit(double dlogit);
+
+  std::size_t input_dim_;
+  std::vector<std::unique_ptr<Dense>> layers_;
+  util::Rng rng_;
+};
+
+/// Shared training loop: BCE loss, Adam, shuffled mini-batches.
+/// `forward` returns the pre-sigmoid logit for one sample and must cache
+/// what `backward` needs; `backward` consumes d(loss)/d(logit).
+namespace detail {
+void train_bce(const std::vector<Vec>& features,
+               const std::vector<double>& labels,
+               const ClassifierTrainOptions& options,
+               const std::function<double(const Vec&)>& forward,
+               const std::function<void(double)>& backward,
+               const std::function<std::vector<ParamRef>()>& params,
+               util::Rng& rng);
+}  // namespace detail
+
+/// Logistic transform.
+[[nodiscard]] double sigmoid(double z);
+
+}  // namespace nada::nn

@@ -1,0 +1,314 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nada::nn {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kLinear: return "linear";
+    case Activation::kRelu: return "relu";
+    case Activation::kLeakyRelu: return "leaky_relu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kElu: return "elu";
+  }
+  return "?";
+}
+
+double activate(Activation a, double z) {
+  switch (a) {
+    case Activation::kLinear: return z;
+    case Activation::kRelu: return z > 0.0 ? z : 0.0;
+    case Activation::kLeakyRelu: return z > 0.0 ? z : 0.01 * z;
+    case Activation::kTanh: return std::tanh(z);
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-z));
+    case Activation::kElu: return z > 0.0 ? z : std::expm1(z);
+  }
+  return z;
+}
+
+double activate_grad(Activation a, double z, double y) {
+  switch (a) {
+    case Activation::kLinear: return 1.0;
+    case Activation::kRelu: return z > 0.0 ? 1.0 : 0.0;
+    case Activation::kLeakyRelu: return z > 0.0 ? 1.0 : 0.01;
+    case Activation::kTanh: return 1.0 - y * y;
+    case Activation::kSigmoid: return y * (1.0 - y);
+    case Activation::kElu: return z > 0.0 ? 1.0 : y + 1.0;
+  }
+  return 1.0;
+}
+
+void Layer::zero_grad() {
+  for (auto& p : params()) p.grad->zero();
+}
+
+// ---- Dense ----------------------------------------------------------------
+
+Dense::Dense(std::size_t in, std::size_t out, Activation act, util::Rng& rng)
+    : w_(out, in), dw_(out, in), b_(out, 1), db_(out, 1), act_(act) {
+  if (act == Activation::kTanh || act == Activation::kSigmoid) {
+    w_.init_xavier(rng);
+  } else {
+    w_.init_he(rng);
+  }
+}
+
+Vec Dense::forward(const Vec& x) {
+  if (x.size() != w_.cols()) {
+    throw std::invalid_argument("Dense::forward: input size mismatch");
+  }
+  x_cache_ = x;
+  z_cache_ = w_.matvec(x);
+  for (std::size_t i = 0; i < z_cache_.size(); ++i) z_cache_[i] += b_(i, 0);
+  y_cache_.resize(z_cache_.size());
+  for (std::size_t i = 0; i < z_cache_.size(); ++i) {
+    y_cache_[i] = activate(act_, z_cache_[i]);
+  }
+  return y_cache_;
+}
+
+Vec Dense::backward(const Vec& dy) {
+  if (dy.size() != w_.rows()) {
+    throw std::invalid_argument("Dense::backward: grad size mismatch");
+  }
+  Vec dz(dy.size());
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    dz[i] = dy[i] * activate_grad(act_, z_cache_[i], y_cache_[i]);
+  }
+  dw_.add_outer(dz, x_cache_);
+  for (std::size_t i = 0; i < dz.size(); ++i) db_(i, 0) += dz[i];
+  return w_.matvec_transposed(dz);
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {{&w_, &dw_}, {&b_, &db_}};
+}
+
+// ---- Conv1D ---------------------------------------------------------------
+
+Conv1D::Conv1D(std::size_t seq_len, std::size_t filters, std::size_t kernel,
+               Activation act, util::Rng& rng)
+    : seq_len_(seq_len),
+      filters_(filters),
+      kernel_(kernel),
+      out_len_(0),
+      w_(filters, kernel),
+      dw_(filters, kernel),
+      b_(filters, 1),
+      db_(filters, 1),
+      act_(act) {
+  if (kernel_ == 0 || kernel_ > seq_len_) {
+    throw std::invalid_argument("Conv1D: kernel must be in [1, seq_len]");
+  }
+  out_len_ = seq_len_ - kernel_ + 1;
+  if (act == Activation::kTanh || act == Activation::kSigmoid) {
+    w_.init_xavier(rng);
+  } else {
+    w_.init_he(rng);
+  }
+}
+
+Vec Conv1D::forward(const Vec& x) {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("Conv1D::forward: input size mismatch");
+  }
+  x_cache_ = x;
+  z_cache_.assign(out_len_ * filters_, 0.0);
+  for (std::size_t t = 0; t < out_len_; ++t) {
+    for (std::size_t f = 0; f < filters_; ++f) {
+      double acc = b_(f, 0);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        acc += w_(f, k) * x[t + k];
+      }
+      z_cache_[t * filters_ + f] = acc;
+    }
+  }
+  y_cache_.resize(z_cache_.size());
+  for (std::size_t i = 0; i < z_cache_.size(); ++i) {
+    y_cache_[i] = activate(act_, z_cache_[i]);
+  }
+  return y_cache_;
+}
+
+Vec Conv1D::backward(const Vec& dy) {
+  if (dy.size() != out_len_ * filters_) {
+    throw std::invalid_argument("Conv1D::backward: grad size mismatch");
+  }
+  Vec dx(seq_len_, 0.0);
+  for (std::size_t t = 0; t < out_len_; ++t) {
+    for (std::size_t f = 0; f < filters_; ++f) {
+      const std::size_t idx = t * filters_ + f;
+      const double dz = dy[idx] * activate_grad(act_, z_cache_[idx],
+                                                y_cache_[idx]);
+      db_(f, 0) += dz;
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        dw_(f, k) += dz * x_cache_[t + k];
+        dx[t + k] += dz * w_(f, k);
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Conv1D::params() {
+  return {{&w_, &dw_}, {&b_, &db_}};
+}
+
+// ---- SimpleRnn -------------------------------------------------------------
+
+SimpleRnn::SimpleRnn(std::size_t seq_len, std::size_t hidden, util::Rng& rng)
+    : seq_len_(seq_len),
+      hidden_(hidden),
+      wx_(hidden, 1),
+      dwx_(hidden, 1),
+      wh_(hidden, hidden),
+      dwh_(hidden, hidden),
+      b_(hidden, 1),
+      db_(hidden, 1) {
+  wx_.init_xavier(rng);
+  wh_.init_xavier(rng);
+}
+
+Vec SimpleRnn::forward(const Vec& x) {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("SimpleRnn::forward: input size mismatch");
+  }
+  x_cache_ = x;
+  h_cache_.assign(seq_len_ + 1, Vec(hidden_, 0.0));
+  for (std::size_t t = 0; t < seq_len_; ++t) {
+    const Vec wh_h = wh_.matvec(h_cache_[t]);
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      h_cache_[t + 1][i] =
+          std::tanh(wx_(i, 0) * x[t] + wh_h[i] + b_(i, 0));
+    }
+  }
+  return h_cache_.back();
+}
+
+Vec SimpleRnn::backward(const Vec& dy) {
+  if (dy.size() != hidden_) {
+    throw std::invalid_argument("SimpleRnn::backward: grad size mismatch");
+  }
+  Vec dx(seq_len_, 0.0);
+  Vec dh = dy;  // gradient flowing into h_t
+  for (std::size_t t = seq_len_; t-- > 0;) {
+    const Vec& h_next = h_cache_[t + 1];
+    Vec dz(hidden_);
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      dz[i] = dh[i] * (1.0 - h_next[i] * h_next[i]);  // tanh'
+    }
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      dwx_(i, 0) += dz[i] * x_cache_[t];
+      db_(i, 0) += dz[i];
+      dx[t] += dz[i] * wx_(i, 0);
+    }
+    dwh_.add_outer(dz, h_cache_[t]);
+    dh = wh_.matvec_transposed(dz);
+  }
+  return dx;
+}
+
+std::vector<ParamRef> SimpleRnn::params() {
+  return {{&wx_, &dwx_}, {&wh_, &dwh_}, {&b_, &db_}};
+}
+
+// ---- Lstm -------------------------------------------------------------------
+
+Lstm::Lstm(std::size_t seq_len, std::size_t hidden, util::Rng& rng)
+    : seq_len_(seq_len),
+      hidden_(hidden),
+      w_(4 * hidden, 1 + hidden),
+      dw_(4 * hidden, 1 + hidden),
+      b_(4 * hidden, 1),
+      db_(4 * hidden, 1) {
+  w_.init_xavier(rng);
+  // Forget-gate bias of 1.0, the standard trick for gradient flow early in
+  // training.
+  for (std::size_t i = 0; i < hidden_; ++i) b_(hidden_ + i, 0) = 1.0;
+}
+
+Vec Lstm::forward(const Vec& x) {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("Lstm::forward: input size mismatch");
+  }
+  x_cache_ = x;
+  steps_.clear();
+  steps_.reserve(seq_len_);
+  Vec h(hidden_, 0.0);
+  Vec c(hidden_, 0.0);
+  for (std::size_t t = 0; t < seq_len_; ++t) {
+    // z = W [x_t; h_{t-1}] + b, split into i, f, g, o.
+    Vec input(1 + hidden_);
+    input[0] = x[t];
+    for (std::size_t i = 0; i < hidden_; ++i) input[1 + i] = h[i];
+    const Vec z = w_.matvec(input);
+    StepCache sc;
+    sc.i.resize(hidden_);
+    sc.f.resize(hidden_);
+    sc.g.resize(hidden_);
+    sc.o.resize(hidden_);
+    sc.c.resize(hidden_);
+    sc.h.resize(hidden_);
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      sc.i[i] = activate(Activation::kSigmoid, z[i] + b_(i, 0));
+      sc.f[i] = activate(Activation::kSigmoid,
+                         z[hidden_ + i] + b_(hidden_ + i, 0));
+      sc.g[i] = std::tanh(z[2 * hidden_ + i] + b_(2 * hidden_ + i, 0));
+      sc.o[i] = activate(Activation::kSigmoid,
+                         z[3 * hidden_ + i] + b_(3 * hidden_ + i, 0));
+      sc.c[i] = sc.f[i] * c[i] + sc.i[i] * sc.g[i];
+      sc.h[i] = sc.o[i] * std::tanh(sc.c[i]);
+    }
+    h = sc.h;
+    c = sc.c;
+    steps_.push_back(std::move(sc));
+  }
+  return h;
+}
+
+Vec Lstm::backward(const Vec& dy) {
+  if (dy.size() != hidden_) {
+    throw std::invalid_argument("Lstm::backward: grad size mismatch");
+  }
+  Vec dx(seq_len_, 0.0);
+  Vec dh = dy;
+  Vec dc(hidden_, 0.0);
+  const Vec zeros(hidden_, 0.0);
+  for (std::size_t t = seq_len_; t-- > 0;) {
+    const StepCache& sc = steps_[t];
+    const Vec& c_prev = t > 0 ? steps_[t - 1].c : zeros;
+    const Vec& h_prev = t > 0 ? steps_[t - 1].h : zeros;
+    Vec dz(4 * hidden_);
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      const double tanh_c = std::tanh(sc.c[i]);
+      const double do_ = dh[i] * tanh_c;
+      const double dct = dh[i] * sc.o[i] * (1.0 - tanh_c * tanh_c) + dc[i];
+      const double di = dct * sc.g[i];
+      const double df = dct * c_prev[i];
+      const double dg = dct * sc.i[i];
+      dz[i] = di * sc.i[i] * (1.0 - sc.i[i]);
+      dz[hidden_ + i] = df * sc.f[i] * (1.0 - sc.f[i]);
+      dz[2 * hidden_ + i] = dg * (1.0 - sc.g[i] * sc.g[i]);
+      dz[3 * hidden_ + i] = do_ * sc.o[i] * (1.0 - sc.o[i]);
+      dc[i] = dct * sc.f[i];
+    }
+    Vec input(1 + hidden_);
+    input[0] = x_cache_[t];
+    for (std::size_t i = 0; i < hidden_; ++i) input[1 + i] = h_prev[i];
+    dw_.add_outer(dz, input);
+    for (std::size_t i = 0; i < 4 * hidden_; ++i) db_(i, 0) += dz[i];
+    const Vec dinput = w_.matvec_transposed(dz);
+    dx[t] += dinput[0];
+    dh.assign(dinput.begin() + 1, dinput.end());
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Lstm::params() {
+  return {{&w_, &dw_}, {&b_, &db_}};
+}
+
+}  // namespace nada::nn

@@ -1,0 +1,143 @@
+// Neural network layers with explicit forward/backward passes.
+//
+// Each layer caches its most recent forward inputs; backward() consumes the
+// upstream gradient, accumulates parameter gradients (so multi-step A2C
+// batches sum naturally), and returns the gradient with respect to the
+// layer input. Networks are single-sample — ABR decisions are made one
+// state at a time and batches are accumulated across rollout steps.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/mat.h"
+#include "util/rng.h"
+
+namespace nada::nn {
+
+enum class Activation { kLinear, kRelu, kLeakyRelu, kTanh, kSigmoid, kElu };
+
+[[nodiscard]] const char* activation_name(Activation a);
+[[nodiscard]] double activate(Activation a, double z);
+/// Derivative with respect to pre-activation z, given z and y=activate(z).
+[[nodiscard]] double activate_grad(Activation a, double z, double y);
+
+/// A trainable parameter and its gradient accumulator.
+struct ParamRef {
+  Mat* value = nullptr;
+  Mat* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output, caching what backward needs.
+  virtual Vec forward(const Vec& x) = 0;
+
+  /// Backpropagates dy (gradient of loss wrt output); accumulates parameter
+  /// gradients and returns gradient wrt the input of the last forward().
+  virtual Vec backward(const Vec& dy) = 0;
+
+  virtual std::vector<ParamRef> params() = 0;
+
+  [[nodiscard]] virtual std::size_t in_dim() const = 0;
+  [[nodiscard]] virtual std::size_t out_dim() const = 0;
+
+  void zero_grad();
+};
+
+/// Fully connected layer with optional activation: y = act(Wx + b).
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in, std::size_t out, Activation act, util::Rng& rng);
+
+  Vec forward(const Vec& x) override;
+  Vec backward(const Vec& dy) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::size_t in_dim() const override { return w_.cols(); }
+  [[nodiscard]] std::size_t out_dim() const override { return w_.rows(); }
+
+ private:
+  Mat w_, dw_;
+  Mat b_, db_;
+  Activation act_;
+  Vec x_cache_, z_cache_, y_cache_;
+};
+
+/// 1-D convolution over a scalar sequence (in_channels = 1, stride 1,
+/// valid padding), followed by an activation; output is flattened
+/// time-major: out[t * filters + f]. This is the temporal unit in
+/// Pensieve's original architecture.
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::size_t seq_len, std::size_t filters, std::size_t kernel,
+         Activation act, util::Rng& rng);
+
+  Vec forward(const Vec& x) override;
+  Vec backward(const Vec& dy) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::size_t in_dim() const override { return seq_len_; }
+  [[nodiscard]] std::size_t out_dim() const override {
+    return out_len_ * filters_;
+  }
+  [[nodiscard]] std::size_t out_len() const { return out_len_; }
+
+ private:
+  std::size_t seq_len_, filters_, kernel_, out_len_;
+  Mat w_, dw_;  // filters x kernel
+  Mat b_, db_;  // filters x 1
+  Activation act_;
+  Vec x_cache_, z_cache_, y_cache_;
+};
+
+/// Elman RNN over a scalar sequence; returns the final hidden state.
+/// h_t = tanh(Wx * x_t + Wh * h_{t-1} + b). Used by the paper's best
+/// Starlink architecture (RNN in place of the 1D-CNN).
+class SimpleRnn : public Layer {
+ public:
+  SimpleRnn(std::size_t seq_len, std::size_t hidden, util::Rng& rng);
+
+  Vec forward(const Vec& x) override;
+  Vec backward(const Vec& dy) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::size_t in_dim() const override { return seq_len_; }
+  [[nodiscard]] std::size_t out_dim() const override { return hidden_; }
+
+ private:
+  std::size_t seq_len_, hidden_;
+  Mat wx_, dwx_;  // hidden x 1
+  Mat wh_, dwh_;  // hidden x hidden
+  Mat b_, db_;    // hidden x 1
+  Vec x_cache_;
+  std::vector<Vec> h_cache_;  // h_0..h_T (h_0 = zeros)
+};
+
+/// LSTM over a scalar sequence; returns the final hidden state. Used by the
+/// paper's best 4G architecture (LSTM in place of the 1D-CNN).
+class Lstm : public Layer {
+ public:
+  Lstm(std::size_t seq_len, std::size_t hidden, util::Rng& rng);
+
+  Vec forward(const Vec& x) override;
+  Vec backward(const Vec& dy) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::size_t in_dim() const override { return seq_len_; }
+  [[nodiscard]] std::size_t out_dim() const override { return hidden_; }
+
+ private:
+  struct StepCache {
+    Vec i, f, g, o;  // gate activations
+    Vec c, h;        // post-step cell and hidden
+  };
+
+  std::size_t seq_len_, hidden_;
+  // Gate weights stacked [i; f; g; o]: (4H x (1 + H)) over [x_t, h_{t-1}].
+  Mat w_, dw_;
+  Mat b_, db_;  // 4H x 1
+  Vec x_cache_;
+  std::vector<StepCache> steps_;
+};
+
+}  // namespace nada::nn

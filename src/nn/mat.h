@@ -1,0 +1,80 @@
+// Dense matrix/vector math for the from-scratch neural network library.
+//
+// Networks in this repository are small (histories of length 8, hidden
+// sizes <= 256), so a simple row-major double matrix with straightforward
+// loops is both fast enough and easy to verify. All layers build on Mat.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nada::nn {
+
+using Vec = std::vector<double>;
+
+/// Row-major dense matrix.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Vec& data() { return data_; }
+  [[nodiscard]] const Vec& data() const { return data_; }
+
+  void fill(double value);
+  void zero() { fill(0.0); }
+
+  /// Xavier/Glorot uniform init (for tanh/sigmoid layers).
+  void init_xavier(util::Rng& rng);
+  /// He (Kaiming) normal init (for ReLU-family layers).
+  void init_he(util::Rng& rng);
+
+  /// y = this * x  (rows x cols) * (cols) -> (rows)
+  [[nodiscard]] Vec matvec(std::span<const double> x) const;
+
+  /// y = this^T * x  (cols) from (rows)
+  [[nodiscard]] Vec matvec_transposed(std::span<const double> x) const;
+
+  /// this += outer(a, b) * scale, where a has `rows` and b has `cols`.
+  void add_outer(std::span<const double> a, std::span<const double> b,
+                 double scale = 1.0);
+
+  void add_scaled(const Mat& other, double scale);
+
+  [[nodiscard]] double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vec data_;
+};
+
+// ---- Vector helpers -------------------------------------------------------
+
+void vec_add_inplace(Vec& a, std::span<const double> b);
+void vec_scale_inplace(Vec& a, double s);
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] Vec softmax(std::span<const double> logits);
+[[nodiscard]] double l2_norm(std::span<const double> a);
+
+/// Numerically safe entropy of a probability vector.
+[[nodiscard]] double entropy(std::span<const double> probs);
+
+/// Resamples a series to `target_len` points by linear interpolation;
+/// used to feed variable-length reward curves into fixed-size classifiers.
+[[nodiscard]] Vec resample_linear(std::span<const double> xs,
+                                  std::size_t target_len);
+
+}  // namespace nada::nn

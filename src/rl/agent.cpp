@@ -1,0 +1,46 @@
+#include "rl/agent.h"
+
+namespace nada::rl {
+
+nn::StateSignature derive_signature(const dsl::StateProgram& program) {
+  const dsl::StateMatrix matrix = program.run(dsl::canned_observation());
+  nn::StateSignature sig;
+  sig.row_lengths = matrix.row_lengths();
+  return sig;
+}
+
+AbrAgent::AbrAgent(const dsl::StateProgram& program, const nn::ArchSpec& spec,
+                   std::size_t num_actions, util::Rng& rng)
+    : program_(&program), sig_(derive_signature(program)) {
+  net_ = std::make_unique<nn::ActorCriticNet>(spec, sig_, num_actions, rng);
+}
+
+AbrAgent::Decision AbrAgent::decide(const env::Observation& obs, bool sample,
+                                    util::Rng& rng) {
+  const dsl::StateMatrix matrix = program_->run(obs);
+  if (!matrix.all_finite()) {
+    throw dsl::RuntimeError("state program produced non-finite values");
+  }
+  const auto out = net_->forward(matrix.to_network_rows());
+  Decision d;
+  d.probs = out.probs;
+  d.value = out.value;
+  if (sample) {
+    d.action = rng.weighted_index(out.probs);
+  } else {
+    d.action = 0;
+    for (std::size_t i = 1; i < out.probs.size(); ++i) {
+      if (out.probs[i] > out.probs[d.action]) d.action = i;
+    }
+  }
+  return d;
+}
+
+void AbrAgent::forward_backward(const env::Observation& obs,
+                                const nn::Vec& dlogits, double dvalue) {
+  const dsl::StateMatrix matrix = program_->run(obs);
+  (void)net_->forward(matrix.to_network_rows());
+  net_->backward(dlogits, dvalue);
+}
+
+}  // namespace nada::rl

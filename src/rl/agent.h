@@ -1,0 +1,58 @@
+// AbrAgent: a state program plus an actor-critic network.
+//
+// A NADA candidate design is the pair (state function, architecture); the
+// agent binds the two together: it runs the state program on each raw
+// observation and feeds the resulting matrix to the network. The network's
+// input signature is derived from a trial run of the state program, so any
+// state shape the DSL can produce gets a matching network.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "dsl/state_program.h"
+#include "env/abr_env.h"
+#include "nn/arch.h"
+#include "util/rng.h"
+
+namespace nada::rl {
+
+class AbrAgent {
+ public:
+  /// Builds the network for `program`'s state shape. Throws
+  /// dsl::RuntimeError if the program fails its trial run and nn::ArchError
+  /// if the spec cannot be instantiated for the resulting signature.
+  AbrAgent(const dsl::StateProgram& program, const nn::ArchSpec& spec,
+           std::size_t num_actions, util::Rng& rng);
+
+  struct Decision {
+    std::size_t action = 0;
+    nn::Vec probs;
+    double value = 0.0;
+  };
+
+  /// Runs the state program and the network; samples the action from the
+  /// policy when `sample` is true, otherwise picks the argmax.
+  Decision decide(const env::Observation& obs, bool sample, util::Rng& rng);
+
+  /// Re-runs the forward pass for `obs` (so layer caches are fresh) and
+  /// backpropagates the combined policy/value gradient.
+  void forward_backward(const env::Observation& obs, const nn::Vec& dlogits,
+                        double dvalue);
+
+  [[nodiscard]] nn::ActorCriticNet& net() { return *net_; }
+  [[nodiscard]] const dsl::StateProgram& program() const { return *program_; }
+  [[nodiscard]] const nn::StateSignature& signature() const { return sig_; }
+
+ private:
+  const dsl::StateProgram* program_;
+  nn::StateSignature sig_;
+  std::unique_ptr<nn::ActorCriticNet> net_;
+};
+
+/// Derives the network input signature from a trial run of the program on
+/// the canned observation.
+[[nodiscard]] nn::StateSignature derive_signature(
+    const dsl::StateProgram& program);
+
+}  // namespace nada::rl

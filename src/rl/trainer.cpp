@@ -1,0 +1,193 @@
+#include "rl/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "util/stats.h"
+
+namespace nada::rl {
+
+double evaluate_agent(AbrAgent& agent,
+                      std::span<const trace::Trace> test_traces,
+                      const video::Video& video, env::Fidelity fidelity,
+                      std::uint64_t eval_seed) {
+  util::Rng eval_rng(eval_seed);
+  util::RunningStats chunk_rewards;
+  for (const auto& tr : test_traces) {
+    env::AbrEnv env(tr, video, fidelity, eval_rng);
+    env::Observation obs = env.reset();
+    while (!env.done()) {
+      const auto decision = agent.decide(obs, /*sample=*/false, eval_rng);
+      const env::StepResult step = env.step(decision.action);
+      chunk_rewards.add(step.reward);
+      obs = step.observation;
+    }
+  }
+  return chunk_rewards.mean();
+}
+
+std::span<const trace::Trace> Trainer::eval_traces() const {
+  const auto& test = dataset_->test;
+  if (config_.max_eval_traces == 0 || test.size() <= config_.max_eval_traces) {
+    return test;
+  }
+  return std::span<const trace::Trace>(test.data(), config_.max_eval_traces);
+}
+
+Trainer::Trainer(const trace::Dataset& dataset, const video::Video& video,
+                 TrainConfig config, std::uint64_t seed)
+    : dataset_(&dataset), video_(&video), config_(config), seed_(seed),
+      rng_(seed) {
+  if (dataset_->train.empty() || dataset_->test.empty()) {
+    throw std::invalid_argument("Trainer: dataset has an empty split");
+  }
+  if (config_.epochs == 0) {
+    throw std::invalid_argument("Trainer: zero epochs");
+  }
+  if (config_.test_interval == 0) {
+    throw std::invalid_argument("Trainer: zero test interval");
+  }
+}
+
+void Trainer::run_epoch(AbrAgent& agent, nn::Adam& optimizer,
+                        double entropy_weight, TrainResult& result) {
+  const trace::Trace& tr = rng_.choice(dataset_->train);
+  env::AbrEnv env(tr, *video_, config_.fidelity, rng_);
+
+  struct Step {
+    env::Observation obs;
+    std::size_t action = 0;
+    double reward = 0.0;
+    double value = 0.0;
+  };
+  std::vector<Step> steps;
+  steps.reserve(video_->num_chunks());
+
+  env::Observation obs = env.reset();
+  while (!env.done()) {
+    const auto decision = agent.decide(obs, /*sample=*/true, rng_);
+    const env::StepResult sr = env.step(decision.action);
+    steps.push_back(Step{obs, decision.action, sr.reward, decision.value});
+    obs = sr.observation;
+  }
+
+  // Discounted returns over scaled rewards (see TrainConfig::reward_scale).
+  const double reward_scale =
+      config_.reward_scale > 0.0
+          ? config_.reward_scale
+          : video_->ladder().max_kbps() / 1000.0;
+  std::vector<double> returns(steps.size());
+  double running = 0.0;
+  for (std::size_t t = steps.size(); t-- > 0;) {
+    running = steps[t].reward / reward_scale + config_.gamma * running;
+    returns[t] = running;
+  }
+
+  // First pass: fresh values for the advantage estimates.
+  std::vector<double> advantages(steps.size());
+  std::vector<dsl::StateMatrix> matrices;
+  matrices.reserve(steps.size());
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    matrices.push_back(agent.program().run(steps[t].obs));
+    const auto out = agent.net().forward(matrices[t].to_network_rows());
+    advantages[t] = returns[t] - out.value;
+  }
+  if (config_.normalize_advantages && steps.size() > 1) {
+    const double mean_adv = util::mean(advantages);
+    const double sd = std::max(util::stddev(advantages), 1e-6);
+    for (double& a : advantages) a = (a - mean_adv) / sd;
+  }
+  if (config_.advantage_clip > 0.0) {
+    for (double& a : advantages) {
+      a = std::clamp(a, -config_.advantage_clip, config_.advantage_clip);
+    }
+  }
+
+  // Accumulate policy + value gradients over the episode.
+  agent.net().zero_grad();
+  const double scale = 1.0 / static_cast<double>(steps.size());
+  const std::size_t num_actions = agent.net().num_actions();
+  double reward_sum = 0.0;
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    reward_sum += steps[t].reward;
+    const auto out = agent.net().forward(matrices[t].to_network_rows());
+    const double advantage = advantages[t];
+    const double ent = nn::entropy(out.probs);
+    nn::Vec dlogits(num_actions);
+    for (std::size_t i = 0; i < num_actions; ++i) {
+      const double onehot = i == steps[t].action ? 1.0 : 0.0;
+      const double policy_grad = advantage * (out.probs[i] - onehot);
+      const double entropy_grad =
+          entropy_weight * out.probs[i] *
+          (std::log(std::max(out.probs[i], 1e-12)) + ent);
+      dlogits[i] = (policy_grad + entropy_grad) * scale;
+    }
+    // Huber (smooth-L1) critic: bounded gradient so early catastrophic
+    // returns cannot dominate the update.
+    const double value_error =
+        std::clamp(out.value - returns[t], -config_.huber_delta,
+                   config_.huber_delta);
+    const double dvalue = 2.0 * config_.critic_weight * value_error * scale;
+    agent.net().backward(dlogits, dvalue);
+  }
+  auto params = agent.net().params();
+  nn::Optimizer::clip_global_norm(params, config_.grad_clip);
+  optimizer.step(params);
+
+  result.train_rewards.push_back(reward_sum /
+                                 static_cast<double>(steps.size()));
+}
+
+TrainResult Trainer::train(const dsl::StateProgram& program,
+                           const nn::ArchSpec& spec) {
+  TrainResult result;
+  try {
+    util::Rng init_rng(seed_ ^ 0xabcdef1234567890ULL);
+    AbrAgent agent(program, spec, video_->ladder().levels(), init_rng);
+    nn::Adam optimizer(config_.learning_rate);
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      const double progress =
+          config_.epochs > 1
+              ? static_cast<double>(epoch) /
+                    static_cast<double>(config_.epochs - 1)
+              : 1.0;
+      const double entropy_weight =
+          config_.entropy_start +
+          (config_.entropy_end - config_.entropy_start) * progress;
+      run_epoch(agent, optimizer, entropy_weight, result);
+
+      if (config_.evaluate_checkpoints &&
+          (epoch + 1) % config_.test_interval == 0) {
+        const double score =
+            evaluate_agent(agent, eval_traces(), *video_, config_.fidelity,
+                           seed_ ^ 0x5eedf00d);
+        result.test_epochs.push_back(static_cast<double>(epoch + 1));
+        result.test_scores.push_back(score);
+      }
+    }
+    if (config_.evaluate_checkpoints && result.test_scores.empty()) {
+      // Budget smaller than the checkpoint interval: evaluate once at end.
+      const double score = evaluate_agent(
+          agent, eval_traces(), *video_, config_.fidelity, seed_ ^ 0x5eedf00d);
+      result.test_epochs.push_back(static_cast<double>(config_.epochs));
+      result.test_scores.push_back(score);
+    }
+    result.final_score = config_.evaluate_checkpoints
+                             ? util::tail_mean(result.test_scores, 10)
+                             : util::tail_mean(result.train_rewards, 10);
+    if (config_.emulation_final_eval) {
+      result.emulation_score =
+          evaluate_agent(agent, dataset_->test, *video_,
+                         env::Fidelity::kEmulation, seed_ ^ 0xe111u);
+    }
+  } catch (const std::exception& e) {
+    result.failed = true;
+    result.error = e.what();
+    result.final_score = -1e9;
+  }
+  return result;
+}
+
+}  // namespace nada::rl

@@ -1,0 +1,109 @@
+// Advantage actor-critic training for ABR agents, following Pensieve's
+// training protocol: each epoch streams one full video over a randomly
+// chosen training trace, the discounted-return advantage drives the policy
+// gradient (with entropy regularization), and model checkpoints are
+// periodically evaluated on the held-out test traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsl/state_program.h"
+#include "env/abr_env.h"
+#include "nn/arch.h"
+#include "nn/optimizer.h"
+#include "rl/agent.h"
+#include "trace/generator.h"
+#include "video/video.h"
+
+namespace nada::rl {
+
+struct TrainConfig {
+  std::size_t epochs = 400;
+  std::size_t test_interval = 10;  ///< evaluate a checkpoint every N epochs
+  double gamma = 0.99;
+  double learning_rate = 1e-3;
+  double entropy_start = 1.0;  ///< entropy weight, annealed linearly
+  double entropy_end = 0.05;
+  double critic_weight = 0.5;
+  double grad_clip = 5.0;
+  /// Rewards are divided by this for gradient computation so policy/value
+  /// gradients have comparable magnitudes across bitrate ladders (QoE_lin
+  /// on the 53 Mbps YouTube ladder is ~12x Pensieve's). 0 = auto: use the
+  /// ladder's top bitrate in Mbps. Reported test scores are unscaled.
+  double reward_scale = 0.0;
+  /// Standardize advantages within each episode (zero mean, unit variance)
+  /// before the policy-gradient step. Off by default: with QoE_lin's
+  /// skewed rewards, episodes that are uniformly bad would have half their
+  /// actions pushed up after standardization.
+  bool normalize_advantages = false;
+  /// Symmetric clip on the (scaled) advantage; bounds the gradient of any
+  /// single catastrophic stall. 0 disables.
+  double advantage_clip = 0.0;
+  /// Huber transition point for the critic loss (scaled-return units).
+  double huber_delta = 1.0;
+  env::Fidelity fidelity = env::Fidelity::kSimulation;
+  /// When false, skips test-set evaluation entirely (early probes only need
+  /// the training-reward curve); final_score falls back to the tail of the
+  /// training rewards.
+  bool evaluate_checkpoints = true;
+  /// Caps how many test traces each checkpoint evaluation streams
+  /// (0 = all). Scaled-down runs use this to keep evaluation from
+  /// dominating training cost.
+  std::size_t max_eval_traces = 0;
+  /// After training completes, additionally evaluate the final policy on
+  /// the test traces under the emulation-fidelity session (paper Table 4:
+  /// sim-trained designs validated in emulation).
+  bool emulation_final_eval = false;
+};
+
+/// Everything one training session produces. Reward curves feed the
+/// early-stopping classifier; test curves feed Figures 3 and 4.
+struct TrainResult {
+  std::vector<double> train_rewards;  ///< per-epoch mean chunk reward
+  std::vector<double> test_epochs;    ///< checkpoint positions
+  std::vector<double> test_scores;    ///< checkpoint test scores
+  double final_score = 0.0;  ///< mean of the last <=10 checkpoint scores
+  /// Final policy's test score under emulation fidelity (only populated
+  /// when TrainConfig::emulation_final_eval is set).
+  double emulation_score = 0.0;
+  bool failed = false;       ///< state program or architecture blew up
+  std::string error;
+};
+
+/// Mean per-chunk QoE of a greedy rollout over every test trace.
+/// `eval_seed` fixes the episode start offsets so successive checkpoint
+/// evaluations are comparable.
+[[nodiscard]] double evaluate_agent(AbrAgent& agent,
+                                    std::span<const trace::Trace> test_traces,
+                                    const video::Video& video,
+                                    env::Fidelity fidelity,
+                                    std::uint64_t eval_seed);
+
+class Trainer {
+ public:
+  Trainer(const trace::Dataset& dataset, const video::Video& video,
+          TrainConfig config, std::uint64_t seed);
+
+  /// Trains one candidate design (state program + architecture) from
+  /// scratch. Failures (runtime errors in the state program, invalid
+  /// architectures, non-finite values) are captured in the result rather
+  /// than thrown: NADA treats them as filtered-out designs.
+  [[nodiscard]] TrainResult train(const dsl::StateProgram& program,
+                                  const nn::ArchSpec& spec);
+
+ private:
+  void run_epoch(AbrAgent& agent, nn::Adam& optimizer, double entropy_weight,
+                 TrainResult& result);
+  [[nodiscard]] std::span<const trace::Trace> eval_traces() const;
+
+  const trace::Dataset* dataset_;
+  const video::Video* video_;
+  TrainConfig config_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+}  // namespace nada::rl

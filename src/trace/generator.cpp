@@ -1,0 +1,238 @@
+#include "trace/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nada::trace {
+
+const char* environment_name(Environment env) {
+  switch (env) {
+    case Environment::kFcc: return "FCC";
+    case Environment::kStarlink: return "Starlink";
+    case Environment::k4G: return "4G";
+    case Environment::k5G: return "5G";
+  }
+  throw std::invalid_argument("environment_name: unknown environment");
+}
+
+const std::vector<Environment>& all_environments() {
+  static const std::vector<Environment> kAll = {
+      Environment::kFcc, Environment::kStarlink, Environment::k4G,
+      Environment::k5G};
+  return kAll;
+}
+
+GeneratorModel model_for(Environment env) {
+  GeneratorModel m;
+  switch (env) {
+    case Environment::kFcc:
+      // Fixed broadband: long stable plateaus, small within-plateau jitter,
+      // essentially no outages.
+      m.base_mbps = 1.22;
+      m.regime_sigma = 0.35;
+      m.within_sigma = 0.04;
+      m.ar_coeff = 0.95;
+      m.regime_hold_mean_s = 150.0;
+      m.outage_rate_per_s = 0.0;
+      m.floor_mbps = 0.1;
+      break;
+    case Environment::kStarlink:
+      // Shared satellite link at peak hours: alternating good/congested
+      // regimes, frequent short dips at the ~15 s satellite handover scale.
+      // The paper scales Starlink capacity to 1/8 to emulate peak usage.
+      m.base_mbps = 12.5;
+      m.regime_sigma = 0.50;
+      m.within_sigma = 0.18;
+      m.ar_coeff = 0.85;
+      m.regime_hold_mean_s = 25.0;
+      m.outage_rate_per_s = 1.0 / 15.0;
+      m.outage_depth = 0.15;
+      m.outage_len_mean_s = 2.0;
+      m.capacity_scale = 1.0 / 8.0;
+      m.floor_mbps = 0.05;
+      break;
+    case Environment::k4G:
+      // Mobility between cells: medium-period regime swings, moderate
+      // in-cell fading, occasional deep fades.
+      m.base_mbps = 18.6;
+      m.regime_sigma = 0.40;
+      m.within_sigma = 0.15;
+      m.ar_coeff = 0.88;
+      m.regime_hold_mean_s = 40.0;
+      m.outage_rate_per_s = 1.0 / 40.0;
+      m.outage_depth = 0.20;
+      m.outage_len_mean_s = 3.0;
+      m.floor_mbps = 0.3;
+      break;
+    case Environment::k5G:
+      // mmWave-flavoured: high bursts, hard blockage outages that drop
+      // throughput to near-zero for a couple of seconds.
+      m.base_mbps = 27.5;
+      m.regime_sigma = 0.55;
+      m.within_sigma = 0.20;
+      m.ar_coeff = 0.82;
+      m.regime_hold_mean_s = 20.0;
+      m.outage_rate_per_s = 1.0 / 25.0;
+      m.outage_depth = 0.05;
+      m.outage_len_mean_s = 2.0;
+      m.floor_mbps = 0.3;
+      break;
+  }
+  return m;
+}
+
+Trace generate_trace(Environment env, double duration_s, util::Rng& rng) {
+  const std::string name =
+      std::string(environment_name(env)) + "_trace_" +
+      std::to_string(rng.uniform_int(0, 999999));
+  return generate_trace(model_for(env), name, duration_s, rng);
+}
+
+Trace generate_trace(const GeneratorModel& model, const std::string& name,
+                     double duration_s, util::Rng& rng) {
+  if (duration_s < 2.0) {
+    throw std::invalid_argument("generate_trace: duration too short");
+  }
+  const auto steps = static_cast<std::size_t>(duration_s);
+  std::vector<TracePoint> points;
+  points.reserve(steps);
+
+  const double log_base = std::log(model.base_mbps);
+  double regime_log = log_base + rng.normal(0.0, model.regime_sigma);
+  double regime_left_s = rng.exponential(1.0 / model.regime_hold_mean_s);
+  double level_log = regime_log;
+  double outage_left_s = 0.0;
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // Regime switching.
+    regime_left_s -= 1.0;
+    if (regime_left_s <= 0.0) {
+      regime_log = log_base + rng.normal(0.0, model.regime_sigma);
+      regime_left_s = rng.exponential(1.0 / model.regime_hold_mean_s);
+    }
+    // Mean-reverting AR(1) around the regime level (log-space).
+    level_log = regime_log + model.ar_coeff * (level_log - regime_log) +
+                rng.normal(0.0, model.within_sigma);
+    double mbps = std::exp(level_log);
+
+    // Outage process.
+    if (outage_left_s > 0.0) {
+      mbps *= model.outage_depth;
+      outage_left_s -= 1.0;
+    } else if (model.outage_rate_per_s > 0.0 &&
+               rng.bernoulli(model.outage_rate_per_s)) {
+      outage_left_s = rng.exponential(1.0 / model.outage_len_mean_s);
+      mbps *= model.outage_depth;
+    }
+
+    mbps *= model.capacity_scale;
+    mbps = std::max(mbps, model.floor_mbps * model.capacity_scale);
+    points.push_back({static_cast<double>(t + 1), mbps * 1000.0});
+  }
+  return Trace(name, std::move(points));
+}
+
+DatasetSpec paper_spec(Environment env) {
+  DatasetSpec s;
+  s.env = env;
+  switch (env) {
+    case Environment::kFcc:
+      s.train_traces = 85;
+      s.train_hours = 10.0;
+      s.test_traces = 290;
+      s.test_hours = 25.7;
+      s.mean_throughput_mbps = 1.3;
+      s.train_epochs = 40000;
+      s.test_interval = 500;
+      break;
+    case Environment::kStarlink:
+      s.train_traces = 13;
+      s.train_hours = 0.9;
+      s.test_traces = 12;
+      s.test_hours = 0.8;
+      s.mean_throughput_mbps = 1.6;
+      s.train_epochs = 4000;
+      s.test_interval = 100;
+      break;
+    case Environment::k4G:
+      s.train_traces = 119;
+      s.train_hours = 10.0;
+      s.test_traces = 121;
+      s.test_hours = 10.0;
+      s.mean_throughput_mbps = 19.8;
+      s.train_epochs = 40000;
+      s.test_interval = 500;
+      break;
+    case Environment::k5G:
+      s.train_traces = 117;
+      s.train_hours = 10.0;
+      s.test_traces = 119;
+      s.test_hours = 10.0;
+      s.mean_throughput_mbps = 30.2;
+      s.train_epochs = 40000;
+      s.test_interval = 500;
+      break;
+  }
+  return s;
+}
+
+double Dataset::train_hours() const {
+  double total = 0.0;
+  for (const auto& t : train) total += t.duration_s();
+  return total / 3600.0;
+}
+
+double Dataset::test_hours() const {
+  double total = 0.0;
+  for (const auto& t : test) total += t.duration_s();
+  return total / 3600.0;
+}
+
+double Dataset::mean_throughput_mbps() const {
+  double integral_kbps_s = 0.0;
+  double total_s = 0.0;
+  for (const auto* split : {&train, &test}) {
+    for (const auto& t : *split) {
+      integral_kbps_s += t.mean_kbps() * t.duration_s();
+      total_s += t.duration_s();
+    }
+  }
+  return total_s > 0.0 ? integral_kbps_s / total_s / 1000.0 : 0.0;
+}
+
+Dataset build_dataset(Environment env, double trace_scale,
+                      std::uint64_t seed) {
+  if (trace_scale <= 0.0) {
+    throw std::invalid_argument("build_dataset: trace_scale <= 0");
+  }
+  Dataset ds;
+  ds.spec = paper_spec(env);
+  util::Rng rng(seed ^ (static_cast<std::uint64_t>(env) << 32));
+
+  const auto scaled = [trace_scale](std::size_t paper_count) {
+    const auto n = static_cast<std::size_t>(
+        std::round(static_cast<double>(paper_count) * trace_scale));
+    return std::max<std::size_t>(n, 2);
+  };
+  const std::size_t n_train = scaled(ds.spec.train_traces);
+  const std::size_t n_test = scaled(ds.spec.test_traces);
+
+  // Keep the paper's per-trace duration so dataset "hours" scale with the
+  // trace count.
+  const double train_dur_s =
+      ds.spec.train_hours * 3600.0 / static_cast<double>(ds.spec.train_traces);
+  const double test_dur_s =
+      ds.spec.test_hours * 3600.0 / static_cast<double>(ds.spec.test_traces);
+
+  ds.train.reserve(n_train);
+  for (std::size_t i = 0; i < n_train; ++i) {
+    ds.train.push_back(generate_trace(env, train_dur_s, rng));
+  }
+  ds.test.reserve(n_test);
+  for (std::size_t i = 0; i < n_test; ++i) {
+    ds.test.push_back(generate_trace(env, test_dur_s, rng));
+  }
+  return ds;
+}
+
+}  // namespace nada::trace

@@ -1,0 +1,158 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace nada::trace {
+
+Trace::Trace(std::string name, std::vector<TracePoint> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("Trace: no points");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].time_s <= points_[i - 1].time_s) {
+      throw std::invalid_argument("Trace: timestamps must strictly increase");
+    }
+  }
+  for (const auto& p : points_) {
+    if (p.bandwidth_kbps < 0.0 || !std::isfinite(p.bandwidth_kbps)) {
+      throw std::invalid_argument("Trace: bandwidth must be finite and >= 0");
+    }
+  }
+}
+
+double Trace::duration_s() const {
+  return points_.empty() ? 0.0 : points_.back().time_s;
+}
+
+std::size_t Trace::index_at(double t) const {
+  if (points_.empty()) throw std::logic_error("Trace::index_at: empty");
+  const double dur = duration_s();
+  if (dur <= 0.0) return 0;
+  double wrapped = std::fmod(t, dur);
+  if (wrapped < 0.0) wrapped += dur;
+  // Find the last point with time_s <= wrapped.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), wrapped,
+      [](double value, const TracePoint& p) { return value < p.time_s; });
+  if (it == points_.begin()) return 0;
+  return static_cast<std::size_t>(std::distance(points_.begin(), it)) - 1;
+}
+
+double Trace::bandwidth_kbps_at(double t) const {
+  if (points_.empty()) throw std::logic_error("Trace: empty");
+  if (points_.size() == 1) return points_[0].bandwidth_kbps;
+  return points_[index_at(std::max(t, 0.0))].bandwidth_kbps;
+}
+
+double Trace::mean_kbps() const {
+  if (points_.empty()) return 0.0;
+  if (points_.size() == 1) return points_[0].bandwidth_kbps;
+  // Piecewise-constant integral: each sample holds until the next timestamp.
+  double integral = 0.0;
+  double total_time = 0.0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const double dt = points_[i + 1].time_s - points_[i].time_s;
+    integral += points_[i].bandwidth_kbps * dt;
+    total_time += dt;
+  }
+  return total_time > 0.0 ? integral / total_time : points_[0].bandwidth_kbps;
+}
+
+double Trace::stddev_kbps() const {
+  std::vector<double> values;
+  values.reserve(points_.size());
+  for (const auto& p : points_) values.push_back(p.bandwidth_kbps);
+  return util::stddev(values);
+}
+
+Trace Trace::scaled(double factor) const {
+  if (factor < 0.0) throw std::invalid_argument("Trace::scaled: factor < 0");
+  std::vector<TracePoint> scaled_points = points_;
+  for (auto& p : scaled_points) p.bandwidth_kbps *= factor;
+  return Trace(name_ + "_x" + std::to_string(factor), std::move(scaled_points));
+}
+
+std::string to_cooked_format(const Trace& trace) {
+  std::ostringstream out;
+  out.precision(6);
+  for (const auto& p : trace.points()) {
+    out << p.time_s << '\t' << p.bandwidth_kbps / 1000.0 << '\n';
+  }
+  return out.str();
+}
+
+Trace from_cooked_format(const std::string& name, const std::string& text) {
+  std::vector<TracePoint> points;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    double time_s = 0.0;
+    double mbps = 0.0;
+    if (!(fields >> time_s >> mbps)) {
+      throw std::runtime_error("from_cooked_format: bad line " +
+                               std::to_string(line_no) + " in " + name);
+    }
+    points.push_back({time_s, mbps * 1000.0});
+  }
+  return Trace(name, std::move(points));
+}
+
+std::string to_mahimahi_format(const Trace& trace) {
+  // A mahimahi schedule lists, for each 1500-byte packet, the millisecond at
+  // which it may be delivered. We walk the trace accumulating "bytes owed"
+  // and emit a line whenever a full MTU has accumulated.
+  static constexpr double kMtuBytes = 1500.0;
+  std::ostringstream out;
+  double owed_bytes = 0.0;
+  const double step_ms = 1.0;
+  const double end_ms = trace.duration_s() * 1000.0;
+  for (double t_ms = 0.0; t_ms < end_ms; t_ms += step_ms) {
+    const double kbps = trace.bandwidth_kbps_at(t_ms / 1000.0);
+    owed_bytes += kbps * 1000.0 / 8.0 / 1000.0;  // bytes per ms
+    while (owed_bytes >= kMtuBytes) {
+      out << static_cast<long long>(t_ms) + 1 << '\n';
+      owed_bytes -= kMtuBytes;
+    }
+  }
+  return out.str();
+}
+
+Trace from_mahimahi_format(const std::string& name, const std::string& text) {
+  static constexpr double kMtuBytes = 1500.0;
+  std::istringstream in(text);
+  std::string line;
+  std::vector<long long> deliveries_ms;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    deliveries_ms.push_back(std::stoll(line));
+  }
+  if (deliveries_ms.empty()) {
+    throw std::runtime_error("from_mahimahi_format: empty schedule");
+  }
+  // Bucket packet deliveries per second and convert to kbps.
+  const long long end_ms = deliveries_ms.back();
+  const auto seconds = static_cast<std::size_t>(end_ms / 1000) + 1;
+  std::vector<double> bytes_per_s(seconds, 0.0);
+  for (long long ms : deliveries_ms) {
+    bytes_per_s[static_cast<std::size_t>(ms / 1000)] += kMtuBytes;
+  }
+  std::vector<TracePoint> points;
+  points.reserve(seconds);
+  for (std::size_t s = 0; s < seconds; ++s) {
+    points.push_back(
+        {static_cast<double>(s + 1), bytes_per_s[s] * 8.0 / 1000.0});
+  }
+  return Trace(name, std::move(points));
+}
+
+}  // namespace nada::trace

@@ -1,0 +1,72 @@
+// Network bandwidth traces: the substrate every experiment replays.
+//
+// A Trace is a piecewise-constant bandwidth series, matching the "cooked"
+// Pensieve trace format (one (timestamp, throughput) sample every ~second).
+// Traces loop when a streaming session outlives them, exactly as Pensieve's
+// simulator wraps its trace pointer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nada::trace {
+
+struct TracePoint {
+  double time_s = 0.0;
+  double bandwidth_kbps = 0.0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::vector<TracePoint> points);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<TracePoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Duration covered by the samples (time of last sample). At least one
+  /// sample step is assumed; a single-point trace reports its timestamp.
+  [[nodiscard]] double duration_s() const;
+
+  /// Bandwidth at absolute time t (seconds). Times beyond the end wrap
+  /// around (the trace loops); negative times are clamped to the start.
+  [[nodiscard]] double bandwidth_kbps_at(double t) const;
+
+  /// Time-weighted mean bandwidth.
+  [[nodiscard]] double mean_kbps() const;
+
+  /// Sample standard deviation of the bandwidth samples.
+  [[nodiscard]] double stddev_kbps() const;
+
+  /// Returns a copy with every bandwidth multiplied by `factor` (used for
+  /// the paper's Starlink peak-hour 1/8 capacity scaling).
+  [[nodiscard]] Trace scaled(double factor) const;
+
+  /// Index of the sample interval containing wrapped time t.
+  [[nodiscard]] std::size_t index_at(double t) const;
+
+ private:
+  std::string name_;
+  std::vector<TracePoint> points_;  // sorted by time_s, strictly increasing
+};
+
+/// Serializes as "time_s<TAB>bandwidth_mbps" lines (Pensieve cooked format).
+std::string to_cooked_format(const Trace& trace);
+
+/// Parses the cooked format; throws std::runtime_error on malformed input.
+Trace from_cooked_format(const std::string& name, const std::string& text);
+
+/// Converts to a Mahimahi packet-delivery schedule: one line per 1500-byte
+/// packet delivery opportunity, milliseconds since start, covering the trace
+/// duration. This is the format mm-link consumes.
+std::string to_mahimahi_format(const Trace& trace);
+
+/// Parses a Mahimahi schedule back into a per-second bandwidth trace.
+Trace from_mahimahi_format(const std::string& name, const std::string& text);
+
+}  // namespace nada::trace

@@ -1,0 +1,53 @@
+#include "util/scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace nada::util {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw) return fallback;
+  return value;
+}
+
+ScaleConfig ScaleConfig::from_env() {
+  ScaleConfig cfg;
+  // Bench-friendly defaults: each table bench completes in roughly a minute.
+  cfg.gen = env_double("NADA_SCALE_GEN", 0.04);
+  cfg.epochs = env_double("NADA_SCALE_EPOCHS", 0.12);
+  cfg.seeds = env_double("NADA_SCALE_SEEDS", 0.6);  // 5 -> 3 seeds
+  cfg.traces = env_double("NADA_SCALE_TRACES", 0.15);
+  return cfg;
+}
+
+std::size_t ScaleConfig::apply(std::size_t paper_value, double factor,
+                               std::size_t min_value) {
+  if (factor < 0.0) factor = 0.0;
+  const double scaled = std::round(static_cast<double>(paper_value) * factor);
+  const auto value = static_cast<std::size_t>(std::max(scaled, 0.0));
+  return std::max(value, min_value);
+}
+
+std::string ScaleConfig::describe() const {
+  std::ostringstream out;
+  out << "scale{gen=" << gen << ", epochs=" << epochs << ", seeds=" << seeds
+      << ", traces=" << traces << "}";
+  return out.str();
+}
+
+}  // namespace nada::util

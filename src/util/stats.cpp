@@ -1,0 +1,174 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nada::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p out of [0, 100]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double ema(std::span<const double> xs, double alpha) {
+  if (xs.empty()) return 0.0;
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("ema: alpha out of (0, 1]");
+  }
+  double value = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    value = alpha * xs[i] + (1.0 - alpha) * value;
+  }
+  return value;
+}
+
+std::vector<double> ema_series(std::span<const double> xs, double alpha) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  if (xs.empty()) return out;
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("ema_series: alpha out of (0, 1]");
+  }
+  double value = xs[0];
+  out.push_back(value);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    value = alpha * xs[i] + (1.0 - alpha) * value;
+    out.push_back(value);
+  }
+  return out;
+}
+
+double linear_trend(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  // Closed form with x = 0..n-1: slope = cov(x, y) / var(x).
+  const double nd = static_cast<double>(n);
+  const double mean_x = (nd - 1.0) / 2.0;
+  const double mean_y = mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - mean_x;
+    num += dx * (xs[i] - mean_y);
+    den += dx * dx;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double linreg_predict_next(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  if (xs.size() == 1) return xs[0];
+  const double slope = linear_trend(xs);
+  const double mean_x = (static_cast<double>(xs.size()) - 1.0) / 2.0;
+  const double intercept = mean(xs) - slope * mean_x;
+  return intercept + slope * static_cast<double>(xs.size());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double tail_mean(std::span<const double> xs, std::size_t k) {
+  if (xs.empty()) return 0.0;
+  const std::size_t start = xs.size() > k ? xs.size() - k : 0;
+  return mean(xs.subspan(start));
+}
+
+std::vector<double> savgol5(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  if (xs.size() < 5) return out;
+  // Quadratic/cubic Savitzky-Golay coefficients for window 5:
+  // (-3, 12, 17, 12, -3) / 35.
+  static constexpr double kC[5] = {-3.0 / 35, 12.0 / 35, 17.0 / 35,
+                                   12.0 / 35, -3.0 / 35};
+  for (std::size_t i = 2; i + 2 < xs.size(); ++i) {
+    double acc = 0.0;
+    for (int j = -2; j <= 2; ++j) {
+      acc += kC[j + 2] * xs[i + static_cast<std::size_t>(j + 2) - 2];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace nada::util

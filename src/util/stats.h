@@ -1,0 +1,74 @@
+// Streaming and batch descriptive statistics used across trace generation,
+// training-curve analysis, and the experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nada::util {
+
+/// Welford-style accumulator: numerically stable mean/variance in one pass.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample variance (n-1); 0 for fewer than two elements.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+/// Median via partial sort of a copy; 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Exponential moving average of the whole series; returns the final value.
+/// alpha in (0, 1] is the weight of the newest sample.
+double ema(std::span<const double> xs, double alpha);
+
+/// Per-step exponential moving average series (same length as input).
+std::vector<double> ema_series(std::span<const double> xs, double alpha);
+
+/// Least-squares slope of xs against indices 0..n-1; 0 for n < 2.
+double linear_trend(std::span<const double> xs);
+
+/// Least-squares extrapolation of the series one step past its end.
+double linreg_predict_next(std::span<const double> xs);
+
+/// Pearson correlation; 0 if either side is constant. Sizes must match.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean of the last k elements (or of all elements if k >= size).
+double tail_mean(std::span<const double> xs, std::size_t k);
+
+/// Savitzky-Golay smoothing (window 5, quadratic), mirroring the paper's
+/// observation that generated designs used scipy's savgol_filter to smooth
+/// buffer-size history. Series shorter than the window are returned as-is.
+std::vector<double> savgol5(std::span<const double> xs);
+
+}  // namespace nada::util

@@ -1,0 +1,33 @@
+// Small string helpers shared by the DSL front end and the report writers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nada::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins with a separator.
+std::string join(std::span<const std::string> parts, std::string_view sep);
+
+/// Lowercases ASCII.
+std::string to_lower(std::string_view text);
+
+/// FNV-1a 64-bit hash; used for the hashed n-gram "text embedding".
+std::uint64_t fnv1a64(std::string_view text);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to);
+
+}  // namespace nada::util

@@ -1,0 +1,124 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nada::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row_mixed(const std::vector<std::string>& text_cells,
+                              const std::vector<double>& numeric_cells,
+                              int precision) {
+  std::vector<std::string> row = text_cells;
+  row.reserve(text_cells.size() + numeric_cells.size());
+  for (double v : numeric_cells) row.push_back(format_double(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  // Compute per-column widths over header + rows.
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&out, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << "  ";
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size(), ' ');
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << csv_escape(row[i]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string format_percent(double fraction, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  if (fraction >= 0) out << '+';
+  out << fraction * 100.0 << '%';
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("write_file: cannot open " + path);
+  out << content;
+  if (!out) throw std::runtime_error("write_file: write failed for " + path);
+}
+
+}  // namespace nada::util

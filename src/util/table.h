@@ -1,0 +1,54 @@
+// Plain-text table and CSV rendering for the experiment reports. Every bench
+// binary prints its paper table through this so the output format is uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nada::util {
+
+/// Column-aligned text table with an optional title, rendered with a
+/// box-drawing-free ASCII style so output diffs cleanly in CI logs.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row. Resets nothing else; call before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with fixed precision.
+  void add_row_mixed(const std::vector<std::string>& text_cells,
+                     const std::vector<double>& numeric_cells,
+                     int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with padding; includes the title and a separator under the
+  /// header when one was set.
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros is NOT
+/// done (fixed width keeps table columns stable).
+std::string format_double(double value, int precision = 3);
+
+/// Formats a ratio as a signed percentage, e.g. 0.529 -> "+52.9%".
+std::string format_percent(double fraction, int precision = 1);
+
+/// Writes content to a file, creating parent directories; throws on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace nada::util

@@ -1,0 +1,96 @@
+#include "video/video.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nada::video {
+
+BitrateLadder::BitrateLadder(std::vector<double> levels_kbps)
+    : levels_kbps_(std::move(levels_kbps)) {
+  if (levels_kbps_.empty()) {
+    throw std::invalid_argument("BitrateLadder: empty");
+  }
+  for (std::size_t i = 0; i < levels_kbps_.size(); ++i) {
+    if (levels_kbps_[i] <= 0.0) {
+      throw std::invalid_argument("BitrateLadder: non-positive bitrate");
+    }
+    if (i > 0 && levels_kbps_[i] <= levels_kbps_[i - 1]) {
+      throw std::invalid_argument("BitrateLadder: must strictly increase");
+    }
+  }
+}
+
+double BitrateLadder::kbps(std::size_t level) const {
+  if (level >= levels_kbps_.size()) {
+    throw std::out_of_range("BitrateLadder::kbps: level out of range");
+  }
+  return levels_kbps_[level];
+}
+
+const BitrateLadder& pensieve_ladder() {
+  static const BitrateLadder kLadder({300, 750, 1200, 1850, 2850, 4300});
+  return kLadder;
+}
+
+const BitrateLadder& youtube_ladder() {
+  static const BitrateLadder kLadder({1850, 2850, 4300, 12000, 24000, 53000});
+  return kLadder;
+}
+
+Video::Video(std::string name, const BitrateLadder& ladder,
+             std::size_t num_chunks, double chunk_len_s, util::Rng& rng)
+    : name_(std::move(name)),
+      ladder_(&ladder),
+      num_chunks_(num_chunks),
+      chunk_len_s_(chunk_len_s) {
+  if (num_chunks_ == 0) throw std::invalid_argument("Video: no chunks");
+  if (chunk_len_s_ <= 0.0) {
+    throw std::invalid_argument("Video: chunk length <= 0");
+  }
+  // Scene complexity drifts smoothly: AR(1) in log-space around 1.0 with a
+  // +/-15% typical band, matching chunk-size variation in real encodes.
+  vbr_factor_.reserve(num_chunks_);
+  double level = 0.0;  // log-space deviation
+  for (std::size_t i = 0; i < num_chunks_; ++i) {
+    level = 0.85 * level + rng.normal(0.0, 0.06);
+    vbr_factor_.push_back(std::exp(level));
+  }
+}
+
+double Video::chunk_bytes(std::size_t index, std::size_t level) const {
+  if (index >= num_chunks_) {
+    throw std::out_of_range("Video::chunk_bytes: chunk index out of range");
+  }
+  const double nominal_bytes =
+      ladder_->kbps(level) * 1000.0 / 8.0 * chunk_len_s_;
+  return nominal_bytes * vbr_factor_[index];
+}
+
+std::vector<double> Video::chunk_bytes_all_levels(std::size_t index) const {
+  std::vector<double> sizes;
+  sizes.reserve(ladder_->levels());
+  for (std::size_t level = 0; level < ladder_->levels(); ++level) {
+    sizes.push_back(chunk_bytes(index, level));
+  }
+  return sizes;
+}
+
+Video make_test_video(const BitrateLadder& ladder, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Video("test_video", ladder, 48, 4.0, rng);
+}
+
+QoELin::QoELin(const BitrateLadder& ladder)
+    : ladder_(&ladder), mu_(ladder.max_kbps() / 1000.0) {}
+
+double QoELin::chunk_reward(std::size_t level, std::size_t prev_level,
+                            double rebuffer_s) const {
+  if (rebuffer_s < 0.0) {
+    throw std::invalid_argument("QoELin: negative rebuffer");
+  }
+  const double quality = ladder_->mbps(level);
+  const double prev_quality = ladder_->mbps(prev_level);
+  return quality - mu_ * rebuffer_s - std::abs(quality - prev_quality);
+}
+
+}  // namespace nada::video

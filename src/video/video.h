@@ -1,0 +1,107 @@
+// Video model: bitrate ladders, chunk sizes, and the QoE_lin reward.
+//
+// Mirrors the Pensieve setup the paper adopts: 48 chunks of 4 seconds, six
+// bitrate levels. Two ladders are used — Pensieve's original for FCC and
+// Starlink, and YouTube's recommended encoding ladder for the
+// higher-bandwidth 4G and 5G datasets (paper §3.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nada::video {
+
+/// A fixed set of encoded bitrates, lowest first, in kbps.
+class BitrateLadder {
+ public:
+  explicit BitrateLadder(std::vector<double> levels_kbps);
+
+  [[nodiscard]] std::size_t levels() const { return levels_kbps_.size(); }
+  [[nodiscard]] double kbps(std::size_t level) const;
+  [[nodiscard]] double mbps(std::size_t level) const {
+    return kbps(level) / 1000.0;
+  }
+  [[nodiscard]] double max_kbps() const { return levels_kbps_.back(); }
+  [[nodiscard]] std::span<const double> all_kbps() const {
+    return levels_kbps_;
+  }
+
+ private:
+  std::vector<double> levels_kbps_;
+};
+
+/// Pensieve's ladder: {300, 750, 1200, 1850, 2850, 4300} kbps.
+[[nodiscard]] const BitrateLadder& pensieve_ladder();
+
+/// YouTube-recommended ladder for 4G/5G:
+/// {1850, 2850, 4300, 12000, 24000, 53000} kbps.
+[[nodiscard]] const BitrateLadder& youtube_ladder();
+
+/// A concrete encoded video: per-chunk, per-level sizes in bytes.
+///
+/// Sizes follow the nominal bitrate with smooth variable-bitrate (VBR)
+/// variation: scene complexity drifts across chunks, so a chunk's size is
+/// the nominal size times a per-chunk factor shared across levels (encoders
+/// allocate proportionally across the ladder for the same content).
+class Video {
+ public:
+  Video(std::string name, const BitrateLadder& ladder, std::size_t num_chunks,
+        double chunk_len_s, util::Rng& rng);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const BitrateLadder& ladder() const { return *ladder_; }
+  [[nodiscard]] std::size_t num_chunks() const { return num_chunks_; }
+  [[nodiscard]] double chunk_len_s() const { return chunk_len_s_; }
+
+  /// Size in bytes of chunk `index` encoded at `level`.
+  [[nodiscard]] double chunk_bytes(std::size_t index, std::size_t level) const;
+
+  /// Sizes of chunk `index` at every level (ladder order).
+  [[nodiscard]] std::vector<double> chunk_bytes_all_levels(
+      std::size_t index) const;
+
+  /// Total video duration in seconds.
+  [[nodiscard]] double duration_s() const {
+    return chunk_len_s_ * static_cast<double>(num_chunks_);
+  }
+
+ private:
+  std::string name_;
+  const BitrateLadder* ladder_;
+  std::size_t num_chunks_;
+  double chunk_len_s_;
+  std::vector<double> vbr_factor_;  // one per chunk, mean ~1
+};
+
+/// Builds the standard 48-chunk, 4-second test video used across the
+/// experiments (deterministic for a given seed).
+[[nodiscard]] Video make_test_video(const BitrateLadder& ladder,
+                                    std::uint64_t seed);
+
+/// QoE_lin from Pensieve: per-chunk reward
+///   q(R_t) - mu * rebuffer_s - |q(R_t) - q(R_{t-1})|
+/// with q(R) = bitrate in Mbps and mu equal to the ladder's top bitrate in
+/// Mbps (4.3 for the Pensieve ladder), the convention Pensieve's QoE_lin
+/// uses so that one second of stall cancels one chunk at max quality.
+class QoELin {
+ public:
+  explicit QoELin(const BitrateLadder& ladder);
+
+  /// Reward for downloading a chunk at `level` after `rebuffer_s` of stall,
+  /// when the previous chunk used `prev_level`.
+  [[nodiscard]] double chunk_reward(std::size_t level, std::size_t prev_level,
+                                    double rebuffer_s) const;
+
+  [[nodiscard]] double rebuffer_penalty_per_s() const { return mu_; }
+  [[nodiscard]] double smoothness_weight() const { return 1.0; }
+
+ private:
+  const BitrateLadder* ladder_;
+  double mu_;
+};
+
+}  // namespace nada::video

@@ -1,0 +1,234 @@
+// Tests for the classic ABR baseline policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abr/policies.h"
+#include "trace/generator.h"
+#include "video/video.h"
+
+namespace nada::abr {
+namespace {
+
+env::Observation mid_stream_obs() {
+  env::Observation obs;
+  obs.throughput_mbps = {2.0, 2.2, 1.8, 2.1, 2.0, 1.9, 2.3, 2.0};
+  obs.download_time_s = {1.5, 1.4, 1.7, 1.5, 1.5, 1.6, 1.3, 1.5};
+  obs.buffer_s_history = {8, 10, 12, 13, 15, 16, 18, 20};
+  obs.ladder_kbps = {300, 750, 1200, 1850, 2850, 4300};
+  obs.next_chunk_bytes = {150000, 375000, 600000, 925000, 1425000, 2150000};
+  obs.buffer_s = 20.0;
+  obs.chunks_remaining = 30;
+  obs.total_chunks = 48;
+  obs.last_bitrate_kbps = 1200;
+  obs.chunk_len_s = 4.0;
+  return obs;
+}
+
+trace::Trace constant_trace(double mbps) {
+  std::vector<trace::TracePoint> pts;
+  for (int t = 1; t <= 400; ++t) {
+    pts.push_back({static_cast<double>(t), mbps * 1000.0});
+  }
+  return trace::Trace("const", std::move(pts));
+}
+
+// ---- FixedPolicy --------------------------------------------------------------
+
+TEST(FixedPolicy, ReturnsItsLevel) {
+  FixedPolicy p(3);
+  EXPECT_EQ(p.choose(mid_stream_obs()), 3u);
+}
+
+TEST(FixedPolicy, OutOfLadderThrows) {
+  FixedPolicy p(9);
+  EXPECT_THROW(p.choose(mid_stream_obs()), std::out_of_range);
+}
+
+// ---- BufferBasedPolicy ----------------------------------------------------------
+
+TEST(BufferBased, LowBufferPicksLowest) {
+  BufferBasedPolicy p(5.0, 40.0);
+  auto obs = mid_stream_obs();
+  obs.buffer_s = 3.0;
+  EXPECT_EQ(p.choose(obs), 0u);
+}
+
+TEST(BufferBased, FullCushionPicksHighest) {
+  BufferBasedPolicy p(5.0, 40.0);
+  auto obs = mid_stream_obs();
+  obs.buffer_s = 50.0;
+  EXPECT_EQ(p.choose(obs), 5u);
+}
+
+TEST(BufferBased, MonotoneInBuffer) {
+  BufferBasedPolicy p(5.0, 40.0);
+  auto obs = mid_stream_obs();
+  std::size_t prev = 0;
+  for (double b = 0.0; b <= 60.0; b += 2.0) {
+    obs.buffer_s = b;
+    const std::size_t level = p.choose(obs);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+  EXPECT_EQ(prev, 5u);
+}
+
+TEST(BufferBased, RejectsBadParameters) {
+  EXPECT_THROW(BufferBasedPolicy(-1.0, 40.0), std::invalid_argument);
+  EXPECT_THROW(BufferBasedPolicy(5.0, 0.0), std::invalid_argument);
+}
+
+// ---- RateBasedPolicy --------------------------------------------------------------
+
+TEST(RateBased, PicksTopRungBelowBudget) {
+  RateBasedPolicy p(0.85, 4.0);
+  auto obs = mid_stream_obs();
+  // Harmonic mean ~2.0 Mbps, budget ~1700 kbps -> level 2 (1200 kbps).
+  EXPECT_EQ(p.choose(obs), 2u);
+}
+
+TEST(RateBased, StartupUsesLowest) {
+  RateBasedPolicy p(0.85, 4.0);
+  auto obs = mid_stream_obs();
+  obs.buffer_s = 1.0;
+  EXPECT_EQ(p.choose(obs), 0u);
+}
+
+TEST(RateBased, ZeroHistoryUsesLowest) {
+  RateBasedPolicy p;
+  auto obs = mid_stream_obs();
+  obs.throughput_mbps.assign(8, 0.0);
+  EXPECT_EQ(p.choose(obs), 0u);
+}
+
+TEST(RateBased, RejectsBadSafety) {
+  EXPECT_THROW(RateBasedPolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(RateBasedPolicy(1.5), std::invalid_argument);
+}
+
+// ---- RobustMpcPolicy -----------------------------------------------------------------
+
+TEST(RobustMpc, StableConditionsPickSustainableRate) {
+  RobustMpcPolicy p(3);
+  auto obs = mid_stream_obs();  // ~2 Mbps forecast
+  // With only a modest buffer there is no slack to burn: the plan must be
+  // sustainable at the forecast rate. (With a large buffer MPC will
+  // rationally spend it on higher quality within its horizon.)
+  obs.buffer_s = 6.0;
+  const std::size_t level = p.choose(obs);
+  EXPECT_GE(level, 1u);
+  EXPECT_LE(level, 3u);
+}
+
+TEST(RobustMpc, EmptyBufferConservative) {
+  RobustMpcPolicy p(3);
+  auto obs = mid_stream_obs();
+  obs.buffer_s = 0.5;
+  obs.last_bitrate_kbps = 300;
+  const std::size_t level = p.choose(obs);
+  EXPECT_LE(level, 1u);
+}
+
+TEST(RobustMpc, HighBandwidthPicksHigh) {
+  RobustMpcPolicy p(3);
+  auto obs = mid_stream_obs();
+  obs.throughput_mbps.assign(8, 50.0);
+  obs.last_bitrate_kbps = 4300;
+  obs.buffer_s = 30.0;
+  EXPECT_EQ(p.choose(obs), 5u);
+}
+
+TEST(RobustMpc, ErrorDiscountLowersForecast) {
+  RobustMpcPolicy p(2);
+  auto varying = mid_stream_obs();
+  // Feed wildly wrong history twice so the tracked error grows; the pick
+  // should not exceed what a discounted forecast supports.
+  varying.throughput_mbps.assign(8, 10.0);
+  (void)p.choose(varying);
+  varying.throughput_mbps.assign(8, 1.0);
+  (void)p.choose(varying);
+  varying.throughput_mbps.assign(8, 10.0);
+  varying.buffer_s = 6.0;
+  const std::size_t level = p.choose(varying);
+  RobustMpcPolicy fresh(2);
+  auto stable = varying;
+  const std::size_t fresh_level = fresh.choose(stable);
+  EXPECT_LE(level, fresh_level);
+}
+
+TEST(RobustMpc, RejectsBadHorizon) {
+  EXPECT_THROW(RobustMpcPolicy(0), std::invalid_argument);
+  EXPECT_THROW(RobustMpcPolicy(6), std::invalid_argument);
+}
+
+TEST(RobustMpc, ResetClearsErrorTracking) {
+  RobustMpcPolicy p(2);
+  auto obs = mid_stream_obs();
+  obs.throughput_mbps.assign(8, 10.0);
+  (void)p.choose(obs);
+  obs.throughput_mbps.assign(8, 1.0);
+  (void)p.choose(obs);
+  p.reset();
+  // After reset the first decision has no error memory: same as fresh.
+  RobustMpcPolicy fresh(2);
+  EXPECT_EQ(p.choose(obs), fresh.choose(obs));
+}
+
+// ---- evaluate / integration ---------------------------------------------------------
+
+TEST(HarmonicMean, KnownValues) {
+  EXPECT_NEAR(harmonic_mean_positive(std::vector<double>{1.0, 4.0}), 1.6,
+              1e-12);
+  EXPECT_DOUBLE_EQ(harmonic_mean_positive(std::vector<double>{0.0, 0.0}),
+                   0.0);
+  EXPECT_NEAR(harmonic_mean_positive(std::vector<double>{0.0, 2.0}), 2.0,
+              1e-12);
+}
+
+TEST(EvaluatePolicy, SmartPoliciesBeatFixedMax) {
+  const auto tr = constant_trace(2.0);
+  std::vector<trace::Trace> traces = {tr};
+  const auto video = video::make_test_video(video::pensieve_ladder(), 3);
+  FixedPolicy max_policy(5);
+  BufferBasedPolicy bba;
+  RobustMpcPolicy mpc;
+  const double fixed = evaluate_policy(max_policy, traces, video,
+                                       env::Fidelity::kSimulation, 1);
+  const double buffer = evaluate_policy(bba, traces, video,
+                                        env::Fidelity::kSimulation, 1);
+  const double mpc_score = evaluate_policy(mpc, traces, video,
+                                           env::Fidelity::kSimulation, 1);
+  EXPECT_GT(buffer, fixed);
+  EXPECT_GT(mpc_score, fixed);
+}
+
+TEST(EvaluatePolicy, MpcCompetitiveOnRealisticTraces) {
+  const trace::Dataset ds =
+      trace::build_dataset(trace::Environment::k4G, 0.05, 5);
+  const auto video = video::make_test_video(video::youtube_ladder(), 3);
+  RobustMpcPolicy mpc;
+  FixedPolicy lowest(0);
+  const double mpc_score = evaluate_policy(mpc, ds.test, video,
+                                           env::Fidelity::kSimulation, 2);
+  const double low_score = evaluate_policy(lowest, ds.test, video,
+                                           env::Fidelity::kSimulation, 2);
+  EXPECT_GT(mpc_score, low_score);
+}
+
+TEST(StandardBaselines, AllRunEverywhere) {
+  const trace::Dataset ds =
+      trace::build_dataset(trace::Environment::kStarlink, 0.1, 9);
+  const auto video = video::make_test_video(video::pensieve_ladder(), 4);
+  for (auto& policy : standard_baselines()) {
+    const double score = evaluate_policy(*policy, ds.test, video,
+                                         env::Fidelity::kSimulation, 3);
+    EXPECT_TRUE(std::isfinite(score)) << policy->name();
+    const double emu = evaluate_policy(*policy, ds.test, video,
+                                       env::Fidelity::kEmulation, 3);
+    EXPECT_TRUE(std::isfinite(emu)) << policy->name();
+  }
+}
+
+}  // namespace
+}  // namespace nada::abr

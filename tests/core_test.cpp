@@ -1,0 +1,198 @@
+// Tests for the NADA pipeline orchestration: funnel accounting, selection,
+// early stopping integration, and the scaled configuration helper.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace nada::core {
+namespace {
+
+PipelineConfig tiny_config() {
+  PipelineConfig config;
+  config.num_candidates = 40;
+  config.early_epochs = 8;
+  config.full_train_top = 3;
+  config.seeds = 2;
+  config.train.epochs = 24;
+  config.train.test_interval = 8;
+  config.train.max_eval_traces = 4;
+  nn::ArchSpec arch = nn::ArchSpec::pensieve();
+  arch.conv_filters = 8;
+  arch.scalar_hidden = 8;
+  arch.merge_hidden = 16;
+  config.baseline_arch = arch;
+  return config;
+}
+
+struct PipelineFixture {
+  trace::Dataset dataset = trace::build_dataset(trace::Environment::kStarlink,
+                                                0.2, 99);
+  video::Video video = video::make_test_video(video::pensieve_ladder(), 7);
+  util::ThreadPool pool{8};
+};
+
+TEST(Pipeline, StateSearchFunnelAccounting) {
+  PipelineFixture fx;
+  Pipeline pipeline(fx.dataset, fx.video, tiny_config(), 1234, &fx.pool);
+  gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
+                                77);
+  const PipelineResult result =
+      pipeline.search_states(generator, tiny_config().baseline_arch);
+
+  EXPECT_EQ(result.n_total, 40u);
+  EXPECT_EQ(result.outcomes.size(), 40u);
+  EXPECT_LE(result.n_compiled, result.n_total);
+  EXPECT_LE(result.n_normalized, result.n_compiled);
+  EXPECT_LE(result.n_fully_trained, tiny_config().full_train_top);
+  EXPECT_GT(result.n_fully_trained, 0u);
+  EXPECT_TRUE(result.has_best());
+  EXPECT_GT(result.best_score, -1e8);
+  // The original design trained for comparison.
+  EXPECT_FALSE(result.original.failed);
+
+  // Per-outcome consistency.
+  std::size_t compiled = 0, normalized = 0, trained = 0;
+  for (const auto& o : result.outcomes) {
+    if (o.compiled) ++compiled;
+    if (o.compiled && o.normalized) ++normalized;
+    if (o.fully_trained) {
+      ++trained;
+      EXPECT_TRUE(o.early_probed);
+      EXPECT_FALSE(o.early_stopped);
+      EXPECT_FALSE(o.median_curve.empty());
+    }
+    if (!o.compiled) {
+      EXPECT_FALSE(o.compile_error.empty());
+      EXPECT_FALSE(o.fully_trained);
+    }
+  }
+  EXPECT_EQ(compiled, result.n_compiled);
+  EXPECT_EQ(normalized, result.n_normalized);
+  EXPECT_EQ(trained, result.n_fully_trained);
+}
+
+TEST(Pipeline, ProbedButUnselectedAreEarlyStopped) {
+  PipelineFixture fx;
+  PipelineConfig config = tiny_config();
+  config.full_train_top = 1;
+  Pipeline pipeline(fx.dataset, fx.video, config, 4321, &fx.pool);
+  gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
+                                88);
+  const PipelineResult result =
+      pipeline.search_states(generator, config.baseline_arch);
+  // Everything probed but not fully trained must be marked early-stopped.
+  std::size_t probed = 0;
+  for (const auto& o : result.outcomes) {
+    if (o.early_probed) ++probed;
+    if (o.early_probed && !o.fully_trained) {
+      EXPECT_TRUE(o.early_stopped) << o.id;
+    }
+  }
+  EXPECT_EQ(result.n_early_stopped, probed - result.n_fully_trained);
+}
+
+TEST(Pipeline, ArchSearchRunsAndRanks) {
+  PipelineFixture fx;
+  PipelineConfig config = tiny_config();
+  config.num_candidates = 30;
+  Pipeline pipeline(fx.dataset, fx.video, config, 555, &fx.pool);
+  gen::ArchGenerator generator(gen::gpt35_profile(), gen::PromptStrategy{},
+                               99);
+  const auto state =
+      dsl::StateProgram::compile(dsl::pensieve_state_source());
+  const PipelineResult result = pipeline.search_archs(generator, state);
+  EXPECT_EQ(result.n_total, 30u);
+  EXPECT_GT(result.n_compiled, 0u);
+  EXPECT_LT(result.n_compiled, 30u);  // GPT-3.5 profile: ~75% invalid
+  EXPECT_GT(result.n_fully_trained, 0u);
+  EXPECT_TRUE(result.has_best());
+  for (const auto& o : result.outcomes) {
+    if (o.fully_trained) EXPECT_TRUE(o.arch.has_value());
+  }
+}
+
+TEST(Pipeline, BaselineIsCachedAcrossSearches) {
+  PipelineFixture fx;
+  Pipeline pipeline(fx.dataset, fx.video, tiny_config(), 777, &fx.pool);
+  const auto& first = pipeline.original_baseline();
+  const auto& second = pipeline.original_baseline();
+  EXPECT_EQ(&first, &second);
+  EXPECT_FALSE(first.failed);
+}
+
+TEST(Pipeline, EarlyStopModelFiltersProbes) {
+  PipelineFixture fx;
+  PipelineConfig config = tiny_config();
+  Pipeline pipeline(fx.dataset, fx.video, config, 888, &fx.pool);
+
+  // A heuristic model with an absurdly high threshold stops everything;
+  // the pipeline must then fully train nothing.
+  filter::EarlyStopConfig es_config;
+  filter::EarlyStopModel model(filter::EarlyStopMethod::kHeuristicMax,
+                               es_config, 1);
+  std::vector<filter::DesignRecord> fake_corpus;
+  for (int i = 0; i < 10; ++i) {
+    filter::DesignRecord r;
+    r.id = std::to_string(i);
+    r.final_score = i == 0 ? 1e8 : static_cast<double>(i);
+    r.early_rewards = {0.0, i == 0 ? 1e9 : 1.0};
+    fake_corpus.push_back(r);
+  }
+  model.fit(fake_corpus);  // threshold ~1e9: nothing real survives
+
+  gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
+                                11);
+  const PipelineResult result =
+      pipeline.search_states(generator, config.baseline_arch, &model);
+  EXPECT_EQ(result.n_fully_trained, 0u);
+  EXPECT_FALSE(result.has_best());
+  EXPECT_GT(result.n_early_stopped, 0u);
+}
+
+TEST(Pipeline, RejectsDegenerateConfig) {
+  PipelineFixture fx;
+  PipelineConfig config = tiny_config();
+  config.num_candidates = 0;
+  EXPECT_THROW(Pipeline(fx.dataset, fx.video, config, 1, nullptr),
+               std::invalid_argument);
+  PipelineConfig config2 = tiny_config();
+  config2.full_train_top = 0;
+  EXPECT_THROW(Pipeline(fx.dataset, fx.video, config2, 1, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ScaledConfig, RespectsScaleFactors) {
+  util::ScaleConfig scale;
+  scale.gen = 0.01;
+  scale.epochs = 0.01;
+  scale.seeds = 0.6;
+  const PipelineConfig config =
+      scaled_pipeline_config(trace::Environment::kFcc, scale);
+  EXPECT_EQ(config.num_candidates, 30u);  // 3000 * 0.01
+  EXPECT_EQ(config.train.epochs, 400u);   // 40000 * 0.01
+  EXPECT_EQ(config.seeds, 3u);            // 5 * 0.6
+  EXPECT_GE(config.early_epochs, config.train.epochs / 4);
+}
+
+TEST(ScaledConfig, StarlinkKeepsSmallerBudget) {
+  util::ScaleConfig scale;
+  scale.epochs = 0.05;
+  const PipelineConfig fcc =
+      scaled_pipeline_config(trace::Environment::kFcc, scale);
+  const PipelineConfig starlink =
+      scaled_pipeline_config(trace::Environment::kStarlink, scale);
+  EXPECT_LT(starlink.train.epochs, fcc.train.epochs);
+}
+
+TEST(ScaledConfig, PaperScaleReproducesPaperBudgets) {
+  util::ScaleConfig scale;
+  scale.gen = scale.epochs = scale.seeds = scale.traces = 1.0;
+  const PipelineConfig config =
+      scaled_pipeline_config(trace::Environment::k4G, scale);
+  EXPECT_EQ(config.num_candidates, 3000u);
+  EXPECT_EQ(config.train.epochs, 40000u);
+  EXPECT_EQ(config.seeds, 5u);
+}
+
+}  // namespace
+}  // namespace nada::core

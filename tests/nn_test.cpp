@@ -1,0 +1,577 @@
+// Tests for the neural-network substrate. The crucial ones are numerical
+// gradient checks: every layer's analytic backward pass is compared with
+// finite differences of a scalar loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/arch.h"
+#include "nn/classifier.h"
+#include "nn/layers.h"
+#include "nn/mat.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace nada::nn {
+namespace {
+
+// ---- Mat --------------------------------------------------------------------
+
+TEST(Mat, MatvecKnownValues) {
+  Mat m(2, 3);
+  // [[1,2,3],[4,5,6]] * [1,1,1] = [6,15]
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const Vec y = m.matvec(std::vector<double>{1, 1, 1});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Mat, MatvecTransposedKnownValues) {
+  Mat m(2, 3);
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const Vec y = m.matvec_transposed(std::vector<double>{1, 1});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+TEST(Mat, AddOuterKnownValues) {
+  Mat m(2, 2);
+  m.add_outer(std::vector<double>{1, 2}, std::vector<double>{3, 4}, 2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 16.0);
+}
+
+TEST(Mat, ShapeMismatchThrows) {
+  Mat m(2, 3);
+  EXPECT_THROW(m.matvec(std::vector<double>{1, 1}), std::invalid_argument);
+  EXPECT_THROW(m.matvec_transposed(std::vector<double>{1, 1, 1}),
+               std::invalid_argument);
+  Mat other(3, 2);
+  EXPECT_THROW(m.add_scaled(other, 1.0), std::invalid_argument);
+}
+
+TEST(Mat, ZeroDimensionThrows) {
+  EXPECT_THROW(Mat(0, 3), std::invalid_argument);
+  EXPECT_THROW(Mat(3, 0), std::invalid_argument);
+}
+
+TEST(VecOps, SoftmaxSumsToOne) {
+  const Vec probs = softmax(std::vector<double>{1.0, 2.0, 3.0});
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(probs[2], probs[1]);
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(VecOps, SoftmaxHandlesLargeLogits) {
+  const Vec probs = softmax(std::vector<double>{1000.0, 1000.0});
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_NEAR(probs[1], 0.5, 1e-12);
+}
+
+TEST(VecOps, EntropyUniformIsLogN) {
+  const Vec probs(4, 0.25);
+  EXPECT_NEAR(entropy(probs), std::log(4.0), 1e-12);
+  const Vec onehot = {1.0, 0.0, 0.0};
+  EXPECT_NEAR(entropy(onehot), 0.0, 1e-9);
+}
+
+TEST(VecOps, ResampleLinearEndpoints) {
+  const Vec xs = {0.0, 1.0, 2.0, 3.0};
+  const Vec out = resample_linear(xs, 7);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_DOUBLE_EQ(out.front(), 0.0);
+  EXPECT_DOUBLE_EQ(out.back(), 3.0);
+  EXPECT_NEAR(out[3], 1.5, 1e-12);
+}
+
+TEST(VecOps, ResampleFromSingleValue) {
+  const Vec out = resample_linear(std::vector<double>{5.0}, 4);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+// ---- gradient checks ----------------------------------------------------------
+
+// Scalar loss L = sum(w_out .* layer(x)); checks dL/dx and dL/dparams
+// against central finite differences.
+void check_layer_gradients(Layer& layer, const Vec& x, double tol = 1e-5) {
+  util::Rng rng(777);
+  Vec w_out(layer.out_dim());
+  for (double& w : w_out) w = rng.uniform(-1.0, 1.0);
+
+  auto loss = [&](const Vec& input) {
+    const Vec y = layer.forward(input);
+    return dot(y, w_out);
+  };
+
+  // Analytic gradients.
+  layer.zero_grad();
+  (void)layer.forward(x);
+  const Vec dx = layer.backward(w_out);
+
+  // Input gradient check.
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Vec xp = x;
+    Vec xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric = (loss(xp) - loss(xm)) / (2 * eps);
+    EXPECT_NEAR(dx[i], numeric, tol) << "input grad " << i;
+  }
+
+  // Parameter gradient check. Re-run analytic backward because the finite
+  // difference probes disturbed the forward cache.
+  layer.zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(w_out);
+  for (auto& p : layer.params()) {
+    auto& values = p.value->data();
+    auto& grads = p.grad->data();
+    // Probe a subset of parameters to keep the test fast.
+    const std::size_t stride = std::max<std::size_t>(values.size() / 25, 1);
+    for (std::size_t j = 0; j < values.size(); j += stride) {
+      const double saved = values[j];
+      values[j] = saved + eps;
+      const double up = loss(x);
+      values[j] = saved - eps;
+      const double down = loss(x);
+      values[j] = saved;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grads[j], numeric, tol) << "param grad " << j;
+    }
+  }
+}
+
+TEST(GradCheck, DenseLinear) {
+  util::Rng rng(1);
+  Dense layer(5, 4, Activation::kLinear, rng);
+  check_layer_gradients(layer, {0.5, -0.3, 1.2, 0.0, -0.9});
+}
+
+TEST(GradCheck, DenseTanh) {
+  util::Rng rng(2);
+  Dense layer(4, 6, Activation::kTanh, rng);
+  check_layer_gradients(layer, {0.2, -0.6, 0.9, 0.1});
+}
+
+TEST(GradCheck, DenseSigmoid) {
+  util::Rng rng(3);
+  Dense layer(3, 3, Activation::kSigmoid, rng);
+  check_layer_gradients(layer, {1.0, -1.0, 0.3});
+}
+
+TEST(GradCheck, DenseLeakyRelu) {
+  util::Rng rng(4);
+  Dense layer(4, 5, Activation::kLeakyRelu, rng);
+  // Inputs chosen so pre-activations stay away from the kink.
+  check_layer_gradients(layer, {0.7, -0.8, 0.45, 1.3}, 1e-4);
+}
+
+TEST(GradCheck, DenseElu) {
+  util::Rng rng(5);
+  Dense layer(4, 4, Activation::kElu, rng);
+  check_layer_gradients(layer, {0.7, -0.4, 0.2, -1.1}, 1e-4);
+}
+
+TEST(GradCheck, Conv1D) {
+  util::Rng rng(6);
+  Conv1D layer(8, 3, 4, Activation::kTanh, rng);
+  check_layer_gradients(layer, {0.1, -0.2, 0.3, 0.5, -0.6, 0.4, 0.0, 0.9});
+}
+
+TEST(GradCheck, Conv1DKernelOne) {
+  util::Rng rng(7);
+  Conv1D layer(5, 2, 1, Activation::kLinear, rng);
+  check_layer_gradients(layer, {0.3, 0.1, -0.4, 0.8, -0.2});
+}
+
+TEST(GradCheck, Conv1DFullWidthKernel) {
+  util::Rng rng(8);
+  Conv1D layer(6, 4, 6, Activation::kTanh, rng);
+  check_layer_gradients(layer, {0.2, -0.1, 0.4, 0.3, -0.5, 0.6});
+}
+
+TEST(GradCheck, SimpleRnn) {
+  util::Rng rng(9);
+  SimpleRnn layer(6, 5, rng);
+  check_layer_gradients(layer, {0.5, -0.3, 0.8, 0.2, -0.7, 0.1}, 1e-4);
+}
+
+TEST(GradCheck, Lstm) {
+  util::Rng rng(10);
+  Lstm layer(5, 4, rng);
+  check_layer_gradients(layer, {0.4, -0.6, 0.9, -0.1, 0.3}, 1e-4);
+}
+
+TEST(Conv1D, RejectsBadKernel) {
+  util::Rng rng(11);
+  EXPECT_THROW(Conv1D(4, 2, 5, Activation::kRelu, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Conv1D(4, 2, 0, Activation::kRelu, rng),
+               std::invalid_argument);
+}
+
+TEST(Layers, ForwardRejectsWrongSize) {
+  util::Rng rng(12);
+  Dense dense(3, 2, Activation::kRelu, rng);
+  EXPECT_THROW(dense.forward({1.0, 2.0}), std::invalid_argument);
+  SimpleRnn rnn(4, 3, rng);
+  EXPECT_THROW(rnn.forward({1.0}), std::invalid_argument);
+  Lstm lstm(4, 3, rng);
+  EXPECT_THROW(lstm.forward({1.0}), std::invalid_argument);
+}
+
+// ---- optimizers -----------------------------------------------------------------
+
+TEST(Adam, MinimizesQuadratic) {
+  // One 1x1 "weight" minimizing (w - 3)^2.
+  Mat w(1, 1, 0.0);
+  Mat g(1, 1, 0.0);
+  Adam adam(0.1);
+  for (int i = 0; i < 300; ++i) {
+    g(0, 0) = 2.0 * (w(0, 0) - 3.0);
+    adam.step({{&w, &g}});
+  }
+  EXPECT_NEAR(w(0, 0), 3.0, 1e-2);
+}
+
+TEST(RmsProp, MinimizesQuadratic) {
+  Mat w(1, 1, 10.0);
+  Mat g(1, 1, 0.0);
+  RmsProp rms(0.05);
+  for (int i = 0; i < 2000; ++i) {
+    g(0, 0) = 2.0 * (w(0, 0) - 3.0);
+    rms.step({{&w, &g}});
+  }
+  EXPECT_NEAR(w(0, 0), 3.0, 0.1);
+}
+
+TEST(Adam, ZeroesGradientsAfterStep) {
+  Mat w(2, 2, 1.0);
+  Mat g(2, 2, 5.0);
+  Adam adam(0.01);
+  adam.step({{&w, &g}});
+  for (double v : g.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Optimizer, ClipGlobalNormScales) {
+  Mat w(1, 2);
+  Mat g(1, 2);
+  g(0, 0) = 3.0;
+  g(0, 1) = 4.0;  // norm 5
+  std::vector<ParamRef> params = {{&w, &g}};
+  Optimizer::clip_global_norm(params, 1.0);
+  EXPECT_NEAR(g(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(g(0, 1), 0.8, 1e-12);
+  // Below the cap: unchanged.
+  Optimizer::clip_global_norm(params, 10.0);
+  EXPECT_NEAR(g(0, 0), 0.6, 1e-12);
+}
+
+// ---- ArchSpec / ActorCriticNet ---------------------------------------------------
+
+StateSignature pensieve_signature() {
+  // last_quality, buffer (scalars); throughput, download (8-vectors);
+  // next sizes (6-vector); chunks left (scalar).
+  StateSignature sig;
+  sig.row_lengths = {1, 1, 8, 8, 6, 1};
+  return sig;
+}
+
+TEST(ArchSpec, PensieveDefaultValid) {
+  EXPECT_NO_THROW(validate_spec(ArchSpec::pensieve(), pensieve_signature()));
+}
+
+TEST(ArchSpec, KernelTooLargeRejected) {
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.conv_kernel = 7;  // shortest vector row is 6
+  EXPECT_THROW(validate_spec(spec, pensieve_signature()), ArchError);
+}
+
+TEST(ArchSpec, ZeroWidthRejected) {
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.merge_hidden = 0;
+  EXPECT_THROW(validate_spec(spec, pensieve_signature()), ArchError);
+}
+
+TEST(ArchSpec, OversizedWidthRejected) {
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.merge_hidden = 4096;
+  EXPECT_THROW(validate_spec(spec, pensieve_signature()), ArchError);
+}
+
+TEST(ArchSpec, TooManyMergeLayersRejected) {
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.merge_layers = 5;
+  EXPECT_THROW(validate_spec(spec, pensieve_signature()), ArchError);
+}
+
+TEST(ArchSpec, ZeroRnnHiddenRejected) {
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.temporal = TemporalUnit::kRnn;
+  spec.rnn_hidden = 0;
+  EXPECT_THROW(validate_spec(spec, pensieve_signature()), ArchError);
+}
+
+TEST(ArchSpec, DescribeMentionsUnit) {
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.temporal = TemporalUnit::kLstm;
+  EXPECT_NE(spec.describe().find("lstm"), std::string::npos);
+}
+
+class NetVariantTest
+    : public ::testing::TestWithParam<std::tuple<TemporalUnit, bool>> {};
+
+TEST_P(NetVariantTest, ForwardBackwardRuns) {
+  const auto [unit, shared] = GetParam();
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.temporal = unit;
+  spec.shared_trunk = shared;
+  spec.conv_filters = 8;
+  spec.rnn_hidden = 8;
+  spec.scalar_hidden = 8;
+  spec.merge_hidden = 8;
+  util::Rng rng(13);
+  ActorCriticNet net(spec, pensieve_signature(), 6, rng);
+
+  std::vector<Vec> rows = {{0.3},
+                           {0.9},
+                           {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+                           {0.2, 0.2, 0.3, 0.1, 0.4, 0.2, 0.3, 0.2},
+                           {0.1, 0.2, 0.4, 0.7, 1.1, 1.7},
+                           {0.5}};
+  const auto out = net.forward(rows);
+  ASSERT_EQ(out.probs.size(), 6u);
+  double total = 0.0;
+  for (double p : out.probs) {
+    EXPECT_GT(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(out.value));
+
+  Vec dlogits(6, 0.1);
+  dlogits[2] = -0.5;
+  EXPECT_NO_THROW(net.backward(dlogits, 0.7));
+  // Gradients should be nonzero somewhere.
+  double grad_norm = 0.0;
+  for (auto& p : net.params()) {
+    for (double g : p.grad->data()) grad_norm += g * g;
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, NetVariantTest,
+    ::testing::Combine(::testing::Values(TemporalUnit::kConv1D,
+                                         TemporalUnit::kRnn,
+                                         TemporalUnit::kLstm,
+                                         TemporalUnit::kDense),
+                       ::testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<TemporalUnit, bool>>& info) {
+      return std::string(temporal_unit_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_shared" : "_separate");
+    });
+
+TEST(ActorCriticNet, WholeNetGradientCheck) {
+  // End-to-end gradient check through branches, merge, and actor head via
+  // a loss over logits and value.
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.conv_filters = 4;
+  spec.scalar_hidden = 4;
+  spec.merge_hidden = 6;
+  spec.activation = Activation::kTanh;
+  util::Rng rng(14);
+  StateSignature sig;
+  sig.row_lengths = {1, 8};
+  ActorCriticNet net(spec, sig, 3, rng);
+
+  const std::vector<Vec> rows = {{0.4},
+                                 {0.1, -0.2, 0.3, 0.25, -0.15, 0.05, 0.4,
+                                  -0.3}};
+  const Vec w_logit = {0.3, -0.7, 0.5};
+  const double w_value = 0.9;
+  auto loss = [&] {
+    const auto out = net.forward(rows);
+    return dot(out.logits, w_logit) + w_value * out.value;
+  };
+
+  net.zero_grad();
+  (void)net.forward(rows);
+  net.backward(w_logit, w_value);
+
+  const double eps = 1e-6;
+  auto params = net.params();
+  std::size_t checked = 0;
+  for (auto& p : params) {
+    auto& values = p.value->data();
+    auto& grads = p.grad->data();
+    const std::size_t stride = std::max<std::size_t>(values.size() / 8, 1);
+    for (std::size_t j = 0; j < values.size(); j += stride) {
+      const double saved = values[j];
+      values[j] = saved + eps;
+      const double up = loss();
+      values[j] = saved - eps;
+      const double down = loss();
+      values[j] = saved;
+      EXPECT_NEAR(grads[j], (up - down) / (2 * eps), 1e-5);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST(ActorCriticNet, WeightsRoundtrip) {
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.conv_filters = 8;
+  spec.scalar_hidden = 8;
+  spec.merge_hidden = 8;
+  util::Rng rng(15);
+  ActorCriticNet a(spec, pensieve_signature(), 6, rng);
+  ActorCriticNet b(spec, pensieve_signature(), 6, rng);
+
+  const Vec weights = a.get_weights();
+  EXPECT_EQ(weights.size(), a.num_params());
+  b.set_weights(weights);
+
+  const std::vector<Vec> rows = {{0.3},
+                                 {0.9},
+                                 {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+                                 {0.2, 0.2, 0.3, 0.1, 0.4, 0.2, 0.3, 0.2},
+                                 {0.1, 0.2, 0.4, 0.7, 1.1, 1.7},
+                                 {0.5}};
+  const auto oa = a.forward(rows);
+  const auto ob = b.forward(rows);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(oa.probs[i], ob.probs[i]);
+  }
+  EXPECT_DOUBLE_EQ(oa.value, ob.value);
+}
+
+TEST(ActorCriticNet, SetWeightsRejectsWrongLength) {
+  util::Rng rng(16);
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.conv_filters = 8;
+  spec.scalar_hidden = 8;
+  spec.merge_hidden = 8;
+  ActorCriticNet net(spec, pensieve_signature(), 6, rng);
+  Vec too_short(3, 0.0);
+  EXPECT_THROW(net.set_weights(too_short), std::invalid_argument);
+}
+
+TEST(ActorCriticNet, RowMismatchThrows) {
+  util::Rng rng(17);
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.conv_filters = 8;
+  spec.scalar_hidden = 8;
+  spec.merge_hidden = 8;
+  ActorCriticNet net(spec, pensieve_signature(), 6, rng);
+  EXPECT_THROW(net.forward({{0.1}}), std::invalid_argument);
+  std::vector<Vec> bad_rows = {{0.3}, {0.9}, {0.1, 0.2}, {0.2},
+                               {0.1}, {0.5}};
+  EXPECT_THROW(net.forward(bad_rows), std::invalid_argument);
+}
+
+TEST(ActorCriticNet, FewerThanTwoActionsRejected) {
+  util::Rng rng(18);
+  EXPECT_THROW(
+      ActorCriticNet(ArchSpec::pensieve(), pensieve_signature(), 1, rng),
+      ArchError);
+}
+
+// ---- classifiers ------------------------------------------------------------------
+
+TEST(Conv1DClassifier, LearnsRisingVsFalling) {
+  util::Rng rng(19);
+  Conv1DClassifier clf(16, 8, 5, 8, rng);
+  std::vector<Vec> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    Vec x(16);
+    const bool rising = i % 2 == 0;
+    for (int t = 0; t < 16; ++t) {
+      const double base = rising ? t / 16.0 : 1.0 - t / 16.0;
+      x[t] = base + rng.normal(0.0, 0.05);
+    }
+    xs.push_back(std::move(x));
+    ys.push_back(rising ? 1.0 : 0.0);
+  }
+  ClassifierTrainOptions opts;
+  opts.epochs = 40;
+  clf.train(xs, ys, opts);
+
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double p = clf.predict(xs[i]);
+    if ((p > 0.5) == (ys[i] > 0.5)) ++correct;
+  }
+  EXPECT_GT(correct, 180);
+}
+
+TEST(MlpClassifier, LearnsLinearlySeparable) {
+  util::Rng rng(20);
+  MlpClassifier clf(4, {8}, rng);
+  std::vector<Vec> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 300; ++i) {
+    Vec x(4);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    const double margin = x[0] + 0.5 * x[1] - 0.8 * x[2];
+    if (std::abs(margin) < 0.2) continue;  // keep a margin
+    xs.push_back(x);
+    ys.push_back(margin > 0 ? 1.0 : 0.0);
+  }
+  ClassifierTrainOptions opts;
+  opts.epochs = 60;
+  clf.train(xs, ys, opts);
+  int correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if ((clf.predict(xs[i]) > 0.5) == (ys[i] > 0.5)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / xs.size(), 0.92);
+}
+
+TEST(Classifier, SoftLabelsAccepted) {
+  util::Rng rng(21);
+  MlpClassifier clf(2, {4}, rng);
+  const std::vector<Vec> xs = {{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<double> ys = {0.8, 0.2};
+  ClassifierTrainOptions opts;
+  opts.epochs = 5;
+  EXPECT_NO_THROW(clf.train(xs, ys, opts));
+}
+
+TEST(Classifier, RejectsBadLabels) {
+  util::Rng rng(22);
+  MlpClassifier clf(2, {4}, rng);
+  const std::vector<Vec> xs = {{0.0, 1.0}};
+  ClassifierTrainOptions opts;
+  EXPECT_THROW(clf.train(xs, {1.5}, opts), std::invalid_argument);
+  EXPECT_THROW(clf.train(xs, {-0.1}, opts), std::invalid_argument);
+  EXPECT_THROW(clf.train({}, {}, opts), std::invalid_argument);
+}
+
+TEST(Classifier, PredictRejectsWrongDim) {
+  util::Rng rng(23);
+  MlpClassifier clf(3, {4}, rng);
+  EXPECT_THROW(clf.predict({1.0}), std::invalid_argument);
+  Conv1DClassifier c2(8, 4, 3, 4, rng);
+  EXPECT_THROW(c2.predict({1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nada::nn

@@ -1,0 +1,275 @@
+// Tests for the trace substrate: Trace mechanics, serialization formats,
+// synthetic generators, and Table-1 dataset construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace nada::trace {
+namespace {
+
+Trace make_simple_trace() {
+  // 0-10s at 1000 kbps, 10-20s at 3000 kbps.
+  std::vector<TracePoint> pts;
+  for (int t = 1; t <= 20; ++t) {
+    pts.push_back({static_cast<double>(t), t <= 10 ? 1000.0 : 3000.0});
+  }
+  return Trace("simple", std::move(pts));
+}
+
+// ---- Trace invariants -------------------------------------------------------
+
+TEST(Trace, RejectsEmpty) {
+  EXPECT_THROW(Trace("x", {}), std::invalid_argument);
+}
+
+TEST(Trace, RejectsNonIncreasingTimestamps) {
+  EXPECT_THROW(Trace("x", {{1.0, 100.0}, {1.0, 200.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(Trace("x", {{2.0, 100.0}, {1.0, 200.0}}),
+               std::invalid_argument);
+}
+
+TEST(Trace, RejectsNegativeBandwidth) {
+  EXPECT_THROW(Trace("x", {{1.0, -5.0}}), std::invalid_argument);
+}
+
+TEST(Trace, RejectsNonFiniteBandwidth) {
+  EXPECT_THROW(Trace("x", {{1.0, std::nan("")}}), std::invalid_argument);
+}
+
+TEST(Trace, LookupPicksCorrectSegment) {
+  const Trace t = make_simple_trace();
+  EXPECT_DOUBLE_EQ(t.bandwidth_kbps_at(1.5), 1000.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_kbps_at(9.99), 1000.0);
+  EXPECT_DOUBLE_EQ(t.bandwidth_kbps_at(10.5), 1000.0);  // sample at 10 holds
+  EXPECT_DOUBLE_EQ(t.bandwidth_kbps_at(11.5), 3000.0);
+}
+
+TEST(Trace, LookupWrapsAround) {
+  const Trace t = make_simple_trace();
+  // duration = 20; t=21.5 wraps to 1.5.
+  EXPECT_DOUBLE_EQ(t.bandwidth_kbps_at(21.5), t.bandwidth_kbps_at(1.5));
+  EXPECT_DOUBLE_EQ(t.bandwidth_kbps_at(41.5), t.bandwidth_kbps_at(1.5));
+}
+
+TEST(Trace, NegativeTimeClampsToStart) {
+  const Trace t = make_simple_trace();
+  EXPECT_DOUBLE_EQ(t.bandwidth_kbps_at(-5.0), t.bandwidth_kbps_at(0.0));
+}
+
+TEST(Trace, MeanIsTimeWeighted) {
+  const Trace t = make_simple_trace();
+  // Segments: 1..10 at 1000 (9s of the first rate after t=1... the
+  // integral spans sample i to i+1), so: 9 intervals at 1000, 1 boundary
+  // interval at 1000 (10->11), 9 at 3000.
+  const double expected = (10.0 * 1000.0 + 9.0 * 3000.0) / 19.0;
+  EXPECT_NEAR(t.mean_kbps(), expected, 1e-9);
+}
+
+TEST(Trace, ScaledMultipliesBandwidth) {
+  const Trace t = make_simple_trace();
+  const Trace s = t.scaled(0.125);
+  EXPECT_NEAR(s.mean_kbps(), t.mean_kbps() / 8.0, 1e-9);
+  EXPECT_THROW(t.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(Trace, StddevOfConstantIsZero) {
+  std::vector<TracePoint> pts;
+  for (int t = 1; t <= 5; ++t) pts.push_back({static_cast<double>(t), 500.0});
+  EXPECT_DOUBLE_EQ(Trace("c", std::move(pts)).stddev_kbps(), 0.0);
+}
+
+// ---- serialization ----------------------------------------------------------
+
+TEST(TraceIo, CookedRoundtrip) {
+  const Trace t = make_simple_trace();
+  const Trace back = from_cooked_format("back", to_cooked_format(t));
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(back.points()[i].time_s, t.points()[i].time_s, 1e-6);
+    EXPECT_NEAR(back.points()[i].bandwidth_kbps, t.points()[i].bandwidth_kbps,
+                1e-3);
+  }
+}
+
+TEST(TraceIo, CookedRejectsGarbage) {
+  EXPECT_THROW(from_cooked_format("bad", "1.0\tnot_a_number\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, MahimahiPreservesThroughput) {
+  // Constant 12 Mbps for 30 s -> 1000 packets/s.
+  std::vector<TracePoint> pts;
+  for (int t = 1; t <= 30; ++t) {
+    pts.push_back({static_cast<double>(t), 12000.0});
+  }
+  const Trace t("const12", std::move(pts));
+  const std::string schedule = to_mahimahi_format(t);
+  const Trace back = from_mahimahi_format("back", schedule);
+  EXPECT_NEAR(back.mean_kbps(), 12000.0, 600.0);  // within 5%
+}
+
+TEST(TraceIo, MahimahiEmptyThrows) {
+  EXPECT_THROW(from_mahimahi_format("x", ""), std::runtime_error);
+}
+
+// ---- generators --------------------------------------------------------------
+
+class GeneratorMeanTest : public ::testing::TestWithParam<Environment> {};
+
+TEST_P(GeneratorMeanTest, MeanThroughputMatchesTable1) {
+  const Environment env = GetParam();
+  const DatasetSpec spec = paper_spec(env);
+  util::Rng rng(12345);
+  util::RunningStats means;
+  for (int i = 0; i < 30; ++i) {
+    const Trace t = generate_trace(env, 600.0, rng);
+    means.add(t.mean_kbps() / 1000.0);
+  }
+  // Table 1's mean throughput within 20%.
+  EXPECT_NEAR(means.mean(), spec.mean_throughput_mbps,
+              spec.mean_throughput_mbps * 0.20)
+      << environment_name(env);
+}
+
+TEST_P(GeneratorMeanTest, TraceIsPositiveAndSampledAtOneHz) {
+  const Environment env = GetParam();
+  util::Rng rng(99);
+  const Trace t = generate_trace(env, 300.0, rng);
+  EXPECT_EQ(t.size(), 300u);
+  for (const auto& p : t.points()) {
+    EXPECT_GT(p.bandwidth_kbps, 0.0);
+  }
+  EXPECT_NEAR(t.duration_s(), 300.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvironments, GeneratorMeanTest,
+                         ::testing::ValuesIn(all_environments()),
+                         [](const auto& info) {
+                           return environment_name(info.param);
+                         });
+
+TEST(Generator, StarlinkIsMoreVariableThanFcc) {
+  util::Rng rng(7);
+  util::RunningStats fcc_cv, starlink_cv;
+  for (int i = 0; i < 20; ++i) {
+    const Trace f = generate_trace(Environment::kFcc, 400.0, rng);
+    const Trace s = generate_trace(Environment::kStarlink, 400.0, rng);
+    fcc_cv.add(f.stddev_kbps() / f.mean_kbps());
+    starlink_cv.add(s.stddev_kbps() / s.mean_kbps());
+  }
+  EXPECT_GT(starlink_cv.mean(), fcc_cv.mean() * 1.5);
+}
+
+TEST(Generator, FiveGHasOutages) {
+  util::Rng rng(11);
+  // 5G blockage should produce occasional deep dips relative to its mean.
+  int dips = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Trace t = generate_trace(Environment::k5G, 400.0, rng);
+    const double mean = t.mean_kbps();
+    for (const auto& p : t.points()) {
+      if (p.bandwidth_kbps < mean * 0.1) {
+        ++dips;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(dips, 5);
+}
+
+TEST(Generator, RejectsTooShortDuration) {
+  util::Rng rng(1);
+  EXPECT_THROW(generate_trace(Environment::kFcc, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  util::Rng a(5);
+  util::Rng b(5);
+  const Trace ta = generate_trace(Environment::k4G, 120.0, a);
+  const Trace tb = generate_trace(Environment::k4G, 120.0, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta.points()[i].bandwidth_kbps,
+                     tb.points()[i].bandwidth_kbps);
+  }
+}
+
+// ---- datasets ----------------------------------------------------------------
+
+TEST(Dataset, PaperSpecsMatchTable1) {
+  const DatasetSpec fcc = paper_spec(Environment::kFcc);
+  EXPECT_EQ(fcc.train_traces, 85u);
+  EXPECT_EQ(fcc.test_traces, 290u);
+  EXPECT_EQ(fcc.train_epochs, 40000u);
+  EXPECT_EQ(fcc.test_interval, 500u);
+  EXPECT_DOUBLE_EQ(fcc.mean_throughput_mbps, 1.3);
+
+  const DatasetSpec sl = paper_spec(Environment::kStarlink);
+  EXPECT_EQ(sl.train_traces, 13u);
+  EXPECT_EQ(sl.test_traces, 12u);
+  EXPECT_EQ(sl.train_epochs, 4000u);
+  EXPECT_EQ(sl.test_interval, 100u);
+
+  const DatasetSpec g4 = paper_spec(Environment::k4G);
+  EXPECT_EQ(g4.train_traces, 119u);
+  EXPECT_EQ(g4.test_traces, 121u);
+  EXPECT_DOUBLE_EQ(g4.mean_throughput_mbps, 19.8);
+
+  const DatasetSpec g5 = paper_spec(Environment::k5G);
+  EXPECT_EQ(g5.train_traces, 117u);
+  EXPECT_EQ(g5.test_traces, 119u);
+  EXPECT_DOUBLE_EQ(g5.mean_throughput_mbps, 30.2);
+}
+
+TEST(Dataset, ScaledCountsFollowSpecRatio) {
+  const Dataset ds = build_dataset(Environment::kFcc, 0.1, 42);
+  EXPECT_EQ(ds.train.size(), 9u);   // round(85 * 0.1) = 9
+  EXPECT_EQ(ds.test.size(), 29u);   // round(290 * 0.1) = 29
+}
+
+TEST(Dataset, MinimumTwoTracesPerSplit) {
+  const Dataset ds = build_dataset(Environment::kStarlink, 0.01, 42);
+  EXPECT_GE(ds.train.size(), 2u);
+  EXPECT_GE(ds.test.size(), 2u);
+}
+
+TEST(Dataset, HoursScaleWithTraceCount) {
+  const Dataset ds = build_dataset(Environment::k4G, 0.1, 7);
+  const DatasetSpec spec = paper_spec(Environment::k4G);
+  const double expected_train_hours =
+      spec.train_hours * static_cast<double>(ds.train.size()) /
+      static_cast<double>(spec.train_traces);
+  EXPECT_NEAR(ds.train_hours(), expected_train_hours,
+              expected_train_hours * 0.05);
+}
+
+TEST(Dataset, MeanThroughputNearSpec) {
+  const Dataset ds = build_dataset(Environment::k5G, 0.1, 3);
+  const DatasetSpec spec = paper_spec(Environment::k5G);
+  EXPECT_NEAR(ds.mean_throughput_mbps(), spec.mean_throughput_mbps,
+              spec.mean_throughput_mbps * 0.25);
+}
+
+TEST(Dataset, RejectsNonPositiveScale) {
+  EXPECT_THROW(build_dataset(Environment::kFcc, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Dataset, DifferentSeedsDifferentTraces) {
+  const Dataset a = build_dataset(Environment::kStarlink, 0.2, 1);
+  const Dataset b = build_dataset(Environment::kStarlink, 0.2, 2);
+  ASSERT_FALSE(a.train.empty());
+  ASSERT_FALSE(b.train.empty());
+  EXPECT_NE(a.train[0].points()[10].bandwidth_kbps,
+            b.train[0].points()[10].bandwidth_kbps);
+}
+
+}  // namespace
+}  // namespace nada::trace
