@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <unordered_map>
 
 #include "util/stats.h"
+#include "util/strings.h"
 
 namespace nada::core {
 namespace {
@@ -12,8 +15,11 @@ namespace {
 /// of the early-training rewards.
 double probe_score(const std::vector<double>& early_rewards) {
   if (early_rewards.empty()) return -1e9;
-  return util::tail_mean(early_rewards,
-                         std::max<std::size_t>(early_rewards.size() / 4, 4));
+  const double score = util::tail_mean(
+      early_rewards, std::max<std::size_t>(early_rewards.size() / 4, 4));
+  // A diverged probe can leave NaN in the curve; NaN in the ranking
+  // comparator would break std::sort's strict weak ordering.
+  return std::isnan(score) ? -1e9 : score;
 }
 
 filter::DesignRecord make_record(const CandidateOutcome& outcome,
@@ -26,6 +32,91 @@ filter::DesignRecord make_record(const CandidateOutcome& outcome,
   for (double& r : record.early_rewards) r /= denom;
   record.final_score = probe_score(outcome.early_rewards) / denom;
   return record;
+}
+
+/// Snapshot of a candidate's work products for the persistent store.
+store::OutcomeRecord to_store_record(const CandidateOutcome& outcome,
+                                     const store::Fingerprint& fp,
+                                     store::Stage stage) {
+  store::OutcomeRecord record;
+  record.fingerprint = fp;
+  record.stage = stage;
+  record.id = outcome.id;
+  record.source = outcome.source;
+  record.arch = outcome.arch;
+  record.compiled = outcome.compiled;
+  record.compile_error = outcome.compile_error;
+  record.normalized = outcome.normalized;
+  record.normalization_error = outcome.normalization_error;
+  record.early_probed = outcome.early_probed;
+  record.early_rewards = outcome.early_rewards;
+  record.fully_trained = outcome.fully_trained;
+  record.test_score = outcome.test_score;
+  record.emulation_score = outcome.emulation_score;
+  record.curve_epochs = outcome.curve_epochs;
+  record.median_curve = outcome.median_curve;
+  return record;
+}
+
+/// Restores the store's work products onto a fresh outcome (everything but
+/// the per-run selection verdict).
+void apply_store_record(const store::OutcomeRecord& record,
+                        CandidateOutcome& outcome) {
+  outcome.compiled = record.compiled;
+  outcome.compile_error = record.compile_error;
+  outcome.normalized = record.normalized;
+  outcome.normalization_error = record.normalization_error;
+  if (record.stage >= store::Stage::kProbed) {
+    outcome.early_probed = record.early_probed;
+    outcome.early_rewards = record.early_rewards;
+  }
+}
+
+/// Single point of truth for the full-training output fields: every path
+/// that produces them (fresh session, store record, in-batch clone) funnels
+/// through here, so a new field cannot be silently dropped on just one.
+void set_full_train_fields(CandidateOutcome& outcome, bool fully_trained,
+                           double test_score, double emulation_score,
+                           std::vector<double> median_curve,
+                           std::vector<double> curve_epochs) {
+  outcome.fully_trained = fully_trained;
+  outcome.test_score = test_score;
+  outcome.emulation_score = emulation_score;
+  outcome.median_curve = std::move(median_curve);
+  outcome.curve_epochs = std::move(curve_epochs);
+}
+
+void apply_full_train_record(const store::OutcomeRecord& record,
+                             CandidateOutcome& outcome) {
+  set_full_train_fields(outcome, record.fully_trained, record.test_score,
+                        record.emulation_score, record.median_curve,
+                        record.curve_epochs);
+}
+
+/// In-batch dedup: index of the first candidate with each fingerprint.
+/// Clones copy their leader's probe/training results instead of re-running
+/// them (content-derived seeds make the results identical anyway).
+std::vector<std::size_t> leaders_by_fingerprint(
+    const std::vector<store::Fingerprint>& fps) {
+  std::unordered_map<std::string, std::size_t> first_seen;
+  std::vector<std::size_t> leader(fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    leader[i] = first_seen.try_emplace(fps[i].hex(), i).first->second;
+  }
+  return leader;
+}
+
+void copy_probe_result(const CandidateOutcome& from, CandidateOutcome& to) {
+  to.early_probed = from.early_probed;
+  to.early_rewards = from.early_rewards;
+  if (!from.early_probed) to.compile_error = from.compile_error;
+}
+
+void copy_full_train_result(const CandidateOutcome& from,
+                            CandidateOutcome& to) {
+  set_full_train_fields(to, from.fully_trained, from.test_score,
+                        from.emulation_score, from.median_curve,
+                        from.curve_epochs);
 }
 
 }  // namespace
@@ -57,6 +148,79 @@ const rl::SessionResult& Pipeline::original_baseline() {
   return *original_;
 }
 
+store::StoreScope Pipeline::store_scope() const {
+  std::ostringstream spec;
+  spec << store::canonical_train_config(config_.train)
+       << ";seeds=" << config_.seeds
+       << ";early_epochs=" << config_.early_epochs
+       << ";norm_threshold=" << config_.normalization_threshold
+       << ";norm_fuzz=" << config_.normalization_fuzz_runs
+       << ";pipeline_seed=" << seed_;
+  // Results are only reusable against the same traces and video: two
+  // datasets of the same environment (different scale or build seed) must
+  // not alias in the store.
+  const auto fold = [](std::uint64_t h, std::string_view text) {
+    return util::mix64(h ^ util::fnv1a64(text));
+  };
+  const auto hash_traces = [&fold](const std::vector<trace::Trace>& traces) {
+    std::uint64_t h = traces.size();
+    for (const auto& t : traces) {
+      h = fold(h, t.name());
+      h = util::mix64(h ^ t.size());
+      h = fold(h, util::shortest_double(t.mean_kbps()));
+    }
+    return h;
+  };
+  spec << ";train_traces=" << hash_traces(dataset_->train)
+       << ";test_traces=" << hash_traces(dataset_->test);
+  std::uint64_t vh = fold(video_->num_chunks(), video_->name());
+  vh = fold(vh, util::shortest_double(video_->chunk_len_s()));
+  for (double kbps : video_->ladder().all_kbps()) {
+    vh = fold(vh, util::shortest_double(kbps));
+  }
+  for (std::size_t c = 0; c < video_->num_chunks(); ++c) {
+    for (double bytes : video_->chunk_bytes_all_levels(c)) {
+      vh = fold(vh, util::shortest_double(bytes));
+    }
+  }
+  spec << ";video=" << vh;
+  store::StoreScope scope;
+  scope.env = trace::environment_name(dataset_->spec.env);
+  scope.config_digest = store::fingerprint_text(spec.str()).hex();
+  return scope;
+}
+
+void Pipeline::attach_store(store::CandidateStore* store) {
+  if (store != nullptr && !(store->scope() == store_scope())) {
+    throw std::invalid_argument(
+        "Pipeline::attach_store: store scope (" + store->scope().env + "/" +
+        store->scope().config_digest +
+        ") does not match this pipeline's scope (" + store_scope().env + "/" +
+        store_scope().config_digest + ")");
+  }
+  store_ = store;
+}
+
+PipelineResult Pipeline::resume_states(
+    gen::StateGenerator& generator, const nn::ArchSpec& arch,
+    const filter::EarlyStopModel* early_stop_model) {
+  if (store_ == nullptr) {
+    throw std::logic_error("Pipeline::resume_states: no store attached");
+  }
+  generator.reset();
+  return search_states(generator, arch, early_stop_model);
+}
+
+PipelineResult Pipeline::resume_archs(
+    gen::ArchGenerator& generator, const dsl::StateProgram& state,
+    const filter::EarlyStopModel* early_stop_model) {
+  if (store_ == nullptr) {
+    throw std::logic_error("Pipeline::resume_archs: no store attached");
+  }
+  generator.reset();
+  return search_archs(generator, state, early_stop_model);
+}
+
 std::vector<std::size_t> Pipeline::select_survivors(
     const std::vector<CandidateOutcome>& outcomes,
     const filter::EarlyStopModel* early_stop_model,
@@ -84,10 +248,14 @@ std::vector<std::size_t> Pipeline::select_survivors(
   }
 
   // Rank the kept probes by tail reward and take the full-training slots.
+  // Ties break by stream position so reruns and resumed runs select
+  // identically even when deduplicated candidates share a reward curve.
   std::sort(kept.begin(), kept.end(), [&outcomes](std::size_t a,
                                                   std::size_t b) {
-    return probe_score(outcomes[a].early_rewards) >
-           probe_score(outcomes[b].early_rewards);
+    const double score_a = probe_score(outcomes[a].early_rewards);
+    const double score_b = probe_score(outcomes[b].early_rewards);
+    if (score_a != score_b) return score_a > score_b;
+    return a < b;
   });
   if (kept.size() > config_.full_train_top) {
     for (std::size_t r = config_.full_train_top; r < kept.size(); ++r) {
@@ -103,13 +271,10 @@ void Pipeline::apply_session_results(
     const std::vector<std::size_t>& selected,
     const std::vector<rl::SessionResult>& sessions) {
   for (std::size_t k = 0; k < selected.size(); ++k) {
-    CandidateOutcome& outcome = outcomes[selected[k]];
     const rl::SessionResult& session = sessions[k];
-    outcome.fully_trained = !session.failed;
-    outcome.test_score = session.test_score;
-    outcome.emulation_score = session.emulation_score;
-    outcome.median_curve = session.median_curve;
-    outcome.curve_epochs = session.curve_epochs;
+    set_full_train_fields(outcomes[selected[k]], !session.failed,
+                          session.test_score, session.emulation_score,
+                          session.median_curve, session.curve_epochs);
   }
 }
 
@@ -124,36 +289,87 @@ PipelineResult Pipeline::search_states(
   result.original = original_baseline();
   result.original_score = result.original.test_score;
 
-  // Stage 1+2: pre-checks. Cheap and embarrassingly parallel.
+  // Content addresses: a candidate is the (state, arch) pair. Per-candidate
+  // training seeds derive from the fingerprint, not the stream position, so
+  // identical content always trains identically — the property that makes
+  // cached results transplantable across runs and shards.
+  const store::Fingerprint arch_fp = store::fingerprint_arch(arch);
+  std::vector<store::Fingerprint> fps(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    fps[i] = store::combine(
+        store::fingerprint_state_source(candidates[i].source), arch_fp);
+  }
+  const std::vector<std::size_t> leader = leaders_by_fingerprint(fps);
+  std::vector<std::optional<store::OutcomeRecord>> cached(candidates.size());
+  if (store_ != nullptr) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      cached[i] = store_->lookup(fps[i]);
+    }
+  }
+
+  // Stage 1+2: pre-checks. Cheap and embarrassingly parallel. Cache hits
+  // serve the recorded verdict; compiled sources are still re-parsed (a
+  // cheap parse) so later stages have the program object.
   std::vector<CandidateOutcome> outcomes(candidates.size());
   std::vector<std::optional<dsl::StateProgram>> programs(candidates.size());
   auto precheck = [&](std::size_t i) {
     CandidateOutcome& outcome = outcomes[i];
     outcome.id = candidates[i].id;
     outcome.source = candidates[i].source;
+    if (cached[i].has_value()) {
+      bool record_usable = true;
+      if (cached[i]->compiled && cached[i]->stage < store::Stage::kTrained) {
+        try {
+          programs[i] = dsl::StateProgram::compile(candidates[i].source);
+        } catch (const dsl::CompileError&) {
+          // The record says this source compiles but it doesn't: a
+          // fingerprint collision (or foreign journal). Fall through to a
+          // genuine miss so the candidate is evaluated on its own merits.
+          record_usable = false;
+        }
+      }
+      if (record_usable) {
+        apply_store_record(*cached[i], outcome);
+        return;
+      }
+      cached[i].reset();
+    }
     const auto compile = filter::compilation_check(candidates[i].source,
                                                    &programs[i]);
     outcome.compiled = compile.passed;
     outcome.compile_error = compile.reason;
-    if (!compile.passed) return;
-    const auto norm = filter::normalization_check(
-        *programs[i], config_.normalization_threshold,
-        config_.normalization_fuzz_runs, seed_ ^ (i * 0x9e3779b9ULL));
-    outcome.normalized = norm.passed;
-    outcome.normalization_error = norm.reason;
+    if (compile.passed) {
+      const auto norm = filter::normalization_check(
+          *programs[i], config_.normalization_threshold,
+          config_.normalization_fuzz_runs, seed_ ^ (fps[i].lo * 0x9e3779b9ULL));
+      outcome.normalized = norm.passed;
+      outcome.normalization_error = norm.reason;
+    }
+    if (store_ != nullptr) {
+      store_->put(to_store_record(outcome, fps[i], store::Stage::kChecked));
+    }
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(candidates.size(), precheck);
   } else {
     for (std::size_t i = 0; i < candidates.size(); ++i) precheck(i);
   }
+  for (const auto& c : cached) {
+    if (c.has_value()) ++result.n_precheck_cache_hits;
+  }
 
-  // Stage 3: the early "batch training" probe.
+  // Stage 3: the early "batch training" probe, skipping candidates whose
+  // probe curve the store already holds.
   std::vector<std::size_t> probe_set;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (outcomes[i].compiled) ++result.n_compiled;
-    if (outcomes[i].compiled && outcomes[i].normalized) {
-      ++result.n_normalized;
+    if (!outcomes[i].compiled || !outcomes[i].normalized) continue;
+    ++result.n_normalized;
+    if (cached[i].has_value() && cached[i]->stage >= store::Stage::kProbed) {
+      ++result.n_probe_cache_hits;  // probe verdict already applied
+    } else if (leader[i] != i) {
+      // In-batch clone: copies the leader's probe result after the stage.
+    } else if (programs[i].has_value()) {
       probe_set.push_back(i);
     }
   }
@@ -163,7 +379,7 @@ PipelineResult Pipeline::search_states(
   auto probe = [&](std::size_t k) {
     const std::size_t i = probe_set[k];
     rl::Trainer trainer(*dataset_, *video_, probe_config,
-                        seed_ ^ (0xb10b << 8) ^ i);
+                        seed_ ^ (0xb10b << 8) ^ fps[i].lo);
     const rl::TrainResult probe_result = trainer.train(*programs[i], arch);
     if (!probe_result.failed) {
       outcomes[i].early_probed = true;
@@ -173,11 +389,21 @@ PipelineResult Pipeline::search_states(
       // failure discovered late.
       outcomes[i].compile_error = probe_result.error;
     }
+    if (store_ != nullptr) {
+      store_->put(to_store_record(outcomes[i], fps[i], store::Stage::kProbed));
+    }
   };
   if (pool_ != nullptr && probe_set.size() > 1) {
     pool_->parallel_for(probe_set.size(), probe);
   } else {
     for (std::size_t k = 0; k < probe_set.size(); ++k) probe(k);
+  }
+  result.n_probes_run = probe_set.size();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (leader[i] != i && outcomes[i].compiled && outcomes[i].normalized &&
+        !outcomes[i].early_probed) {
+      copy_probe_result(outcomes[leader[i]], outcomes[i]);
+    }
   }
 
   // Stage 4: selection (early-stop model or tail-reward ranking).
@@ -188,19 +414,43 @@ PipelineResult Pipeline::search_states(
   }
 
   // Stage 5: full-scale training of the survivors, every (design, seed)
-  // pair scheduled independently on the pool.
+  // pair scheduled independently on the pool. Survivors whose full run is
+  // journaled reuse it outright; a selected clone waits for its leader
+  // (equal probe score + index tie-break guarantee the leader is selected
+  // whenever a clone is).
+  std::vector<std::size_t> to_train;
+  std::vector<std::size_t> clones;
+  for (std::size_t i : selected) {
+    if (cached[i].has_value() && cached[i]->stage >= store::Stage::kTrained) {
+      apply_full_train_record(*cached[i], outcomes[i]);
+      ++result.n_full_cache_hits;
+    } else if (leader[i] != i) {
+      clones.push_back(i);
+    } else if (programs[i].has_value()) {
+      to_train.push_back(i);
+    }
+  }
   rl::SessionConfig session_config;
   session_config.seeds = config_.seeds;
   session_config.train = config_.train;
   std::vector<rl::SessionJob> jobs;
-  jobs.reserve(selected.size());
-  for (std::size_t i : selected) {
+  jobs.reserve(to_train.size());
+  for (std::size_t i : to_train) {
     jobs.push_back(rl::SessionJob{&*programs[i], &arch,
-                                  seed_ ^ (0xf111 << 4) ^ i});
+                                  seed_ ^ (0xf111 << 4) ^ fps[i].lo});
   }
   const auto sessions =
       rl::run_session_batch(*dataset_, *video_, jobs, session_config, pool_);
-  apply_session_results(outcomes, selected, sessions);
+  apply_session_results(outcomes, to_train, sessions);
+  result.n_full_trains_run = to_train.size();
+  for (std::size_t i : clones) {
+    copy_full_train_result(outcomes[leader[i]], outcomes[i]);
+  }
+  if (store_ != nullptr) {
+    for (std::size_t i : to_train) {
+      store_->put(to_store_record(outcomes[i], fps[i], store::Stage::kTrained));
+    }
+  }
 
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (!outcomes[i].fully_trained) continue;
@@ -226,21 +476,44 @@ PipelineResult Pipeline::search_archs(
 
   const nn::StateSignature signature = rl::derive_signature(state);
 
+  const store::Fingerprint state_fp =
+      store::fingerprint_state_source(state.source());
+  std::vector<store::Fingerprint> fps(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    fps[i] = store::combine(store::fingerprint_arch(candidates[i].spec),
+                            state_fp);
+  }
+
+  const std::vector<std::size_t> leader = leaders_by_fingerprint(fps);
   std::vector<CandidateOutcome> outcomes(candidates.size());
+  std::vector<std::optional<store::OutcomeRecord>> cached(candidates.size());
   std::vector<std::size_t> probe_set;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     outcomes[i].id = candidates[i].id;
     outcomes[i].arch = candidates[i].spec;
     outcomes[i].source = candidates[i].description;
-    const auto check = filter::arch_compilation_check(
-        candidates[i].spec, signature, video_->ladder().levels());
-    outcomes[i].compiled = check.passed;
-    outcomes[i].compile_error = check.reason;
-    // The normalization check does not apply to architectures (§2.2).
-    outcomes[i].normalized = check.passed;
-    if (check.passed) {
-      ++result.n_compiled;
-      ++result.n_normalized;
+    if (store_ != nullptr) cached[i] = store_->lookup(fps[i]);
+    if (cached[i].has_value()) {
+      apply_store_record(*cached[i], outcomes[i]);
+      ++result.n_precheck_cache_hits;
+    } else {
+      const auto check = filter::arch_compilation_check(
+          candidates[i].spec, signature, video_->ladder().levels());
+      outcomes[i].compiled = check.passed;
+      outcomes[i].compile_error = check.reason;
+      // The normalization check does not apply to architectures (§2.2).
+      outcomes[i].normalized = check.passed;
+      if (store_ != nullptr) {
+        store_->put(
+            to_store_record(outcomes[i], fps[i], store::Stage::kChecked));
+      }
+    }
+    if (!outcomes[i].compiled) continue;
+    ++result.n_compiled;
+    ++result.n_normalized;
+    if (cached[i].has_value() && cached[i]->stage >= store::Stage::kProbed) {
+      ++result.n_probe_cache_hits;
+    } else if (leader[i] == i) {
       probe_set.push_back(i);
     }
   }
@@ -251,19 +524,29 @@ PipelineResult Pipeline::search_archs(
   auto probe = [&](std::size_t k) {
     const std::size_t i = probe_set[k];
     rl::Trainer trainer(*dataset_, *video_, probe_config,
-                        seed_ ^ (0xa10b << 8) ^ i);
-    const rl::TrainResult probe_result = trainer.train(state, *outcomes[i].arch);
+                        seed_ ^ (0xa10b << 8) ^ fps[i].lo);
+    const rl::TrainResult probe_result =
+        trainer.train(state, *outcomes[i].arch);
     if (!probe_result.failed) {
       outcomes[i].early_probed = true;
       outcomes[i].early_rewards = probe_result.train_rewards;
     } else {
       outcomes[i].compile_error = probe_result.error;
     }
+    if (store_ != nullptr) {
+      store_->put(to_store_record(outcomes[i], fps[i], store::Stage::kProbed));
+    }
   };
   if (pool_ != nullptr && probe_set.size() > 1) {
     pool_->parallel_for(probe_set.size(), probe);
   } else {
     for (std::size_t k = 0; k < probe_set.size(); ++k) probe(k);
+  }
+  result.n_probes_run = probe_set.size();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (leader[i] != i && outcomes[i].compiled && !outcomes[i].early_probed) {
+      copy_probe_result(outcomes[leader[i]], outcomes[i]);
+    }
   }
 
   const std::vector<std::size_t> selected =
@@ -272,18 +555,39 @@ PipelineResult Pipeline::search_archs(
     if (outcome.early_stopped) ++result.n_early_stopped;
   }
 
+  std::vector<std::size_t> to_train;
+  std::vector<std::size_t> clones;
+  for (std::size_t i : selected) {
+    if (cached[i].has_value() && cached[i]->stage >= store::Stage::kTrained) {
+      apply_full_train_record(*cached[i], outcomes[i]);
+      ++result.n_full_cache_hits;
+    } else if (leader[i] != i) {
+      clones.push_back(i);
+    } else {
+      to_train.push_back(i);
+    }
+  }
   rl::SessionConfig session_config;
   session_config.seeds = config_.seeds;
   session_config.train = config_.train;
   std::vector<rl::SessionJob> jobs;
-  jobs.reserve(selected.size());
-  for (std::size_t i : selected) {
+  jobs.reserve(to_train.size());
+  for (std::size_t i : to_train) {
     jobs.push_back(rl::SessionJob{&state, &*outcomes[i].arch,
-                                  seed_ ^ (0xf222 << 4) ^ i});
+                                  seed_ ^ (0xf222 << 4) ^ fps[i].lo});
   }
   const auto sessions =
       rl::run_session_batch(*dataset_, *video_, jobs, session_config, pool_);
-  apply_session_results(outcomes, selected, sessions);
+  apply_session_results(outcomes, to_train, sessions);
+  result.n_full_trains_run = to_train.size();
+  for (std::size_t i : clones) {
+    copy_full_train_result(outcomes[leader[i]], outcomes[i]);
+  }
+  if (store_ != nullptr) {
+    for (std::size_t i : to_train) {
+      store_->put(to_store_record(outcomes[i], fps[i], store::Stage::kTrained));
+    }
+  }
 
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (!outcomes[i].fully_trained) continue;

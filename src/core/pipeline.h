@@ -5,6 +5,11 @@
 // turns a stream of LLM-generated candidate code blocks into a ranked set
 // of validated designs while spending as little training compute as
 // possible on the duds.
+//
+// With a store::CandidateStore attached (attach_store), the funnel also
+// never re-spends compute across runs: every stage consults the store
+// first and checkpoints its results into it, so reruns serve cached
+// outcomes and interrupted runs continue via resume_states/resume_archs.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +25,8 @@
 #include "gen/state_gen.h"
 #include "rl/session.h"
 #include "rl/trainer.h"
+#include "store/candidate_store.h"
+#include "store/fingerprint.h"
 #include "trace/generator.h"
 #include "util/scale.h"
 #include "util/thread_pool.h"
@@ -70,6 +77,20 @@ struct PipelineResult {
   std::size_t n_normalized = 0;
   std::size_t n_early_stopped = 0;
   std::size_t n_fully_trained = 0;
+  /// Stage results served from the attached candidate store instead of
+  /// recomputed (always 0 without a store).
+  std::size_t n_precheck_cache_hits = 0;
+  std::size_t n_probe_cache_hits = 0;
+  std::size_t n_full_cache_hits = 0;
+  /// Work actually executed by this invocation (cache misses). A rerun
+  /// over an unchanged stream reports n_probes_run == n_full_trains_run
+  /// == 0: every result comes from the store.
+  std::size_t n_probes_run = 0;
+  std::size_t n_full_trains_run = 0;
+
+  [[nodiscard]] std::size_t cache_hits() const {
+    return n_precheck_cache_hits + n_probe_cache_hits + n_full_cache_hits;
+  }
   /// Baseline: the original design trained with the same protocol.
   rl::SessionResult original;
   double original_score = 0.0;
@@ -111,6 +132,37 @@ class Pipeline {
   /// same protocol; used as the comparison baseline and cached.
   [[nodiscard]] const rl::SessionResult& original_baseline();
 
+  /// The (environment, funnel-config digest) scope this pipeline's results
+  /// live under in a candidate store. Everything that changes a stored
+  /// per-candidate result — training protocol, probe budget, seeds,
+  /// normalization check parameters, the pipeline seed, and the identity
+  /// of the dataset's traces and the video — feeds the digest;
+  /// selection-only knobs (num_candidates, full_train_top) do not, so the
+  /// cache survives re-ranking with a different top-K.
+  [[nodiscard]] store::StoreScope store_scope() const;
+
+  /// Attaches a persistent store: subsequent searches consult it before
+  /// every funnel stage (hits skip the work) and checkpoint results into
+  /// it as each stage completes. The store's scope must equal
+  /// store_scope() — attaching a store from a different environment or
+  /// protocol throws std::invalid_argument. Pass nullptr to detach. The
+  /// store must outlive the pipeline.
+  void attach_store(store::CandidateStore* store);
+
+  /// Continues an interrupted state search: rewinds the generator to the
+  /// start of its stream and re-runs the funnel against the attached
+  /// store, so every stage journaled before the interruption is served
+  /// from the checkpoint and only the remaining work executes. Requires an
+  /// attached store (std::logic_error otherwise).
+  [[nodiscard]] PipelineResult resume_states(
+      gen::StateGenerator& generator, const nn::ArchSpec& arch,
+      const filter::EarlyStopModel* early_stop_model = nullptr);
+
+  /// Architecture-search twin of resume_states.
+  [[nodiscard]] PipelineResult resume_archs(
+      gen::ArchGenerator& generator, const dsl::StateProgram& state,
+      const filter::EarlyStopModel* early_stop_model = nullptr);
+
  private:
   static void apply_session_results(
       std::vector<CandidateOutcome>& outcomes,
@@ -126,6 +178,7 @@ class Pipeline {
   PipelineConfig config_;
   std::uint64_t seed_;
   util::ThreadPool* pool_;
+  store::CandidateStore* store_ = nullptr;
   std::optional<rl::SessionResult> original_;
 };
 

@@ -30,13 +30,18 @@ const T& pick(util::Rng& rng, const T (&table)[N]) {
 ArchGenerator::ArchGenerator(const LlmProfile& profile,
                              const PromptStrategy& strategy,
                              std::uint64_t seed, double width_scale)
-    : profile_(profile.with_strategy(strategy)), rng_(seed),
+    : profile_(profile.with_strategy(strategy)), seed_(seed), rng_(seed),
       width_scale_(width_scale) {
   if (width_scale_ <= 0.0 || width_scale_ > 1.0) {
     throw std::invalid_argument("ArchGenerator: width_scale outside (0, 1]");
   }
   id_prefix_ = util::to_lower(profile_.name);
   std::erase_if(id_prefix_, [](char c) { return c == '.' || c == ' '; });
+}
+
+void ArchGenerator::reset() {
+  rng_.reseed(seed_);
+  counter_ = 0;
 }
 
 std::size_t ArchGenerator::scaled_width(std::size_t w) const {

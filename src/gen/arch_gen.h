@@ -38,11 +38,18 @@ class ArchGenerator {
   [[nodiscard]] ArchCandidate generate();
   [[nodiscard]] std::vector<ArchCandidate> generate_batch(std::size_t n);
 
+  /// Rewinds the candidate stream to its start (exact replay of ids and
+  /// specs); see StateGenerator::reset.
+  void reset();
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
  private:
   [[nodiscard]] nn::ArchSpec sample_valid_spec();
   void make_invalid(nn::ArchSpec& spec);
 
   LlmProfile profile_;
+  std::uint64_t seed_ = 0;
   util::Rng rng_;
   std::uint64_t counter_ = 0;
   std::string id_prefix_;

@@ -144,9 +144,14 @@ const Variant& pick_mutated(util::Rng& rng, const Variant (&table)[N],
 StateGenerator::StateGenerator(const LlmProfile& profile,
                                const PromptStrategy& strategy,
                                std::uint64_t seed)
-    : profile_(profile.with_strategy(strategy)), rng_(seed) {
+    : profile_(profile.with_strategy(strategy)), seed_(seed), rng_(seed) {
   id_prefix_ = util::to_lower(profile_.name);
   std::erase_if(id_prefix_, [](char c) { return c == '.' || c == ' '; });
+}
+
+void StateGenerator::reset() {
+  rng_.reseed(seed_);
+  counter_ = 0;
 }
 
 std::vector<StateGenerator::RowChoice> StateGenerator::sample_clean_rows() {

@@ -35,6 +35,14 @@ class StateGenerator {
   [[nodiscard]] StateCandidate generate();
   [[nodiscard]] std::vector<StateCandidate> generate_batch(std::size_t n);
 
+  /// Rewinds the candidate stream to its start: after reset() the
+  /// generator replays exactly the ids and sources it produced from
+  /// construction. Resumed runs use this to re-derive the stream whose
+  /// fingerprints the candidate store already journaled.
+  void reset();
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
   [[nodiscard]] const LlmProfile& effective_profile() const {
     return profile_;
   }
@@ -54,6 +62,7 @@ class StateGenerator {
   [[nodiscard]] std::string corrupt_syntax(std::string source);
 
   LlmProfile profile_;  // effective (strategy applied)
+  std::uint64_t seed_ = 0;
   util::Rng rng_;
   std::uint64_t counter_ = 0;
   std::string id_prefix_;

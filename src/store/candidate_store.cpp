@@ -1,0 +1,273 @@
+#include "store/candidate_store.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/fs.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace nada::store {
+namespace {
+
+std::optional<nn::TemporalUnit> temporal_from_name(const std::string& name) {
+  for (const auto u : {nn::TemporalUnit::kConv1D, nn::TemporalUnit::kRnn,
+                       nn::TemporalUnit::kLstm, nn::TemporalUnit::kDense}) {
+    if (name == nn::temporal_unit_name(u)) return u;
+  }
+  return std::nullopt;
+}
+
+std::optional<nn::Activation> activation_from_name(const std::string& name) {
+  for (const auto a :
+       {nn::Activation::kLinear, nn::Activation::kRelu,
+        nn::Activation::kLeakyRelu, nn::Activation::kTanh,
+        nn::Activation::kSigmoid, nn::Activation::kElu}) {
+    if (name == nn::activation_name(a)) return a;
+  }
+  return std::nullopt;
+}
+
+util::JsonValue encode_arch(const nn::ArchSpec& spec) {
+  util::JsonValue out = util::JsonValue::object();
+  out.set("temporal",
+          util::JsonValue::string(nn::temporal_unit_name(spec.temporal)));
+  out.set("conv_filters",
+          util::JsonValue::number(static_cast<double>(spec.conv_filters)));
+  out.set("conv_kernel",
+          util::JsonValue::number(static_cast<double>(spec.conv_kernel)));
+  out.set("rnn_hidden",
+          util::JsonValue::number(static_cast<double>(spec.rnn_hidden)));
+  out.set("scalar_hidden",
+          util::JsonValue::number(static_cast<double>(spec.scalar_hidden)));
+  out.set("merge_hidden",
+          util::JsonValue::number(static_cast<double>(spec.merge_hidden)));
+  out.set("merge_layers",
+          util::JsonValue::number(static_cast<double>(spec.merge_layers)));
+  out.set("activation",
+          util::JsonValue::string(nn::activation_name(spec.activation)));
+  out.set("shared_trunk", util::JsonValue::boolean(spec.shared_trunk));
+  return out;
+}
+
+std::optional<nn::ArchSpec> decode_arch(const util::JsonValue& value) {
+  if (value.type() != util::JsonValue::Type::kObject) return std::nullopt;
+  nn::ArchSpec spec;
+  const auto temporal = temporal_from_name(value.get("temporal").as_string());
+  const auto activation =
+      activation_from_name(value.get("activation").as_string());
+  if (!temporal.has_value() || !activation.has_value()) return std::nullopt;
+  spec.temporal = *temporal;
+  spec.activation = *activation;
+  const auto as_size = [&value](const char* key) {
+    return static_cast<std::size_t>(value.get(key).as_number());
+  };
+  spec.conv_filters = as_size("conv_filters");
+  spec.conv_kernel = as_size("conv_kernel");
+  spec.rnn_hidden = as_size("rnn_hidden");
+  spec.scalar_hidden = as_size("scalar_hidden");
+  spec.merge_hidden = as_size("merge_hidden");
+  spec.merge_layers = as_size("merge_layers");
+  spec.shared_trunk = value.get("shared_trunk").as_bool();
+  return spec;
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kChecked: return "checked";
+    case Stage::kProbed: return "probed";
+    case Stage::kTrained: return "trained";
+  }
+  return "?";
+}
+
+CandidateStore::CandidateStore(std::string path, StoreScope scope)
+    : path_(std::move(path)), scope_(std::move(scope)) {
+  if (scope_.env.empty() || scope_.config_digest.empty()) {
+    throw std::invalid_argument("CandidateStore: empty scope");
+  }
+  const bool torn_tail = load();
+  util::ensure_directories(util::parent_directory(path_));
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("CandidateStore: cannot open " + path_ +
+                             " for append");
+  }
+  if (torn_tail) {
+    // The journal ends mid-line (crash during an append). Terminate the
+    // torn line so the next record starts clean; the fragment itself stays
+    // behind as one skipped line.
+    out_ << '\n';
+    out_.flush();
+  }
+}
+
+bool CandidateStore::load() {
+  const auto content = util::read_file_if_exists(path_);
+  if (!content.has_value()) return false;
+  bool torn_tail = false;
+  std::size_t start = 0;
+  while (start < content->size()) {
+    std::size_t end = content->find('\n', start);
+    if (end == std::string::npos) {  // no trailing newline: torn append
+      end = content->size();
+      torn_tail = true;
+    }
+    const std::string line = content->substr(start, end - start);
+    start = end + 1;
+    if (util::trim(line).empty()) continue;
+    auto record = decode_line(line, scope_);
+    if (record.has_value()) {
+      put_locked(*record);
+    } else {
+      // Torn final line after a crash, or foreign/corrupt data: recover by
+      // skipping. Everything before a torn line is intact because appends
+      // are single buffered writes followed by a flush.
+      ++line_errors_;
+    }
+  }
+  return torn_tail;
+}
+
+std::optional<OutcomeRecord> CandidateStore::lookup(
+    const Fingerprint& fp) const {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(fp.hex());
+  if (it == index_.end()) return std::nullopt;
+  return records_[it->second];
+}
+
+bool CandidateStore::put_locked(const OutcomeRecord& record) {
+  const std::string key = record.fingerprint.hex();
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    index_.emplace(key, records_.size());
+    records_.push_back(record);
+    return true;
+  }
+  if (records_[it->second].stage >= record.stage) return false;
+  records_[it->second] = record;
+  return true;
+}
+
+bool CandidateStore::put(const OutcomeRecord& record) {
+  if (record.fingerprint.is_zero()) {
+    throw std::invalid_argument("CandidateStore::put: zero fingerprint");
+  }
+  std::lock_guard lock(mutex_);
+  if (!put_locked(record)) return false;
+  if (out_.is_open()) {
+    const std::string line = encode_line(record, scope_) + "\n";
+    out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+    out_.flush();
+    if (!out_) {
+      // Losing durability silently (e.g. ENOSPC) would let a run keep
+      // "checkpointing" into the void; fail loudly instead.
+      throw std::runtime_error("CandidateStore: append to " + path_ +
+                               " failed (disk full or I/O error)");
+    }
+  }
+  return true;
+}
+
+std::size_t CandidateStore::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+std::vector<OutcomeRecord> CandidateStore::records() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::size_t CandidateStore::merge_from(const CandidateStore& other) {
+  if (!(other.scope() == scope_)) {
+    throw std::invalid_argument(
+        "CandidateStore::merge_from: scope mismatch (" + other.scope().env +
+        "/" + other.scope().config_digest + " vs " + scope_.env + "/" +
+        scope_.config_digest + ")");
+  }
+  std::size_t accepted = 0;
+  for (const auto& record : other.records()) {
+    if (put(record)) ++accepted;
+  }
+  return accepted;
+}
+
+std::string CandidateStore::encode_line(const OutcomeRecord& record,
+                                        const StoreScope& scope) {
+  util::JsonValue out = util::JsonValue::object();
+  out.set("fp", util::JsonValue::string(record.fingerprint.hex()));
+  out.set("env", util::JsonValue::string(scope.env));
+  out.set("digest", util::JsonValue::string(scope.config_digest));
+  out.set("stage", util::JsonValue::number(
+                       static_cast<double>(static_cast<int>(record.stage))));
+  out.set("id", util::JsonValue::string(record.id));
+  out.set("source", util::JsonValue::string(record.source));
+  if (record.arch.has_value()) out.set("arch", encode_arch(*record.arch));
+  out.set("compiled", util::JsonValue::boolean(record.compiled));
+  out.set("compile_error", util::JsonValue::string(record.compile_error));
+  out.set("normalized", util::JsonValue::boolean(record.normalized));
+  out.set("normalization_error",
+          util::JsonValue::string(record.normalization_error));
+  out.set("early_probed", util::JsonValue::boolean(record.early_probed));
+  out.set("early_rewards", util::json_doubles(record.early_rewards));
+  out.set("fully_trained", util::JsonValue::boolean(record.fully_trained));
+  out.set("test_score", util::JsonValue::number(record.test_score));
+  out.set("emulation_score", util::JsonValue::number(record.emulation_score));
+  out.set("curve_epochs", util::json_doubles(record.curve_epochs));
+  out.set("median_curve", util::json_doubles(record.median_curve));
+  return out.dump();
+}
+
+std::optional<OutcomeRecord> CandidateStore::decode_line(
+    const std::string& line, const StoreScope& scope) {
+  util::JsonValue value;
+  try {
+    value = util::JsonValue::parse(line);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+  if (value.type() != util::JsonValue::Type::kObject) return std::nullopt;
+  if (value.get("env").as_string() != scope.env ||
+      value.get("digest").as_string() != scope.config_digest) {
+    return std::nullopt;
+  }
+  const auto fp = Fingerprint::from_hex(value.get("fp").as_string());
+  if (!fp.has_value()) return std::nullopt;
+  const double stage_raw = value.get("stage").as_number(-1.0);
+  if (stage_raw < 0.0 || stage_raw > 2.0) return std::nullopt;
+
+  OutcomeRecord record;
+  record.fingerprint = *fp;
+  record.stage = static_cast<Stage>(static_cast<int>(stage_raw));
+  record.id = value.get("id").as_string();
+  record.source = value.get("source").as_string();
+  if (value.has("arch")) {
+    record.arch = decode_arch(value.get("arch"));
+    if (!record.arch.has_value()) return std::nullopt;
+  }
+  record.compiled = value.get("compiled").as_bool();
+  record.compile_error = value.get("compile_error").as_string();
+  record.normalized = value.get("normalized").as_bool();
+  record.normalization_error = value.get("normalization_error").as_string();
+  record.early_probed = value.get("early_probed").as_bool();
+  record.early_rewards = util::json_to_doubles(value.get("early_rewards"));
+  record.fully_trained = value.get("fully_trained").as_bool();
+  record.test_score = value.get("test_score").as_number(-1e9);
+  record.emulation_score = value.get("emulation_score").as_number();
+  record.curve_epochs = util::json_to_doubles(value.get("curve_epochs"));
+  record.median_curve = util::json_to_doubles(value.get("median_curve"));
+  return record;
+}
+
+std::string default_store_path(const StoreScope& scope) {
+  const char* dir = std::getenv("NADA_STORE_DIR");
+  std::string base = (dir != nullptr && *dir != '\0') ? dir : "nada_store";
+  return base + "/" + scope.env + "-" + scope.config_digest.substr(0, 16) +
+         ".jsonl";
+}
+
+}  // namespace nada::store

@@ -1,0 +1,143 @@
+// Persistent, content-addressed store of candidate outcomes.
+//
+// The store is the funnel's memory between runs: an append-only JSONL
+// journal of per-candidate results keyed by (fingerprint, environment,
+// train-config digest). The pipeline checkpoints into it after every
+// funnel stage, so
+//
+//   * a rerun over the same candidate stream skips straight to the
+//     recorded results (zero duplicate probes or full trainings),
+//   * a run killed mid-funnel resumes from whatever the journal holds —
+//     load-on-open tolerates a torn final line (the crash case) by
+//     dropping it,
+//   * shard stores produced by independent workers merge by union, with
+//     the furthest-progressed record winning per fingerprint.
+//
+// Records carry a Stage marking how far through the funnel the work
+// products go; `put` is append-only and monotone (a record never regresses
+// the stage already journaled for its fingerprint, and same-stage
+// duplicates are not re-appended, so steady-state reruns do not grow the
+// file). All public methods are thread-safe: probe/training workers
+// checkpoint concurrently from the pool.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/arch.h"
+#include "store/fingerprint.h"
+
+namespace nada::store {
+
+/// How far through the funnel a record's results go.
+enum class Stage : int {
+  kChecked = 0,  ///< compile + normalization results
+  kProbed = 1,   ///< + early-training probe rewards
+  kTrained = 2,  ///< + full-scale training scores and curves
+};
+
+[[nodiscard]] const char* stage_name(Stage stage);
+
+/// The work products of one candidate's trip through the funnel. Field for
+/// field this mirrors core::CandidateOutcome minus the per-run selection
+/// verdict (early_stopped), which depends on the cohort, not the candidate.
+struct OutcomeRecord {
+  Fingerprint fingerprint;
+  Stage stage = Stage::kChecked;
+  std::string id;                    ///< generator id of the first sighting
+  std::string source;                ///< state source / arch description
+  std::optional<nn::ArchSpec> arch;  ///< architecture candidates only
+  bool compiled = false;
+  std::string compile_error;
+  bool normalized = false;
+  std::string normalization_error;
+  bool early_probed = false;
+  std::vector<double> early_rewards;
+  bool fully_trained = false;
+  double test_score = -1e9;
+  double emulation_score = 0.0;
+  std::vector<double> curve_epochs;
+  std::vector<double> median_curve;
+};
+
+/// Scope of a store: results are only comparable within one environment
+/// and one training protocol, so both are part of every journal line and
+/// are verified at load.
+struct StoreScope {
+  std::string env;            ///< trace::environment_name of the dataset
+  std::string config_digest;  ///< Fingerprint::hex of the funnel config
+
+  [[nodiscard]] bool operator==(const StoreScope&) const = default;
+};
+
+class CandidateStore {
+ public:
+  /// Opens (creating if absent) the journal at `path`. Lines from a
+  /// different scope or with corrupt/torn JSON are skipped and counted in
+  /// `recovered_line_errors()`.
+  CandidateStore(std::string path, StoreScope scope);
+
+  CandidateStore(const CandidateStore&) = delete;
+  CandidateStore& operator=(const CandidateStore&) = delete;
+
+  /// Latest-stage record for a fingerprint (a copy: the index mutates
+  /// under concurrent puts).
+  [[nodiscard]] std::optional<OutcomeRecord> lookup(
+      const Fingerprint& fp) const;
+
+  /// Journals a record. Monotone per fingerprint: ignored entirely when
+  /// the indexed record already reached `record.stage`. Appends one JSON
+  /// line and flushes before returning, so a crash after put() never loses
+  /// the record; an append that fails (disk full, I/O error) throws rather
+  /// than silently dropping durability. Returns true when the record was
+  /// accepted.
+  bool put(const OutcomeRecord& record);
+
+  /// Number of distinct fingerprints indexed.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of the latest record per fingerprint.
+  [[nodiscard]] std::vector<OutcomeRecord> records() const;
+
+  /// Unions another store's records into this one (same-scope only;
+  /// throws std::invalid_argument otherwise). Returns records accepted.
+  std::size_t merge_from(const CandidateStore& other);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const StoreScope& scope() const { return scope_; }
+  [[nodiscard]] std::size_t recovered_line_errors() const {
+    return line_errors_;
+  }
+
+  // JSONL codec, exposed for tests and external tooling.
+  [[nodiscard]] static std::string encode_line(const OutcomeRecord& record,
+                                               const StoreScope& scope);
+  /// nullopt when the line is torn/corrupt or from a different scope.
+  [[nodiscard]] static std::optional<OutcomeRecord> decode_line(
+      const std::string& line, const StoreScope& scope);
+
+ private:
+  /// Returns true when the journal ended mid-line (torn final append).
+  bool load();
+  bool put_locked(const OutcomeRecord& record);
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  StoreScope scope_;
+  std::ofstream out_;  ///< append handle, kept open for the store's life
+  std::vector<OutcomeRecord> records_;
+  // fingerprint hex -> index into records_
+  std::unordered_map<std::string, std::size_t> index_;
+  std::size_t line_errors_ = 0;
+};
+
+/// Default journal location: $NADA_STORE_DIR (default "nada_store")
+/// /<env>-<digest prefix>.jsonl.
+[[nodiscard]] std::string default_store_path(const StoreScope& scope);
+
+}  // namespace nada::store

@@ -1,0 +1,68 @@
+#include "store/shard.h"
+
+#include <stdexcept>
+
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace nada::store {
+
+ShardPlan::ShardPlan(std::size_t num_shards) : num_shards_(num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardPlan: zero shards");
+  }
+}
+
+std::size_t ShardPlan::shard_of(const Fingerprint& fp) const {
+  // Multiply-shift range partition: monotone in fp.hi, so each shard owns
+  // one contiguous range, and exact (no modulo bias at the boundaries).
+  const auto product = static_cast<unsigned __int128>(fp.hi) *
+                       static_cast<unsigned __int128>(num_shards_);
+  return static_cast<std::size_t>(product >> 64);
+}
+
+ShardPlan::Range ShardPlan::range(std::size_t shard) const {
+  if (shard >= num_shards_) {
+    throw std::out_of_range("ShardPlan::range: shard index out of range");
+  }
+  // Smallest hi with shard_of == shard is ceil(shard * 2^64 / n).
+  const auto lower_bound = [this](std::size_t s) -> std::uint64_t {
+    const auto numerator = static_cast<unsigned __int128>(s) << 64;
+    const auto n = static_cast<unsigned __int128>(num_shards_);
+    return static_cast<std::uint64_t>((numerator + n - 1) / n);
+  };
+  Range r;
+  r.lo = lower_bound(shard);
+  r.hi = shard + 1 == num_shards_ ? ~std::uint64_t{0}
+                                  : lower_bound(shard + 1) - 1;
+  return r;
+}
+
+std::vector<std::vector<std::size_t>> ShardPlan::partition(
+    std::span<const Fingerprint> fingerprints) const {
+  std::vector<std::vector<std::size_t>> shards(num_shards_);
+  for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+    shards[shard_of(fingerprints[i])].push_back(i);
+  }
+  return shards;
+}
+
+std::size_t merge_shard_files(std::span<const std::string> shard_paths,
+                              CandidateStore& dest) {
+  std::size_t accepted = 0;
+  for (const auto& path : shard_paths) {
+    // Read-only decode: a missing shard journal is a worker that never
+    // reported — surface it instead of silently merging nothing (and never
+    // open merge sources for append). Torn/foreign lines are skipped, as
+    // on any journal load.
+    const std::string content = util::read_file(path);
+    for (const auto& line : util::split(content, '\n')) {
+      if (util::trim(line).empty()) continue;
+      const auto record = CandidateStore::decode_line(line, dest.scope());
+      if (record.has_value() && dest.put(*record)) ++accepted;
+    }
+  }
+  return accepted;
+}
+
+}  // namespace nada::store

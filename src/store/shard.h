@@ -1,0 +1,56 @@
+// Fingerprint-range shard planning for multi-worker searches.
+//
+// A ShardPlan splits the 64-bit fingerprint `hi` space into N contiguous,
+// equal-width ranges. Every worker runs the same generator stream, keeps
+// only the candidates whose fingerprint falls in its range, journals into
+// its own store file, and a final merge unions the shard stores. Because
+// assignment is by content hash, the partition is stable across runs,
+// machines, and candidate orderings — the properties systematic coverage
+// tracking needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/candidate_store.h"
+#include "store/fingerprint.h"
+
+namespace nada::store {
+
+class ShardPlan {
+ public:
+  /// Splits the fingerprint space across `num_shards` workers (>= 1).
+  explicit ShardPlan(std::size_t num_shards);
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+
+  /// Which shard owns a fingerprint. In [0, num_shards).
+  [[nodiscard]] std::size_t shard_of(const Fingerprint& fp) const;
+
+  /// Inclusive bounds [lo, hi] on Fingerprint::hi for shard `i`. Ranges
+  /// are contiguous and cover the whole 64-bit space exactly once.
+  struct Range {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+  [[nodiscard]] Range range(std::size_t shard) const;
+
+  /// Partitions indices of `fingerprints` by owning shard (outer size ==
+  /// num_shards; each inner vector preserves input order).
+  [[nodiscard]] std::vector<std::vector<std::size_t>> partition(
+      std::span<const Fingerprint> fingerprints) const;
+
+ private:
+  std::size_t num_shards_;
+};
+
+/// Reads each shard journal (read-only; throws std::runtime_error when a
+/// path is missing) and unions its records into `dest` under dest's scope.
+/// Returns the number of records accepted into dest.
+std::size_t merge_shard_files(std::span<const std::string> shard_paths,
+                              CandidateStore& dest);
+
+}  // namespace nada::store

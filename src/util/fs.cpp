@@ -1,0 +1,71 @@
+#include "util/fs.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nada::util {
+
+namespace fs = std::filesystem;
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (!file_exists(path)) return std::nullopt;
+    throw std::runtime_error("read_file: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("read_file: read failed for " + path);
+  return buffer.str();
+}
+
+std::string read_file(const std::string& path) {
+  auto content = read_file_if_exists(path);
+  if (!content.has_value()) {
+    throw std::runtime_error("read_file: no such file " + path);
+  }
+  return *std::move(content);
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  ensure_directories(parent_directory(path));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_file_atomic: cannot open " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("write_file_atomic: write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("write_file_atomic: rename to " + path +
+                             " failed: " + ec.message());
+  }
+}
+
+void ensure_directories(const std::string& path) {
+  if (path.empty()) return;
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    throw std::runtime_error("ensure_directories: cannot create " + path +
+                             ": " + ec.message());
+  }
+}
+
+std::string parent_directory(const std::string& path) {
+  return fs::path(path).parent_path().string();
+}
+
+}  // namespace nada::util

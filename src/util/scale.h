@@ -24,6 +24,9 @@ struct ScaleConfig {
   /// Reads NADA_SCALE_GEN / NADA_SCALE_EPOCHS / NADA_SCALE_SEEDS /
   /// NADA_SCALE_TRACES, falling back to bench-friendly defaults tuned so a
   /// full `for b in build/bench/*; do $b; done` finishes in minutes.
+  /// Throws std::runtime_error when a variable is set to anything that is
+  /// not a positive finite number — including unparseable text (which
+  /// would otherwise silently run the workload at the default size).
   static ScaleConfig from_env();
 
   /// Applies a factor with a floor of `min_value`.

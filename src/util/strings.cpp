@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cmath>
 
 namespace nada::util {
 
@@ -57,6 +59,31 @@ std::uint64_t fnv1a64(std::string_view text) {
     hash *= 0x100000001b3ULL;
   }
   return hash;
+}
+
+std::uint64_t fnv1a64(std::string_view text, std::uint64_t seed) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string shortest_double(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) return "?";
+  return std::string(buf, end);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 std::string replace_all(std::string text, std::string_view from,

@@ -26,8 +26,23 @@ std::string to_lower(std::string_view text);
 /// FNV-1a 64-bit hash; used for the hashed n-gram "text embedding".
 std::uint64_t fnv1a64(std::string_view text);
 
+/// Seeded FNV-1a variant: folds `seed` into the offset basis so independent
+/// hash streams can be derived from the same text (content fingerprints use
+/// two streams for a 128-bit digest).
+std::uint64_t fnv1a64(std::string_view text, std::uint64_t seed);
+
+/// splitmix64 finalizer: full-avalanche bijective mixer, applied to FNV
+/// outputs so fingerprint bits are uniform enough for range sharding.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
 /// Replaces every occurrence of `from` (non-empty) with `to`.
 std::string replace_all(std::string text, std::string_view from,
                         std::string_view to);
+
+/// Shortest decimal representation that round-trips the double
+/// (std::to_chars). Non-finite values print as "nan" / "inf" / "-inf".
+/// Canonical encodings (fingerprints, store records) depend on this being
+/// the single source of number formatting.
+std::string shortest_double(double value);
 
 }  // namespace nada::util

@@ -46,7 +46,9 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all finish.
-  /// fn must be safe to call concurrently for distinct i.
+  /// fn must be safe to call concurrently for distinct i. If any invocation
+  /// throws, every remaining item still runs to completion and the first
+  /// captured exception is rethrown on the calling thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

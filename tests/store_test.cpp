@@ -1,0 +1,600 @@
+// Tests for the persistent candidate store: canonical serialization and
+// fingerprint stability, journal round-trip and crash recovery, shard
+// planning, and cache/resume behaviour of the integrated pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dsl/canonical.h"
+#include "dsl/parser.h"
+#include "store/candidate_store.h"
+#include "store/fingerprint.h"
+#include "store/shard.h"
+#include "util/fs.h"
+
+namespace nada::store {
+namespace {
+
+// A fresh journal path per test, cleaned of any previous run's leftovers.
+std::string fresh_path(const std::string& name) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) /
+       ("nada_store_test_" + name + ".jsonl"))
+          .string();
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+  return path;
+}
+
+StoreScope test_scope() { return StoreScope{"fcc", "test-digest"}; }
+
+OutcomeRecord make_test_record(std::uint64_t salt, Stage stage) {
+  OutcomeRecord record;
+  record.fingerprint = fingerprint_text("record-" + std::to_string(salt));
+  record.stage = stage;
+  record.id = "cand-" + std::to_string(salt);
+  record.source = "emit \"x\" = " + std::to_string(salt) + ";\n";
+  record.compiled = true;
+  record.normalized = true;
+  if (stage >= Stage::kProbed) {
+    record.early_probed = true;
+    record.early_rewards = {0.1 * static_cast<double>(salt), 0.5, -0.25};
+  }
+  if (stage >= Stage::kTrained) {
+    record.fully_trained = true;
+    record.test_score = 1.5 + static_cast<double>(salt);
+    record.emulation_score = 0.75;
+    record.curve_epochs = {8, 16, 24};
+    record.median_curve = {0.2, 0.4, 0.6};
+  }
+  return record;
+}
+
+// ---- canonical serialization ----------------------------------------------
+
+TEST(Canonical, FormattingAndNamingNormalized) {
+  const std::string a =
+      "let smooth = ema(throughput_mbps, 0.5);\n"
+      "emit \"tput\" = smooth / 8.0;\n";
+  const std::string b =
+      "# an explanatory comment, as LLM output carries\n"
+      "let s2=ema( throughput_mbps ,0.50 ) ;\n"
+      "emit \"tput\"=( s2 / 8.00 );";
+  const std::string ca = dsl::canonical_source(dsl::parse(a));
+  const std::string cb = dsl::canonical_source(dsl::parse(b));
+  EXPECT_EQ(ca, cb);
+  EXPECT_NE(ca.find("v0"), std::string::npos);   // let binding renamed
+  EXPECT_NE(ca.find("tput"), std::string::npos); // row name kept
+}
+
+TEST(Canonical, DistinctProgramsStayDistinct) {
+  const auto a = dsl::canonical_source(
+      dsl::parse("emit \"x\" = buffer_size_s / 10.0;"));
+  const auto b = dsl::canonical_source(
+      dsl::parse("emit \"x\" = buffer_size_s / 7.0;"));
+  EXPECT_NE(a, b);
+}
+
+TEST(Canonical, FreeVariablesCannotCaptureRenamedBindings) {
+  // "v0" as a free (input) reference must not collide with the canonical
+  // name of a let binding — these programs are semantically different.
+  const std::string bound = "let x = 1.0;\nemit \"r\" = x;";
+  const std::string free_v0 = "let x = 1.0;\nemit \"r\" = v0;";
+  EXPECT_NE(dsl::canonical_source(dsl::parse(bound)),
+            dsl::canonical_source(dsl::parse(free_v0)));
+  EXPECT_NE(fingerprint_state_source(bound), fingerprint_state_source(free_v0));
+}
+
+TEST(Canonical, ShadowedBindingsRenameConsistently) {
+  const std::string a =
+      "let t = throughput_mbps;\nlet t = t * 2.0;\nemit \"x\" = t;";
+  const std::string b =
+      "let u = throughput_mbps;\nlet w = u * 2.0;\nemit \"x\" = w;";
+  EXPECT_EQ(dsl::canonical_source(dsl::parse(a)),
+            dsl::canonical_source(dsl::parse(b)));
+}
+
+// ---- fingerprints ----------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossReformattedSources) {
+  const std::string a = dsl::pensieve_state_source();
+  // Reformat: inject comments and blank lines, keep the AST identical.
+  std::string b = "# reformatted\n\n";
+  for (char c : a) {
+    b += c;
+    if (c == ';') b += "   ";
+  }
+  EXPECT_EQ(fingerprint_state_source(a), fingerprint_state_source(b));
+  EXPECT_NE(fingerprint_state_source(a),
+            fingerprint_state_source("emit \"x\" = buffer_size_s;"));
+}
+
+TEST(Fingerprint, UnparsableSourcesHashByRawText) {
+  const std::string broken = "let ) = 3;";
+  EXPECT_EQ(fingerprint_state_source(broken),
+            fingerprint_state_source("  " + broken + "\n"));
+  EXPECT_NE(fingerprint_state_source(broken),
+            fingerprint_state_source("let ( = 3;"));
+}
+
+TEST(Fingerprint, ArchEncodingCoversEveryField) {
+  const nn::ArchSpec base = nn::ArchSpec::pensieve();
+  EXPECT_EQ(fingerprint_arch(base), fingerprint_arch(nn::ArchSpec::pensieve()));
+  nn::ArchSpec changed = base;
+  changed.activation = nn::Activation::kLeakyRelu;
+  EXPECT_NE(fingerprint_arch(base), fingerprint_arch(changed));
+  changed = base;
+  changed.shared_trunk = true;
+  EXPECT_NE(fingerprint_arch(base), fingerprint_arch(changed));
+  changed = base;
+  changed.merge_layers += 1;
+  EXPECT_NE(fingerprint_arch(base), fingerprint_arch(changed));
+}
+
+TEST(Fingerprint, CombineIsOrderSensitive) {
+  const Fingerprint a = fingerprint_text("a");
+  const Fingerprint b = fingerprint_text("b");
+  EXPECT_NE(combine(a, b), combine(b, a));
+  EXPECT_EQ(combine(a, b), combine(a, b));
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  const Fingerprint fp = fingerprint_text("round trip");
+  const auto parsed = Fingerprint::from_hex(fp.hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, fp);
+  EXPECT_FALSE(Fingerprint::from_hex("zz").has_value());
+  EXPECT_FALSE(
+      Fingerprint::from_hex(std::string(32, 'g')).has_value());
+}
+
+// ---- candidate store -------------------------------------------------------
+
+TEST(CandidateStore, RoundTripAllStages) {
+  const std::string path = fresh_path("roundtrip");
+  const auto checked = make_test_record(1, Stage::kChecked);
+  auto probed = make_test_record(2, Stage::kProbed);
+  probed.compile_error = "blew up \"late\"\nwith a newline";
+  auto trained = make_test_record(3, Stage::kTrained);
+  trained.arch = nn::ArchSpec::pensieve();
+  trained.arch->temporal = nn::TemporalUnit::kLstm;
+  trained.arch->shared_trunk = true;
+  {
+    CandidateStore store(path, test_scope());
+    EXPECT_TRUE(store.put(checked));
+    EXPECT_TRUE(store.put(probed));
+    EXPECT_TRUE(store.put(trained));
+  }
+  CandidateStore reopened(path, test_scope());
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_EQ(reopened.recovered_line_errors(), 0u);
+
+  const auto got = reopened.lookup(trained.fingerprint);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->stage, Stage::kTrained);
+  EXPECT_EQ(got->id, trained.id);
+  EXPECT_EQ(got->source, trained.source);
+  ASSERT_TRUE(got->arch.has_value());
+  EXPECT_EQ(got->arch->temporal, nn::TemporalUnit::kLstm);
+  EXPECT_TRUE(got->arch->shared_trunk);
+  EXPECT_TRUE(got->fully_trained);
+  EXPECT_DOUBLE_EQ(got->test_score, trained.test_score);
+  EXPECT_EQ(got->curve_epochs, trained.curve_epochs);
+  EXPECT_EQ(got->median_curve, trained.median_curve);
+
+  const auto got_probed = reopened.lookup(probed.fingerprint);
+  ASSERT_TRUE(got_probed.has_value());
+  EXPECT_EQ(got_probed->compile_error, probed.compile_error);
+  EXPECT_EQ(got_probed->early_rewards, probed.early_rewards);
+  EXPECT_FALSE(got_probed->arch.has_value());
+}
+
+TEST(CandidateStore, PutIsMonotonePerFingerprint) {
+  const std::string path = fresh_path("monotone");
+  CandidateStore store(path, test_scope());
+  auto record = make_test_record(7, Stage::kChecked);
+  EXPECT_TRUE(store.put(record));
+  EXPECT_FALSE(store.put(record));  // same stage: not re-journaled
+  record.stage = Stage::kProbed;
+  record.early_probed = true;
+  record.early_rewards = {1.0};
+  EXPECT_TRUE(store.put(record));
+  record.stage = Stage::kChecked;  // regression attempt
+  EXPECT_FALSE(store.put(record));
+  EXPECT_EQ(store.size(), 1u);
+  const auto got = store.lookup(record.fingerprint);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->stage, Stage::kProbed);
+
+  // Exactly two journal lines: one per accepted put.
+  const std::string content = util::read_file(path);
+  std::size_t lines = 0;
+  for (char c : content) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(CandidateStore, RecoversFromTornFinalLine) {
+  const std::string path = fresh_path("torn");
+  {
+    CandidateStore store(path, test_scope());
+    store.put(make_test_record(1, Stage::kProbed));
+    store.put(make_test_record(2, Stage::kTrained));
+  }
+  // Simulate a crash mid-append: keep the first record plus a prefix of the
+  // second line.
+  const std::string content = util::read_file(path);
+  const std::size_t first_newline = content.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  const std::string torn =
+      content.substr(0, first_newline + 1) +
+      content.substr(first_newline + 1, (content.size() - first_newline) / 2);
+  util::write_file_atomic(path, torn);
+
+  CandidateStore recovered(path, test_scope());
+  EXPECT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered.recovered_line_errors(), 1u);
+  EXPECT_TRUE(
+      recovered.lookup(make_test_record(1, Stage::kProbed).fingerprint)
+          .has_value());
+  // The journal stays usable after recovery.
+  EXPECT_TRUE(recovered.put(make_test_record(3, Stage::kChecked)));
+  CandidateStore reopened(path, test_scope());
+  EXPECT_EQ(reopened.size(), 2u);
+}
+
+TEST(CandidateStore, ForeignScopeLinesAreSkipped) {
+  const std::string path = fresh_path("scope");
+  {
+    CandidateStore store(path, test_scope());
+    store.put(make_test_record(1, Stage::kChecked));
+  }
+  CandidateStore other(path, StoreScope{"fcc", "other-digest"});
+  EXPECT_EQ(other.size(), 0u);
+  EXPECT_EQ(other.recovered_line_errors(), 1u);
+}
+
+TEST(CandidateStore, MergeUnionsAndKeepsFurthestStage) {
+  const std::string path_a = fresh_path("merge_a");
+  const std::string path_b = fresh_path("merge_b");
+  CandidateStore a(path_a, test_scope());
+  CandidateStore b(path_b, test_scope());
+  a.put(make_test_record(1, Stage::kChecked));
+  a.put(make_test_record(2, Stage::kProbed));
+  b.put(make_test_record(2, Stage::kTrained));  // same candidate, further
+  b.put(make_test_record(3, Stage::kChecked));
+  EXPECT_EQ(a.merge_from(b), 2u);
+  EXPECT_EQ(a.size(), 3u);
+  const auto got = a.lookup(make_test_record(2, Stage::kProbed).fingerprint);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->stage, Stage::kTrained);
+
+  CandidateStore mismatched(fresh_path("merge_c"),
+                            StoreScope{"fcc", "other"});
+  EXPECT_THROW((void)a.merge_from(mismatched), std::invalid_argument);
+}
+
+TEST(CandidateStore, DefaultPathHonorsEnvDir) {
+  ::setenv("NADA_STORE_DIR", "/tmp/nada-test-stores", 1);
+  const std::string path = default_store_path(test_scope());
+  EXPECT_EQ(path.rfind("/tmp/nada-test-stores/", 0), 0u);
+  EXPECT_NE(path.find("fcc-"), std::string::npos);
+  ::unsetenv("NADA_STORE_DIR");
+}
+
+// ---- shard planning --------------------------------------------------------
+
+TEST(ShardPlan, RangesPartitionTheWholeSpace) {
+  for (std::size_t n : {1u, 2u, 3u, 7u, 16u}) {
+    const ShardPlan plan(n);
+    EXPECT_EQ(plan.range(0).lo, 0u);
+    EXPECT_EQ(plan.range(n - 1).hi, ~std::uint64_t{0});
+    for (std::size_t s = 0; s + 1 < n; ++s) {
+      EXPECT_EQ(plan.range(s).hi + 1, plan.range(s + 1).lo)
+          << "gap between shards " << s << " and " << s + 1;
+    }
+  }
+  EXPECT_THROW(ShardPlan(0), std::invalid_argument);
+}
+
+TEST(ShardPlan, ShardOfAgreesWithRanges) {
+  const ShardPlan plan(5);
+  for (int i = 0; i < 500; ++i) {
+    const Fingerprint fp = fingerprint_text("candidate-" + std::to_string(i));
+    const std::size_t shard = plan.shard_of(fp);
+    ASSERT_LT(shard, 5u);
+    const auto range = plan.range(shard);
+    EXPECT_GE(fp.hi, range.lo);
+    EXPECT_LE(fp.hi, range.hi);
+  }
+}
+
+TEST(ShardPlan, PartitionCoversEveryCandidateOnce) {
+  std::vector<Fingerprint> fps;
+  for (int i = 0; i < 200; ++i) {
+    fps.push_back(fingerprint_text("p-" + std::to_string(i)));
+  }
+  const ShardPlan plan(4);
+  const auto shards = plan.partition(fps);
+  ASSERT_EQ(shards.size(), 4u);
+  std::vector<bool> seen(fps.size(), false);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (std::size_t idx : shards[s]) {
+      EXPECT_EQ(plan.shard_of(fps[idx]), s);
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(ShardPlan, MergeShardFilesUnionsWorkerStores) {
+  const ShardPlan plan(3);
+  std::vector<std::string> paths;
+  for (std::size_t s = 0; s < 3; ++s) {
+    paths.push_back(fresh_path("shard" + std::to_string(s)));
+  }
+  // Three workers journal only the candidates their range owns.
+  std::size_t total = 0;
+  {
+    std::vector<std::unique_ptr<CandidateStore>> workers;
+    for (const auto& path : paths) {
+      workers.push_back(std::make_unique<CandidateStore>(path, test_scope()));
+    }
+    for (std::uint64_t salt = 0; salt < 60; ++salt) {
+      auto record = make_test_record(salt, Stage::kProbed);
+      workers[plan.shard_of(record.fingerprint)]->put(record);
+      ++total;
+    }
+  }
+  const std::string merged_path = fresh_path("shard_merged");
+  CandidateStore merged(merged_path, test_scope());
+  EXPECT_EQ(merge_shard_files(paths, merged), total);
+  EXPECT_EQ(merged.size(), total);
+  for (std::uint64_t salt = 0; salt < 60; ++salt) {
+    EXPECT_TRUE(
+        merged.lookup(make_test_record(salt, Stage::kProbed).fingerprint)
+            .has_value());
+  }
+
+  // A missing shard journal is a worker that never reported: loud failure,
+  // not a silently empty merge.
+  const std::vector<std::string> with_missing = {paths[0],
+                                                 fresh_path("shard_gone")};
+  EXPECT_THROW((void)merge_shard_files(with_missing, merged),
+               std::runtime_error);
+}
+
+// ---- generator replay ------------------------------------------------------
+
+TEST(GeneratorReplay, ResetReplaysTheExactStream) {
+  gen::StateGenerator state_gen(gen::gpt4_profile(), gen::PromptStrategy{},
+                                42);
+  const auto first = state_gen.generate_batch(20);
+  state_gen.reset();
+  const auto replayed = state_gen.generate_batch(20);
+  ASSERT_EQ(first.size(), replayed.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, replayed[i].id);
+    EXPECT_EQ(first[i].source, replayed[i].source);
+  }
+
+  gen::ArchGenerator arch_gen(gen::gpt35_profile(), gen::PromptStrategy{},
+                              43);
+  const auto archs = arch_gen.generate_batch(20);
+  arch_gen.reset();
+  const auto archs2 = arch_gen.generate_batch(20);
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    EXPECT_EQ(archs[i].id, archs2[i].id);
+    EXPECT_EQ(fingerprint_arch(archs[i].spec),
+              fingerprint_arch(archs2[i].spec));
+  }
+}
+
+// ---- pipeline integration --------------------------------------------------
+
+core::PipelineConfig tiny_config() {
+  core::PipelineConfig config;
+  config.num_candidates = 30;
+  config.early_epochs = 8;
+  config.full_train_top = 3;
+  config.seeds = 2;
+  config.train.epochs = 24;
+  config.train.test_interval = 8;
+  config.train.max_eval_traces = 4;
+  nn::ArchSpec arch = nn::ArchSpec::pensieve();
+  arch.conv_filters = 8;
+  arch.scalar_hidden = 8;
+  arch.merge_hidden = 16;
+  config.baseline_arch = arch;
+  return config;
+}
+
+struct PipelineFixture {
+  trace::Dataset dataset = trace::build_dataset(trace::Environment::kStarlink,
+                                                0.2, 99);
+  video::Video video = video::make_test_video(video::pensieve_ladder(), 7);
+  util::ThreadPool pool{8};
+};
+
+void expect_same_ranked_result(const core::PipelineResult& a,
+                               const core::PipelineResult& b) {
+  EXPECT_EQ(a.best_index, b.best_index);
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.n_fully_trained, b.n_fully_trained);
+  EXPECT_EQ(a.n_early_stopped, b.n_early_stopped);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].id, b.outcomes[i].id);
+    EXPECT_EQ(a.outcomes[i].compiled, b.outcomes[i].compiled);
+    EXPECT_EQ(a.outcomes[i].normalized, b.outcomes[i].normalized);
+    EXPECT_EQ(a.outcomes[i].early_stopped, b.outcomes[i].early_stopped);
+    EXPECT_EQ(a.outcomes[i].fully_trained, b.outcomes[i].fully_trained);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].test_score, b.outcomes[i].test_score);
+  }
+}
+
+TEST(PipelineStore, SecondRunServesEverythingFromCache) {
+  PipelineFixture fx;
+  const std::string path = fresh_path("pipeline_cache");
+  const core::PipelineConfig config = tiny_config();
+
+  core::Pipeline first(fx.dataset, fx.video, config, 1234, &fx.pool);
+  CandidateStore store1(path, first.store_scope());
+  first.attach_store(&store1);
+  gen::StateGenerator gen1(gen::gpt4_profile(), gen::PromptStrategy{}, 77);
+  const auto run1 = first.search_states(gen1, config.baseline_arch);
+  EXPECT_GT(run1.n_probes_run, 0u);
+  EXPECT_GT(run1.n_full_trains_run, 0u);
+  EXPECT_EQ(run1.cache_hits(), 0u);
+
+  // A fresh process: new pipeline, the journal reopened from disk, the
+  // same generator stream.
+  core::Pipeline second(fx.dataset, fx.video, config, 1234, &fx.pool);
+  CandidateStore store2(path, second.store_scope());
+  second.attach_store(&store2);
+  gen::StateGenerator gen2(gen::gpt4_profile(), gen::PromptStrategy{}, 77);
+  const auto run2 = second.search_states(gen2, config.baseline_arch);
+
+  // Zero duplicate work: no probes, no full-training runs.
+  EXPECT_EQ(run2.n_probes_run, 0u);
+  EXPECT_EQ(run2.n_full_trains_run, 0u);
+  EXPECT_EQ(run2.n_precheck_cache_hits, run2.n_total);
+  EXPECT_EQ(run2.n_full_cache_hits, run1.n_full_trains_run);
+  expect_same_ranked_result(run1, run2);
+}
+
+TEST(PipelineStore, ResumesFromTruncatedCheckpointToSameResult) {
+  PipelineFixture fx;
+  const std::string path = fresh_path("pipeline_resume_full");
+  const core::PipelineConfig config = tiny_config();
+
+  core::Pipeline uninterrupted(fx.dataset, fx.video, config, 4321, &fx.pool);
+  CandidateStore store1(path, uninterrupted.store_scope());
+  uninterrupted.attach_store(&store1);
+  gen::StateGenerator gen1(gen::gpt4_profile(), gen::PromptStrategy{}, 88);
+  const auto full_run = uninterrupted.search_states(gen1,
+                                                    config.baseline_arch);
+  EXPECT_GT(full_run.n_full_trains_run, 0u);
+
+  // Simulate a crash mid-way through the full-training stage: keep the
+  // journal up to the first trained record, torn half-way through it.
+  const std::string content = util::read_file(path);
+  const std::size_t first_trained = content.find("\"stage\":2");
+  ASSERT_NE(first_trained, std::string::npos);
+  const std::size_t line_start = content.rfind('\n', first_trained) + 1;
+  const std::size_t line_end = content.find('\n', first_trained);
+  ASSERT_NE(line_end, std::string::npos);
+  const std::string interrupted_journal =
+      content.substr(0, line_start) +
+      content.substr(line_start, (line_end - line_start) / 2);
+  const std::string resume_path = fresh_path("pipeline_resume_torn");
+  util::write_file_atomic(resume_path, interrupted_journal);
+
+  core::Pipeline resumed(fx.dataset, fx.video, config, 4321, &fx.pool);
+  CandidateStore store2(resume_path, resumed.store_scope());
+  EXPECT_EQ(store2.recovered_line_errors(), 1u);
+  resumed.attach_store(&store2);
+  gen::StateGenerator gen2(gen::gpt4_profile(), gen::PromptStrategy{}, 88);
+  const auto resumed_run = resumed.resume_states(gen2, config.baseline_arch);
+
+  // Prechecks and probes come from the checkpoint; only full training
+  // (whose records were lost in the crash) re-executes.
+  EXPECT_EQ(resumed_run.n_probes_run, 0u);
+  EXPECT_EQ(resumed_run.n_full_trains_run, full_run.n_full_trains_run);
+  expect_same_ranked_result(full_run, resumed_run);
+}
+
+TEST(PipelineStore, ArchSearchCachesAcrossRuns) {
+  PipelineFixture fx;
+  const std::string path = fresh_path("pipeline_arch_cache");
+  core::PipelineConfig config = tiny_config();
+  config.num_candidates = 20;
+  const auto state =
+      dsl::StateProgram::compile(dsl::pensieve_state_source());
+
+  core::Pipeline first(fx.dataset, fx.video, config, 555, &fx.pool);
+  CandidateStore store1(path, first.store_scope());
+  first.attach_store(&store1);
+  gen::ArchGenerator gen1(gen::gpt35_profile(), gen::PromptStrategy{}, 99,
+                          0.25);
+  const auto run1 = first.search_archs(gen1, state);
+  EXPECT_GT(run1.n_full_trains_run, 0u);
+
+  core::Pipeline second(fx.dataset, fx.video, config, 555, &fx.pool);
+  CandidateStore store2(path, second.store_scope());
+  second.attach_store(&store2);
+  gen::ArchGenerator gen2(gen::gpt35_profile(), gen::PromptStrategy{}, 99,
+                          0.25);
+  const auto run2 = second.resume_archs(gen2, state);
+  EXPECT_EQ(run2.n_probes_run, 0u);
+  EXPECT_EQ(run2.n_full_trains_run, 0u);
+  expect_same_ranked_result(run1, run2);
+}
+
+TEST(PipelineStore, InBatchClonesShareOneProbe) {
+  // Even without a store, candidates with identical content (same state
+  // fingerprint, same arch) must probe exactly once: n_probes_run equals
+  // the number of distinct fingerprints among normalized candidates.
+  PipelineFixture fx;
+  const core::PipelineConfig config = tiny_config();
+  core::Pipeline pipeline(fx.dataset, fx.video, config, 2468, &fx.pool);
+  gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
+                                33);
+  const auto result = pipeline.search_states(generator,
+                                             config.baseline_arch);
+  const Fingerprint arch_fp = fingerprint_arch(config.baseline_arch);
+  std::set<std::string> distinct;
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.compiled && outcome.normalized) {
+      distinct.insert(
+          combine(fingerprint_state_source(outcome.source), arch_fp).hex());
+    }
+  }
+  EXPECT_EQ(result.n_probes_run, distinct.size());
+}
+
+TEST(PipelineStore, AttachRejectsMismatchedScope) {
+  PipelineFixture fx;
+  const core::PipelineConfig config = tiny_config();
+  core::Pipeline pipeline(fx.dataset, fx.video, config, 1, &fx.pool);
+  CandidateStore wrong(fresh_path("wrong_scope"),
+                       StoreScope{"fcc", "not-this-pipeline"});
+  EXPECT_THROW(pipeline.attach_store(&wrong), std::invalid_argument);
+
+  // Different funnel budgets => different scope digests.
+  core::PipelineConfig other = config;
+  other.early_epochs += 4;
+  core::Pipeline other_pipeline(fx.dataset, fx.video, other, 1, &fx.pool);
+  EXPECT_NE(pipeline.store_scope().config_digest,
+            other_pipeline.store_scope().config_digest);
+  EXPECT_EQ(pipeline.store_scope().env, "Starlink");
+
+  // Same environment but different traces (another dataset build seed)
+  // must not alias either: results are only reusable on the same data.
+  const trace::Dataset other_data =
+      trace::build_dataset(trace::Environment::kStarlink, 0.2, 100);
+  core::Pipeline other_env(other_data, fx.video, config, 1, &fx.pool);
+  EXPECT_NE(pipeline.store_scope().config_digest,
+            other_env.store_scope().config_digest);
+}
+
+TEST(PipelineStore, ResumeWithoutStoreThrows) {
+  PipelineFixture fx;
+  core::Pipeline pipeline(fx.dataset, fx.video, tiny_config(), 1, &fx.pool);
+  gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
+                                7);
+  EXPECT_THROW((void)pipeline.resume_states(generator,
+                                            tiny_config().baseline_arch),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace nada::store

@@ -8,6 +8,8 @@
 #include <set>
 #include <thread>
 
+#include "util/fs.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/scale.h"
 #include "util/stats.h"
@@ -433,6 +435,24 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForRethrowsFirstWorkerException) {
+  ThreadPool pool(4);
+  std::vector<int> slots(64, 0);
+  EXPECT_THROW(
+      pool.parallel_for(slots.size(),
+                        [&slots](std::size_t i) {
+                          if (i % 16 == 3) {
+                            throw std::runtime_error("worker blew up");
+                          }
+                          slots[i] = 1;
+                        }),
+      std::runtime_error);
+  // Every non-throwing item still ran to completion before the rethrow.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], i % 16 == 3 ? 0 : 1) << i;
+  }
+}
+
 TEST(ThreadPool, ParallelForWritesDistinctSlots) {
   ThreadPool pool(8);
   std::vector<int> slots(500, 0);
@@ -474,6 +494,107 @@ TEST(Scale, DescribeMentionsFactors) {
   ScaleConfig s;
   s.gen = 0.25;
   EXPECT_NE(s.describe().find("0.25"), std::string::npos);
+}
+
+TEST(Scale, FromEnvRejectsNonPositiveAndNaNFactors) {
+  ::setenv("NADA_SCALE_GEN", "0", 1);
+  EXPECT_THROW(ScaleConfig::from_env(), std::runtime_error);
+  ::setenv("NADA_SCALE_GEN", "-0.5", 1);
+  EXPECT_THROW(ScaleConfig::from_env(), std::runtime_error);
+  ::setenv("NADA_SCALE_GEN", "nan", 1);
+  EXPECT_THROW(ScaleConfig::from_env(), std::runtime_error);
+  ::setenv("NADA_SCALE_GEN", "inf", 1);
+  EXPECT_THROW(ScaleConfig::from_env(), std::runtime_error);
+  // Set-but-unparseable is an error too, not a silent fallback.
+  ::setenv("NADA_SCALE_GEN", "O.5", 1);
+  EXPECT_THROW(ScaleConfig::from_env(), std::runtime_error);
+  ::setenv("NADA_SCALE_GEN", "0.5x", 1);
+  EXPECT_THROW(ScaleConfig::from_env(), std::runtime_error);
+  ::setenv("NADA_SCALE_GEN", "0.5", 1);
+  EXPECT_DOUBLE_EQ(ScaleConfig::from_env().gen, 0.5);
+  ::unsetenv("NADA_SCALE_GEN");
+  EXPECT_NO_THROW(ScaleConfig::from_env());
+}
+
+// ---- json ------------------------------------------------------------------
+
+TEST(Json, ObjectRoundTripWithEscapes) {
+  JsonValue obj = JsonValue::object();
+  obj.set("name", JsonValue::string("line\nbreak \"quoted\" \\slash\t"));
+  obj.set("count", JsonValue::number(42.5));
+  obj.set("flag", JsonValue::boolean(true));
+  obj.set("missing", JsonValue::null());
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue::number(-1.25));
+  arr.push_back(JsonValue::string("x"));
+  obj.set("items", std::move(arr));
+
+  const JsonValue parsed = JsonValue::parse(obj.dump());
+  EXPECT_EQ(parsed.get("name").as_string(),
+            "line\nbreak \"quoted\" \\slash\t");
+  EXPECT_DOUBLE_EQ(parsed.get("count").as_number(), 42.5);
+  EXPECT_TRUE(parsed.get("flag").as_bool());
+  EXPECT_TRUE(parsed.get("missing").is_null());
+  EXPECT_DOUBLE_EQ(parsed.get("items").at(0).as_number(), -1.25);
+  EXPECT_EQ(parsed.get("items").at(1).as_string(), "x");
+  // Deterministic dumps: parse(dump) dumps identically.
+  EXPECT_EQ(parsed.dump(), obj.dump());
+}
+
+TEST(Json, NonFiniteNumbersDegradeToNull) {
+  JsonValue obj = JsonValue::object();
+  obj.set("bad", JsonValue::number(std::nan("")));
+  const JsonValue parsed = JsonValue::parse(obj.dump());
+  EXPECT_TRUE(parsed.get("bad").is_null());
+  EXPECT_DOUBLE_EQ(parsed.get("bad").as_number(-1.0), -1.0);
+}
+
+TEST(Json, RejectsTornAndTrailingInput) {
+  EXPECT_THROW(JsonValue::parse("{\"a\":1"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} extra"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+}
+
+TEST(Json, DoublesHelpersRoundTrip) {
+  const std::vector<double> values = {1.0, -2.5, 0.0, 1e-9};
+  const JsonValue encoded = json_doubles(values);
+  EXPECT_EQ(json_to_doubles(JsonValue::parse(encoded.dump())), values);
+}
+
+TEST(Json, DoublesHelpersRoundTripNonFinite) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> values = {1.0, std::nan(""), inf, -inf};
+  const auto decoded =
+      json_to_doubles(JsonValue::parse(json_doubles(values).dump()));
+  ASSERT_EQ(decoded.size(), 4u);
+  EXPECT_DOUBLE_EQ(decoded[0], 1.0);
+  EXPECT_TRUE(std::isnan(decoded[1]));
+  EXPECT_EQ(decoded[2], inf);
+  EXPECT_EQ(decoded[3], -inf);
+}
+
+// ---- fs --------------------------------------------------------------------
+
+TEST(Fs, AtomicWriteAndReadRoundTrip) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/nada_fs_test_roundtrip.txt";
+  write_file_atomic(path, "hello\nstore\n");
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_EQ(read_file(path), "hello\nstore\n");
+  write_file_atomic(path, "replaced");  // atomic replace, not append
+  EXPECT_EQ(read_file(path), "replaced");
+  std::remove(path.c_str());
+}
+
+TEST(Fs, MissingFilesAreReportedNotInvented) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/nada_fs_test_missing.txt";
+  std::remove(path.c_str());
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_FALSE(read_file_if_exists(path).has_value());
+  EXPECT_THROW(read_file(path), std::runtime_error);
 }
 
 }  // namespace
