@@ -1,0 +1,150 @@
+// Probe-throughput bench: candidates/sec for the early-probe stage, serial
+// Trainer-per-candidate vs the lockstep BatchProbeTrainer, at several
+// cohort sizes.
+//
+// The funnel spends nearly all its compute here (thousands of short runs
+// that only feed the early-stop ranker), so this is the number that decides
+// how many candidates a machine can screen per hour. The bench also
+// verifies the headline guarantee on every row: the batched reward curves
+// must be bit-identical to the serial ones.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gen/state_gen.h"
+#include "rl/batch_probe.h"
+#include "rl/trainer.h"
+#include "trace/generator.h"
+#include "util/thread_pool.h"
+#include "video/video.h"
+
+int main() {
+  using namespace nada;
+  const auto scale = util::ScaleConfig::from_env();
+  bench::banner("Batched probe training — candidates/sec vs serial", scale);
+
+  const trace::Environment env = trace::Environment::kFcc;
+  const trace::Dataset dataset = trace::build_dataset(env, scale.traces, 7);
+  const video::Video video =
+      video::make_test_video(video::pensieve_ladder(), 11);
+  util::ThreadPool pool;
+
+  rl::TrainConfig probe_config;
+  probe_config.epochs = scale.epoch_count(60, 12);
+  probe_config.evaluate_checkpoints = false;
+
+  // A pool of distinct state programs cycled across the cohort, as the
+  // funnel's pre-check survivors would be.
+  gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
+                                2024);
+  std::vector<dsl::StateProgram> programs;
+  programs.push_back(
+      dsl::StateProgram::compile(dsl::pensieve_state_source()));
+  for (const auto& candidate : generator.generate_batch(64)) {
+    if (programs.size() >= 8) break;
+    try {
+      programs.push_back(dsl::StateProgram::compile(candidate.source));
+    } catch (const dsl::CompileError&) {
+      continue;
+    }
+  }
+  nn::ArchSpec arch = nn::ArchSpec::pensieve();
+  arch.conv_filters = 32;
+  arch.scalar_hidden = 32;
+  arch.merge_hidden = 32;
+
+  util::TextTable table("Early-probe throughput (higher is better)");
+  table.set_header({"candidates", "serial cand/s", "batched cand/s",
+                    "speedup", "bit-identical"});
+
+  // CI runs this bench as the bit-identity smoke check: any divergence
+  // must fail the job, not just print.
+  bool all_identical = true;
+
+  for (const std::size_t cohort : {8u, 16u, 32u}) {
+    std::vector<rl::ProbeJob> jobs;
+    jobs.reserve(cohort);
+    for (std::size_t i = 0; i < cohort; ++i) {
+      jobs.push_back(rl::ProbeJob{&programs[i % programs.size()], &arch,
+                                  0x9e3779b9ULL * (i + 1)});
+    }
+
+    bench::Stopwatch serial_timer;
+    std::vector<rl::TrainResult> serial_results;
+    serial_results.reserve(cohort);
+    for (const auto& job : jobs) {
+      rl::Trainer trainer(dataset, video, probe_config, job.seed);
+      serial_results.push_back(trainer.train(*job.program, *job.spec));
+    }
+    const double serial_s = serial_timer.seconds();
+
+    const rl::BatchProbeTrainer batch_trainer(
+        dataset, video, rl::BatchProbeConfig{probe_config, 4});
+    bench::Stopwatch batch_timer;
+    const auto batch_results = batch_trainer.train(jobs, nullptr);
+    const double batch_s = batch_timer.seconds();
+
+    bool identical = batch_results.size() == serial_results.size();
+    for (std::size_t i = 0; identical && i < batch_results.size(); ++i) {
+      identical = batch_results[i].failed == serial_results[i].failed &&
+                  batch_results[i].train_rewards ==
+                      serial_results[i].train_rewards;
+    }
+
+    const double serial_rate = cohort / std::max(serial_s, 1e-9);
+    const double batch_rate = cohort / std::max(batch_s, 1e-9);
+    table.add_row_mixed({std::to_string(cohort)},
+                        {serial_rate, batch_rate, batch_rate / serial_rate,
+                         identical ? 1.0 : 0.0},
+                        2);
+    if (!identical) {
+      all_identical = false;
+      std::cout << "ERROR: batched curves diverged from serial at cohort "
+                << cohort << "\n";
+    }
+  }
+
+  // Pool-scheduled runs: candidate-blocks vs one task per candidate.
+  {
+    const std::size_t cohort = 32;
+    std::vector<rl::ProbeJob> jobs;
+    for (std::size_t i = 0; i < cohort; ++i) {
+      jobs.push_back(rl::ProbeJob{&programs[i % programs.size()], &arch,
+                                  0x9e3779b9ULL * (i + 1)});
+    }
+    bench::Stopwatch serial_timer;
+    std::vector<rl::TrainResult> serial_results(cohort);
+    pool.parallel_for(cohort, [&](std::size_t i) {
+      rl::Trainer trainer(dataset, video, probe_config, jobs[i].seed);
+      serial_results[i] = trainer.train(*jobs[i].program, *jobs[i].spec);
+    });
+    const double serial_s = serial_timer.seconds();
+
+    const rl::BatchProbeTrainer batch_trainer(
+        dataset, video, rl::BatchProbeConfig{probe_config, 4});
+    bench::Stopwatch batch_timer;
+    const auto batch_results = batch_trainer.train(jobs, &pool);
+    const double batch_s = batch_timer.seconds();
+    std::cout << "pool-scheduled, " << cohort << " candidates on "
+              << pool.size() << " threads: serial "
+              << cohort / std::max(serial_s, 1e-9) << " cand/s, batched "
+              << cohort / std::max(batch_s, 1e-9) << " cand/s ("
+              << serial_s / std::max(batch_s, 1e-9) << "x)\n";
+    for (std::size_t i = 0; i < cohort; ++i) {
+      if (batch_results[i].train_rewards != serial_results[i].train_rewards) {
+        all_identical = false;
+        std::cout << "ERROR: pool-scheduled batched curves diverged from "
+                     "serial at candidate " << i << "\n";
+      }
+    }
+  }
+
+  std::cout << table.to_string() << "\n";
+  bench::save_csv("probe_batch.csv", table);
+  if (!all_identical) {
+    std::cout << "FAILED: batched/serial bit-identity violated\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "rl/batch_probe.h"
 #include "util/stats.h"
 #include "util/strings.h"
 
@@ -119,6 +120,35 @@ void copy_full_train_result(const CandidateOutcome& from,
                         from.curve_epochs);
 }
 
+/// Runs the early-probe stage over `jobs` — batched lockstep blocks or one
+/// serial Trainer per candidate (bit-identical either way) — and hands
+/// each result to `apply(k, result)` with k indexing `jobs`. Shared by the
+/// state and architecture searches so the two dispatches cannot drift.
+void run_probe_stage(
+    const trace::Dataset& dataset, const video::Video& video,
+    util::ThreadPool* pool, const PipelineConfig& config,
+    const rl::TrainConfig& probe_config,
+    const std::vector<rl::ProbeJob>& jobs,
+    const std::function<void(std::size_t, const rl::TrainResult&)>& apply) {
+  if (config.probe_batch) {
+    const rl::BatchProbeTrainer batch_trainer(
+        dataset, video, rl::BatchProbeConfig{probe_config,
+                                             config.probe_block});
+    const auto results = batch_trainer.train(jobs, pool);
+    for (std::size_t k = 0; k < jobs.size(); ++k) apply(k, results[k]);
+    return;
+  }
+  auto probe = [&](std::size_t k) {
+    rl::Trainer trainer(dataset, video, probe_config, jobs[k].seed);
+    apply(k, trainer.train(*jobs[k].program, *jobs[k].spec));
+  };
+  if (pool != nullptr && jobs.size() > 1) {
+    pool->parallel_for(jobs.size(), probe);
+  } else {
+    for (std::size_t k = 0; k < jobs.size(); ++k) probe(k);
+  }
+}
+
 }  // namespace
 
 Pipeline::Pipeline(const trace::Dataset& dataset, const video::Video& video,
@@ -150,7 +180,15 @@ const rl::SessionResult& Pipeline::original_baseline() {
 
 store::StoreScope Pipeline::store_scope() const {
   std::ostringstream spec;
-  spec << store::canonical_train_config(config_.train)
+  // Simulator-semantics revision: bumped whenever a code change alters the
+  // per-candidate results produced for the same (fingerprint, config) —
+  // e.g. rev 2 fixed AbrEnv's constructor RNG draw, the eval-prefix bias,
+  // and the stall-deadline "completed" lie. Journals written under an
+  // older revision are scoped out rather than silently mixed with
+  // incomparable fresh results. Execution-only knobs (probe_batch,
+  // probe_block) never feed the digest: batched and serial runs are
+  // bit-identical and share journals.
+  spec << "sim_rev=2;" << store::canonical_train_config(config_.train)
        << ";seeds=" << config_.seeds
        << ";early_epochs=" << config_.early_epochs
        << ";norm_threshold=" << config_.normalization_threshold
@@ -376,28 +414,29 @@ PipelineResult Pipeline::search_states(
   rl::TrainConfig probe_config = config_.train;
   probe_config.epochs = config_.early_epochs;
   probe_config.evaluate_checkpoints = false;
-  auto probe = [&](std::size_t k) {
-    const std::size_t i = probe_set[k];
-    rl::Trainer trainer(*dataset_, *video_, probe_config,
-                        seed_ ^ (0xb10b << 8) ^ fps[i].lo);
-    const rl::TrainResult probe_result = trainer.train(*programs[i], arch);
-    if (!probe_result.failed) {
-      outcomes[i].early_probed = true;
-      outcomes[i].early_rewards = probe_result.train_rewards;
-    } else {
-      // Blew up only under real training inputs; treat as compile-stage
-      // failure discovered late.
-      outcomes[i].compile_error = probe_result.error;
-    }
-    if (store_ != nullptr) {
-      store_->put(to_store_record(outcomes[i], fps[i], store::Stage::kProbed));
-    }
-  };
-  if (pool_ != nullptr && probe_set.size() > 1) {
-    pool_->parallel_for(probe_set.size(), probe);
-  } else {
-    for (std::size_t k = 0; k < probe_set.size(); ++k) probe(k);
+  std::vector<rl::ProbeJob> probe_jobs;
+  probe_jobs.reserve(probe_set.size());
+  for (std::size_t i : probe_set) {
+    probe_jobs.push_back(rl::ProbeJob{&*programs[i], &arch,
+                                      seed_ ^ (0xb10b << 8) ^ fps[i].lo});
   }
+  run_probe_stage(
+      *dataset_, *video_, pool_, config_, probe_config, probe_jobs,
+      [&](std::size_t k, const rl::TrainResult& probe_result) {
+        const std::size_t i = probe_set[k];
+        if (!probe_result.failed) {
+          outcomes[i].early_probed = true;
+          outcomes[i].early_rewards = probe_result.train_rewards;
+        } else {
+          // Blew up only under real training inputs; treat as
+          // compile-stage failure discovered late.
+          outcomes[i].compile_error = probe_result.error;
+        }
+        if (store_ != nullptr) {
+          store_->put(
+              to_store_record(outcomes[i], fps[i], store::Stage::kProbed));
+        }
+      });
   result.n_probes_run = probe_set.size();
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (leader[i] != i && outcomes[i].compiled && outcomes[i].normalized &&
@@ -521,27 +560,27 @@ PipelineResult Pipeline::search_archs(
   rl::TrainConfig probe_config = config_.train;
   probe_config.epochs = config_.early_epochs;
   probe_config.evaluate_checkpoints = false;
-  auto probe = [&](std::size_t k) {
-    const std::size_t i = probe_set[k];
-    rl::Trainer trainer(*dataset_, *video_, probe_config,
-                        seed_ ^ (0xa10b << 8) ^ fps[i].lo);
-    const rl::TrainResult probe_result =
-        trainer.train(state, *outcomes[i].arch);
-    if (!probe_result.failed) {
-      outcomes[i].early_probed = true;
-      outcomes[i].early_rewards = probe_result.train_rewards;
-    } else {
-      outcomes[i].compile_error = probe_result.error;
-    }
-    if (store_ != nullptr) {
-      store_->put(to_store_record(outcomes[i], fps[i], store::Stage::kProbed));
-    }
-  };
-  if (pool_ != nullptr && probe_set.size() > 1) {
-    pool_->parallel_for(probe_set.size(), probe);
-  } else {
-    for (std::size_t k = 0; k < probe_set.size(); ++k) probe(k);
+  std::vector<rl::ProbeJob> probe_jobs;
+  probe_jobs.reserve(probe_set.size());
+  for (std::size_t i : probe_set) {
+    probe_jobs.push_back(rl::ProbeJob{&state, &*outcomes[i].arch,
+                                      seed_ ^ (0xa10b << 8) ^ fps[i].lo});
   }
+  run_probe_stage(
+      *dataset_, *video_, pool_, config_, probe_config, probe_jobs,
+      [&](std::size_t k, const rl::TrainResult& probe_result) {
+        const std::size_t i = probe_set[k];
+        if (!probe_result.failed) {
+          outcomes[i].early_probed = true;
+          outcomes[i].early_rewards = probe_result.train_rewards;
+        } else {
+          outcomes[i].compile_error = probe_result.error;
+        }
+        if (store_ != nullptr) {
+          store_->put(
+              to_store_record(outcomes[i], fps[i], store::Stage::kProbed));
+        }
+      });
   result.n_probes_run = probe_set.size();
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (leader[i] != i && outcomes[i].compiled && !outcomes[i].early_probed) {

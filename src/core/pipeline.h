@@ -49,6 +49,16 @@ struct PipelineConfig {
   nn::ArchSpec baseline_arch = nn::ArchSpec::pensieve();
   double normalization_threshold = filter::kNormalizationThreshold;
   std::size_t normalization_fuzz_runs = 16;
+  /// Run the early-probe stage through rl::BatchProbeTrainer: candidates
+  /// train in lockstep blocks with fused matrix-matrix updates instead of
+  /// one serial Trainer each. Bit-identical per-candidate reward curves
+  /// and store records either way (per-candidate seeds are fingerprint-
+  /// derived and unaffected), so this is an execution knob, not a scope
+  /// knob: it does not feed store_scope() and journals are shared freely
+  /// between batched and serial runs of the same code revision.
+  bool probe_batch = true;
+  /// Candidates per lockstep block when probe_batch is on.
+  std::size_t probe_block = 4;
 };
 
 /// Everything that happened to one candidate on its way through the funnel.
@@ -135,8 +145,9 @@ class Pipeline {
   /// The (environment, funnel-config digest) scope this pipeline's results
   /// live under in a candidate store. Everything that changes a stored
   /// per-candidate result — training protocol, probe budget, seeds,
-  /// normalization check parameters, the pipeline seed, and the identity
-  /// of the dataset's traces and the video — feeds the digest;
+  /// normalization check parameters, the pipeline seed, the identity of
+  /// the dataset's traces and the video, and the simulator-semantics
+  /// revision — feeds the digest;
   /// selection-only knobs (num_candidates, full_train_top) do not, so the
   /// cache survives re-ranking with a different top-K.
   [[nodiscard]] store::StoreScope store_scope() const;

@@ -11,9 +11,7 @@ AbrEnv::AbrEnv(const trace::Trace& trace, const video::Video& video,
       video_(&video),
       fidelity_(fidelity),
       rng_(&rng),
-      qoe_(video.ladder()) {
-  reset();
-}
+      qoe_(video.ladder()) {}
 
 Observation AbrEnv::reset() {
   // Random offset so different episodes see different trace regions; leave
@@ -31,25 +29,50 @@ Observation AbrEnv::reset() {
   throughput_hist_.assign(kHistoryLen, 0.0);
   download_hist_.assign(kHistoryLen, 0.0);
   buffer_hist_.assign(kHistoryLen, 0.0);
+  hist_head_ = 0;
   last_level_ = 0;  // Pensieve starts at the lowest quality
   return make_observation();
 }
 
 void AbrEnv::push_history(std::vector<double>& hist, double value) {
-  hist.erase(hist.begin());
-  hist.push_back(value);
+  // The slot at hist_head_ holds the oldest sample; overwrite it in place.
+  // hist_head_ itself advances once per step, in step().
+  hist[hist_head_] = value;
+}
+
+std::vector<double> AbrEnv::history_in_order(
+    const std::vector<double>& hist) const {
+  std::vector<double> ordered(kHistoryLen);
+  for (std::size_t i = 0; i < kHistoryLen; ++i) {
+    ordered[i] = hist[(hist_head_ + i) % kHistoryLen];
+  }
+  return ordered;
+}
+
+void AbrEnv::require_session() const {
+  if (session_ == nullptr) {
+    throw std::logic_error("AbrEnv: reset() must be called before use");
+  }
 }
 
 StepResult AbrEnv::step(std::size_t level) {
+  require_session();
   if (done()) throw std::logic_error("AbrEnv::step after episode end");
   const DownloadResult dl = session_->download_chunk(level);
 
   push_history(throughput_hist_, dl.throughput_mbps);
   push_history(download_hist_, dl.download_time_s);
   push_history(buffer_hist_, dl.buffer_s);
+  hist_head_ = (hist_head_ + 1) % kHistoryLen;
 
   StepResult result;
   result.reward = qoe_.chunk_reward(level, last_level_, dl.rebuffer_s);
+  result.truncated = dl.truncated;
+  if (dl.truncated) {
+    // The transfer died at the stall deadline: whatever the QoE terms say,
+    // a dead download must never score positively.
+    result.reward = std::min(result.reward, 0.0);
+  }
   result.rebuffer_s = dl.rebuffer_s;
   result.download_time_s = dl.download_time_s;
   result.done = dl.video_finished;
@@ -58,13 +81,16 @@ StepResult AbrEnv::step(std::size_t level) {
   return result;
 }
 
-bool AbrEnv::done() const { return session_->finished(); }
+bool AbrEnv::done() const {
+  require_session();
+  return session_->finished();
+}
 
 Observation AbrEnv::make_observation() const {
   Observation obs;
-  obs.throughput_mbps = throughput_hist_;
-  obs.download_time_s = download_hist_;
-  obs.buffer_s_history = buffer_hist_;
+  obs.throughput_mbps = history_in_order(throughput_hist_);
+  obs.download_time_s = history_in_order(download_hist_);
+  obs.buffer_s_history = history_in_order(buffer_hist_);
   obs.buffer_s = session_->buffer_s();
   obs.chunks_remaining = static_cast<double>(session_->chunks_remaining());
   obs.total_chunks = static_cast<double>(video_->num_chunks());

@@ -46,6 +46,10 @@ struct StepResult {
   double reward = 0.0;       ///< QoE_lin for the downloaded chunk
   double rebuffer_s = 0.0;
   double download_time_s = 0.0;
+  /// The chunk's transfer hit the session's stall deadline before the last
+  /// byte arrived; the reward is capped at zero and the reported throughput
+  /// reflects only the bytes actually delivered.
+  bool truncated = false;
   bool done = false;
 };
 
@@ -56,6 +60,11 @@ enum class Fidelity {
 
 /// One episode = one video streamed over one trace. The session starts at a
 /// random offset into the trace, as in Pensieve's training setup.
+///
+/// Construction consumes no randomness: the RNG is only drawn when reset()
+/// starts an episode, so the caller's seed stream is a pure function of the
+/// episodes it actually runs — the property the batched/serial probe
+/// equivalence guarantee rests on. reset() must be called before step().
 class AbrEnv {
  public:
   AbrEnv(const trace::Trace& trace, const video::Video& video,
@@ -77,6 +86,10 @@ class AbrEnv {
  private:
   [[nodiscard]] Observation make_observation() const;
   void push_history(std::vector<double>& hist, double value);
+  /// Unrolls a ring-buffer history into an oldest-first vector.
+  [[nodiscard]] std::vector<double> history_in_order(
+      const std::vector<double>& hist) const;
+  void require_session() const;
 
   const trace::Trace* trace_;
   const video::Video* video_;
@@ -84,9 +97,14 @@ class AbrEnv {
   util::Rng* rng_;
   video::QoELin qoe_;
   std::unique_ptr<StreamingSession> session_;
+  // Histories are fixed-size ring buffers indexed by head_: the oldest
+  // sample lives at head_, so a push is O(1) instead of an O(n)
+  // erase-from-front. They are materialized oldest-first only when an
+  // observation is built.
   std::vector<double> throughput_hist_;
   std::vector<double> download_hist_;
   std::vector<double> buffer_hist_;
+  std::size_t hist_head_ = 0;
   std::size_t last_level_ = 0;
 };
 

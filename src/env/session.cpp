@@ -7,29 +7,37 @@
 namespace nada::env {
 namespace {
 
+struct IntegrateResult {
+  double elapsed_s = 0.0;
+  double delivered_wire_bytes = 0.0;
+  bool completed = true;
+};
+
 // Integrates `wire_bytes` over the trace's piecewise-constant bandwidth
-// starting at absolute time `start_s`; returns elapsed seconds.
-double integrate_transfer(const trace::Trace& tr, double wire_bytes,
-                          double start_s) {
-  if (wire_bytes <= 0.0) return 0.0;
+// starting at absolute time `start_s`. Gives up at the stall deadline and
+// reports how many bytes made it, rather than pretending completion.
+IntegrateResult integrate_transfer(const trace::Trace& tr, double wire_bytes,
+                                   double start_s) {
+  if (wire_bytes <= 0.0) return {};
   const double duration = tr.duration_s();
   if (duration <= 0.0) {
     throw std::invalid_argument("integrate_transfer: degenerate trace");
   }
   double remaining = wire_bytes;
   double t = start_s;
-  // Hard cap to avoid infinite loops if bandwidth is pathologically small.
-  const double deadline = start_s + 3600.0;
+  const double deadline = start_s + StreamingSession::kStallDeadlineS;
   while (remaining > 0.0 && t < deadline) {
     const std::size_t idx = tr.index_at(t);
     const auto& points = tr.points();
+    // Segments are clamped at the deadline so a single long trace segment
+    // cannot deliver bytes (or declare completion) past it.
     const double seg_end_abs = [&] {
       double wrapped = std::fmod(t, duration);
       if (wrapped < 0.0) wrapped += duration;
       const double seg_end_wrapped = (idx + 1 < points.size())
                                          ? points[idx + 1].time_s
                                          : duration;
-      return t + (seg_end_wrapped - wrapped);
+      return std::min(t + (seg_end_wrapped - wrapped), deadline);
     }();
     const double bytes_per_s =
         std::max(points[idx].bandwidth_kbps, 1.0) * 1000.0 / 8.0;
@@ -43,7 +51,11 @@ double integrate_transfer(const trace::Trace& tr, double wire_bytes,
       t = seg_end_abs;
     }
   }
-  return t - start_s;
+  IntegrateResult result;
+  result.elapsed_s = t - start_s;
+  result.delivered_wire_bytes = wire_bytes - std::max(remaining, 0.0);
+  result.completed = remaining <= 0.0;
+  return result;
 }
 
 }  // namespace
@@ -75,10 +87,17 @@ DownloadResult StreamingSession::download_chunk(std::size_t level) {
   DownloadResult result;
   result.chunk_bytes = video_->chunk_bytes(next_chunk_, level);
 
-  const double dt = transfer_time_s(result.chunk_bytes, clock_s_);
+  const TransferResult tr = transfer(result.chunk_bytes, clock_s_);
+  const double dt = tr.elapsed_s;
   clock_s_ += dt;
   result.download_time_s = dt;
-  result.throughput_mbps = result.chunk_bytes * 8.0 / 1e6 / std::max(dt, 1e-9);
+  result.truncated = !tr.completed;
+  result.delivered_bytes = tr.delivered_bytes;
+  // Throughput reflects what actually arrived: a transfer that hit the
+  // stall deadline must not report the full chunk as having crossed the
+  // link in `dt` seconds.
+  result.throughput_mbps =
+      result.delivered_bytes * 8.0 / 1e6 / std::max(dt, 1e-9);
 
   // Buffer drains while downloading; stall if it empties.
   result.rebuffer_s = std::max(dt - buffer_s_, 0.0);
@@ -102,9 +121,21 @@ DownloadResult StreamingSession::download_chunk(std::size_t level) {
   return result;
 }
 
-double StreamingSession::transfer_time_s(double bytes, double start_s) {
+StreamingSession::TransferResult StreamingSession::transfer(double bytes,
+                                                            double start_s) {
   const double wire_bytes = bytes / config_.packet_payload_ratio;
-  return config_.link_rtt_s + integrate_transfer(*trace_, wire_bytes, start_s);
+  const IntegrateResult integrated =
+      integrate_transfer(*trace_, wire_bytes, start_s);
+  TransferResult result;
+  result.elapsed_s = config_.link_rtt_s + integrated.elapsed_s;
+  result.completed = integrated.completed;
+  // Report exact chunk bytes on completion so the payload round-trip through
+  // the wire ratio cannot drift by a rounding error.
+  result.delivered_bytes =
+      integrated.completed
+          ? bytes
+          : integrated.delivered_wire_bytes * config_.packet_payload_ratio;
+  return result;
 }
 
 EmuSession::EmuSession(const trace::Trace& trace, const video::Video& video,
@@ -116,7 +147,8 @@ EmuSession::EmuSession(const trace::Trace& trace, const video::Video& video,
       emu_config_(config),
       rng_(&rng) {}
 
-double EmuSession::transfer_time_s(double bytes, double start_s) {
+StreamingSession::TransferResult EmuSession::transfer(double bytes,
+                                                      double start_s) {
   // Per-request overhead: request RTT with jitter plus server think time.
   const double rtt =
       emu_config_.base_rtt_s + rng_->uniform(0.0, emu_config_.rtt_jitter_s);
@@ -125,10 +157,11 @@ double EmuSession::transfer_time_s(double bytes, double start_s) {
   // TCP slow start: the connection's allowed rate doubles every RTT from an
   // initial window until it reaches the trace's available bandwidth. We
   // integrate in small steps, applying min(cwnd rate, link rate).
-  double wire_bytes = bytes / emu_config_.header_overhead_ratio;
+  const double total_wire_bytes = bytes / emu_config_.header_overhead_ratio;
+  double wire_bytes = total_wire_bytes;
   double window_bytes = emu_config_.slow_start_init_bytes;
   const double step = std::max(rtt / 4.0, 0.005);
-  const double deadline = t + 3600.0;
+  const double deadline = t + kStallDeadlineS;
   while (wire_bytes > 0.0 && t < deadline) {
     const double link_bytes_per_s =
         std::max(trace_->bandwidth_kbps_at(t), 1.0) * 1000.0 / 8.0;
@@ -149,7 +182,14 @@ double EmuSession::transfer_time_s(double bytes, double start_s) {
       }
     }
   }
-  return t - start_s;
+  TransferResult result;
+  result.elapsed_s = t - start_s;
+  result.completed = wire_bytes <= 0.0;
+  result.delivered_bytes =
+      result.completed ? bytes
+                       : (total_wire_bytes - wire_bytes) *
+                             emu_config_.header_overhead_ratio;
+  return result;
 }
 
 }  // namespace nada::env

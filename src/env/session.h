@@ -28,8 +28,13 @@ struct DownloadResult {
   double rebuffer_s = 0.0;       ///< stall incurred while downloading
   double sleep_s = 0.0;          ///< idle wait because the buffer was full
   double buffer_s = 0.0;         ///< buffer level after appending the chunk
-  double chunk_bytes = 0.0;
-  double throughput_mbps = 0.0;  ///< chunk_bytes over download time
+  double chunk_bytes = 0.0;      ///< nominal encoded size of the chunk
+  double delivered_bytes = 0.0;  ///< payload bytes that actually arrived
+  double throughput_mbps = 0.0;  ///< delivered bytes over download time
+  /// True when the transfer hit its stall deadline before the last byte:
+  /// `delivered_bytes < chunk_bytes` and the download is effectively dead
+  /// air. Callers must not treat the chunk as cleanly fetched.
+  bool truncated = false;
   bool video_finished = false;   ///< this was the last chunk
 };
 
@@ -60,10 +65,23 @@ class StreamingSession {
 
   virtual ~StreamingSession() = default;
 
+  /// Transfers give up after this much wall-clock time; a chunk that has
+  /// not finished by then is reported truncated rather than complete.
+  static constexpr double kStallDeadlineS = 3600.0;
+
  protected:
-  /// Time to move `bytes` across the link starting at `start_s`. Overridden
-  /// by EmuSession with the higher-fidelity transfer model.
-  [[nodiscard]] virtual double transfer_time_s(double bytes, double start_s);
+  /// Outcome of moving payload bytes across the link.
+  struct TransferResult {
+    double elapsed_s = 0.0;        ///< request start to last byte (or deadline)
+    double delivered_bytes = 0.0;  ///< payload bytes that made it across
+    bool completed = true;         ///< false when the stall deadline hit
+  };
+
+  /// Moves `bytes` across the link starting at `start_s`. Overridden by
+  /// EmuSession with the higher-fidelity transfer model. Implementations
+  /// stop at kStallDeadlineS and report how much actually arrived instead
+  /// of pretending the transfer finished.
+  [[nodiscard]] virtual TransferResult transfer(double bytes, double start_s);
 
   const trace::Trace* trace_;
   const video::Video* video_;
@@ -96,7 +114,7 @@ class EmuSession : public StreamingSession {
              double start_offset_s = 0.0);
 
  protected:
-  [[nodiscard]] double transfer_time_s(double bytes, double start_s) override;
+  [[nodiscard]] TransferResult transfer(double bytes, double start_s) override;
 
  private:
   EmuConfig emu_config_;

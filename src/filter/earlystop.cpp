@@ -169,8 +169,7 @@ double EarlyStopModel::score(const DesignRecord& record) const {
   if (classifier_ == nullptr) {
     throw std::logic_error("EarlyStopModel::score before fit");
   }
-  return const_cast<nn::BinaryClassifier&>(*classifier_).predict(
-      features(record));
+  return classifier_->predict(features(record));
 }
 
 bool EarlyStopModel::keep(const DesignRecord& record) const {

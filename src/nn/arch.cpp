@@ -112,6 +112,107 @@ void ActorCriticNet::Tower::backward(const Vec& dhead) {
   }
 }
 
+Mat ActorCriticNet::Tower::forward_batch(const std::vector<Mat>& rows) {
+  if (rows.size() != branches.size()) {
+    throw std::invalid_argument("Tower::forward_batch: row count mismatch");
+  }
+  const std::size_t batch = rows.empty() ? 0 : rows.front().rows();
+  branch_offsets_batch.assign(branches.size(), 0);
+  std::vector<Mat> outs;
+  outs.reserve(branches.size());
+  std::size_t concat_dim = 0;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    branch_offsets_batch[i] = concat_dim;
+    outs.push_back(branches[i]->forward_batch(rows[i]));
+    concat_dim += outs.back().cols();
+  }
+  concat_cols_batch = concat_dim;
+  Mat h(batch, concat_dim);
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      std::copy(outs[i].row(b).begin(), outs[i].row(b).end(),
+                h.row(b).begin() +
+                    static_cast<std::ptrdiff_t>(branch_offsets_batch[i]));
+    }
+  }
+  for (auto& layer : merge) h = layer->forward_batch(h);
+  if (head) h = head->forward_batch(h);
+  return h;
+}
+
+void ActorCriticNet::Tower::backward_batch(const Mat& dhead) {
+  Mat dh = dhead;
+  if (head) dh = head->backward_batch(dh);
+  for (auto it = merge.rbegin(); it != merge.rend(); ++it) {
+    dh = (*it)->backward_batch(dh);
+  }
+  // Split the concat gradient back into branches (input grads discarded:
+  // upstream is the observation, not a trainable tensor).
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    const std::size_t begin = branch_offsets_batch[i];
+    const std::size_t end = i + 1 < branches.size()
+                                ? branch_offsets_batch[i + 1]
+                                : concat_cols_batch;
+    Mat slice(dh.rows(), end - begin);
+    for (std::size_t b = 0; b < dh.rows(); ++b) {
+      const auto src = dh.row(b);
+      std::copy(src.begin() + static_cast<std::ptrdiff_t>(begin),
+                src.begin() + static_cast<std::ptrdiff_t>(end),
+                slice.row(b).begin());
+    }
+    branches[i]->backward_batch(slice);
+  }
+}
+
+Vec ActorCriticNet::Tower::infer(const std::vector<Vec>& rows) const {
+  if (rows.size() != branches.size()) {
+    throw std::invalid_argument("Tower::infer: row count mismatch");
+  }
+  Vec h;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    const Vec out = branches[i]->infer(rows[i]);
+    h.insert(h.end(), out.begin(), out.end());
+  }
+  for (const auto& layer : merge) h = layer->infer(h);
+  if (head) h = head->infer(h);
+  return h;
+}
+
+void ActorCriticNet::Tower::sync_inference_cache() {
+  for (auto& b : branches) b->sync_inference_cache();
+  for (auto& m : merge) m->sync_inference_cache();
+  if (head) head->sync_inference_cache();
+}
+
+void ActorCriticNet::Tower::begin_capture(std::size_t batch) {
+  branch_offsets_batch.assign(branches.size(), 0);
+  std::size_t concat_dim = 0;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    branch_offsets_batch[i] = concat_dim;
+    branches[i]->begin_capture(batch);
+    concat_dim += branches[i]->out_dim();
+  }
+  concat_cols_batch = concat_dim;
+  for (auto& m : merge) m->begin_capture(batch);
+  if (head) head->begin_capture(batch);
+}
+
+Vec ActorCriticNet::Tower::forward_capture(const std::vector<Vec>& rows,
+                                           std::size_t row) {
+  if (rows.size() != branches.size()) {
+    throw std::invalid_argument("Tower::forward_capture: row count mismatch");
+  }
+  Vec h;
+  h.reserve(concat_cols_batch);
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    const Vec out = branches[i]->forward_capture(rows[i], row);
+    h.insert(h.end(), out.begin(), out.end());
+  }
+  for (auto& layer : merge) h = layer->forward_capture(h, row);
+  if (head) h = head->forward_capture(h, row);
+  return h;
+}
+
 void ActorCriticNet::Tower::collect_params(std::vector<ParamRef>& out) {
   for (auto& b : branches) {
     for (auto p : b->params()) out.push_back(p);
@@ -230,6 +331,161 @@ void ActorCriticNet::backward(const Vec& dlogits, double dvalue) {
   } else {
     actor_.backward(dlogits);
     critic_.backward(dvalue_vec);
+  }
+}
+
+ActorCriticNet::Output ActorCriticNet::forward_inference(
+    const std::vector<Vec>& state_rows) const {
+  if (state_rows.size() != sig_.rows()) {
+    throw std::invalid_argument(
+        "ActorCriticNet::forward_inference: row count " +
+        std::to_string(state_rows.size()) + " != signature " +
+        std::to_string(sig_.rows()));
+  }
+  for (std::size_t i = 0; i < state_rows.size(); ++i) {
+    const std::size_t expect = std::max<std::size_t>(sig_.row_lengths[i], 1);
+    if (state_rows[i].size() != expect) {
+      throw std::invalid_argument("ActorCriticNet::forward_inference: row " +
+                                  std::to_string(i) + " length mismatch");
+    }
+  }
+  Output out;
+  if (shared_) {
+    const Vec trunk_out = trunk_.infer(state_rows);
+    out.logits = actor_head_->infer(trunk_out);
+    out.value = critic_head_->infer(trunk_out)[0];
+  } else {
+    out.logits = actor_.infer(state_rows);
+    out.value = critic_.infer(state_rows)[0];
+  }
+  out.probs = softmax(out.logits);
+  return out;
+}
+
+void ActorCriticNet::sync_inference_cache() {
+  if (shared_) {
+    trunk_.sync_inference_cache();
+    actor_head_->sync_inference_cache();
+    critic_head_->sync_inference_cache();
+  } else {
+    actor_.sync_inference_cache();
+    critic_.sync_inference_cache();
+  }
+}
+
+void ActorCriticNet::begin_batch_capture(std::size_t batch) {
+  if (batch == 0) {
+    throw std::invalid_argument("ActorCriticNet::begin_batch_capture: 0");
+  }
+  if (shared_) {
+    trunk_.begin_capture(batch);
+    actor_head_->begin_capture(batch);
+    critic_head_->begin_capture(batch);
+  } else {
+    actor_.begin_capture(batch);
+    critic_.begin_capture(batch);
+  }
+}
+
+ActorCriticNet::Output ActorCriticNet::forward_capture(
+    const std::vector<Vec>& state_rows, std::size_t row) {
+  if (state_rows.size() != sig_.rows()) {
+    throw std::invalid_argument("ActorCriticNet::forward_capture: row count " +
+                                std::to_string(state_rows.size()) +
+                                " != signature " +
+                                std::to_string(sig_.rows()));
+  }
+  for (std::size_t i = 0; i < state_rows.size(); ++i) {
+    const std::size_t expect = std::max<std::size_t>(sig_.row_lengths[i], 1);
+    if (state_rows[i].size() != expect) {
+      throw std::invalid_argument("ActorCriticNet::forward_capture: row " +
+                                  std::to_string(i) + " length mismatch");
+    }
+  }
+  Output out;
+  if (shared_) {
+    const Vec trunk_out = trunk_.forward_capture(state_rows, row);
+    out.logits = actor_head_->forward_capture(trunk_out, row);
+    out.value = critic_head_->forward_capture(trunk_out, row)[0];
+  } else {
+    out.logits = actor_.forward_capture(state_rows, row);
+    out.value = critic_.forward_capture(state_rows, row)[0];
+  }
+  out.probs = softmax(out.logits);
+  return out;
+}
+
+ActorCriticNet::BatchOutput ActorCriticNet::forward_batch(
+    const std::vector<std::vector<Vec>>& state_rows) {
+  const std::size_t batch = state_rows.size();
+  if (batch == 0) {
+    throw std::invalid_argument("ActorCriticNet::forward_batch: empty batch");
+  }
+  for (const auto& sample : state_rows) {
+    if (sample.size() != sig_.rows()) {
+      throw std::invalid_argument(
+          "ActorCriticNet::forward_batch: row count " +
+          std::to_string(sample.size()) + " != signature " +
+          std::to_string(sig_.rows()));
+    }
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const std::size_t expect = std::max<std::size_t>(sig_.row_lengths[i], 1);
+      if (sample[i].size() != expect) {
+        throw std::invalid_argument("ActorCriticNet::forward_batch: row " +
+                                    std::to_string(i) + " length mismatch");
+      }
+    }
+  }
+  // One input Mat per state row, shared by every tower that consumes it.
+  std::vector<Mat> inputs;
+  inputs.reserve(sig_.rows());
+  for (std::size_t i = 0; i < sig_.rows(); ++i) {
+    const std::size_t len = std::max<std::size_t>(sig_.row_lengths[i], 1);
+    Mat x(batch, len);
+    for (std::size_t b = 0; b < batch; ++b) {
+      std::copy(state_rows[b][i].begin(), state_rows[b][i].end(),
+                x.row(b).begin());
+    }
+    inputs.push_back(std::move(x));
+  }
+
+  BatchOutput out;
+  out.values.resize(batch);
+  if (shared_) {
+    trunk_batch_cache_ = trunk_.forward_batch(inputs);
+    out.logits = actor_head_->forward_batch(trunk_batch_cache_);
+    const Mat values = critic_head_->forward_batch(trunk_batch_cache_);
+    for (std::size_t b = 0; b < batch; ++b) out.values[b] = values(b, 0);
+  } else {
+    out.logits = actor_.forward_batch(inputs);
+    const Mat values = critic_.forward_batch(inputs);
+    for (std::size_t b = 0; b < batch; ++b) out.values[b] = values(b, 0);
+  }
+  out.probs.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    out.probs.push_back(softmax(out.logits.row(b)));
+  }
+  return out;
+}
+
+void ActorCriticNet::backward_batch(const Mat& dlogits, const Vec& dvalues) {
+  if (dlogits.cols() != num_actions_ || dlogits.rows() != dvalues.size()) {
+    throw std::invalid_argument("ActorCriticNet::backward_batch: shape");
+  }
+  Mat dvalue_col(dvalues.size(), 1);
+  for (std::size_t b = 0; b < dvalues.size(); ++b) {
+    dvalue_col(b, 0) = dvalues[b];
+  }
+  if (shared_) {
+    Mat dtrunk = actor_head_->backward_batch(dlogits);
+    const Mat dtrunk_v = critic_head_->backward_batch(dvalue_col);
+    for (std::size_t j = 0; j < dtrunk.size(); ++j) {
+      dtrunk.data()[j] += dtrunk_v.data()[j];
+    }
+    trunk_.backward_batch(dtrunk);
+  } else {
+    actor_.backward_batch(dlogits);
+    critic_.backward_batch(dvalue_col);
   }
 }
 

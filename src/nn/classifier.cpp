@@ -113,8 +113,21 @@ void Conv1DClassifier::backward_logit(double dlogit) {
   conv_.backward(dconv);
 }
 
-double Conv1DClassifier::predict(const Vec& features) {
-  return sigmoid(forward_logit(features));
+double Conv1DClassifier::predict(const Vec& features) const {
+  if (features.size() != seq_len_) {
+    throw std::invalid_argument("Conv1DClassifier: input size mismatch");
+  }
+  // Cache-free inference path, so predict() is const and thread-safe on a
+  // fitted model.
+  const Vec conv_out = conv_.infer(features);
+  Vec pooled(filters_, 0.0);
+  for (std::size_t t = 0; t < out_len_; ++t) {
+    for (std::size_t f = 0; f < filters_; ++f) {
+      pooled[f] += conv_out[t * filters_ + f];
+    }
+  }
+  for (double& v : pooled) v /= static_cast<double>(out_len_);
+  return sigmoid(fc2_.infer(fc1_.infer(pooled))[0]);
 }
 
 void Conv1DClassifier::train(const std::vector<Vec>& features,
@@ -164,8 +177,13 @@ void MlpClassifier::backward_logit(double dlogit) {
   }
 }
 
-double MlpClassifier::predict(const Vec& features) {
-  return sigmoid(forward_logit(features));
+double MlpClassifier::predict(const Vec& features) const {
+  if (features.size() != input_dim_) {
+    throw std::invalid_argument("MlpClassifier: input size mismatch");
+  }
+  Vec h = features;
+  for (const auto& layer : layers_) h = layer->infer(h);
+  return sigmoid(h[0]);
 }
 
 void MlpClassifier::train(const std::vector<Vec>& features,

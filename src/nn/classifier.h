@@ -31,7 +31,10 @@ class BinaryClassifier {
  public:
   virtual ~BinaryClassifier() = default;
 
-  [[nodiscard]] virtual double predict(const Vec& features) = 0;
+  /// Inference only: implementations must not touch training caches, so a
+  /// fitted classifier can be scored through a const reference (and shared
+  /// across threads).
+  [[nodiscard]] virtual double predict(const Vec& features) const = 0;
 
   /// Trains with binary cross-entropy. `labels` must be in [0, 1]
   /// (soft labels are allowed — NADA's label-smoothing variant uses them).
@@ -49,7 +52,7 @@ class Conv1DClassifier : public BinaryClassifier {
   Conv1DClassifier(std::size_t seq_len, std::size_t filters,
                    std::size_t kernel, std::size_t hidden, util::Rng& rng);
 
-  double predict(const Vec& features) override;
+  double predict(const Vec& features) const override;
   void train(const std::vector<Vec>& features,
              const std::vector<double>& labels,
              const ClassifierTrainOptions& options) override;
@@ -74,7 +77,7 @@ class MlpClassifier : public BinaryClassifier {
   MlpClassifier(std::size_t input_dim, std::vector<std::size_t> hidden,
                 util::Rng& rng);
 
-  double predict(const Vec& features) override;
+  double predict(const Vec& features) const override;
   void train(const std::vector<Vec>& features,
              const std::vector<double>& labels,
              const ClassifierTrainOptions& options) override;

@@ -83,6 +83,109 @@ Vec Dense::backward(const Vec& dy) {
   return w_.matvec_transposed(dz);
 }
 
+Vec Dense::infer(const Vec& x) const {
+  if (x.size() != w_.cols()) {
+    throw std::invalid_argument("Dense::infer: input size mismatch");
+  }
+  Vec z;
+  if (!wt_cache_.empty()) {
+    // Fast path over W^T: z[j] accumulates the k-th product at sweep k —
+    // the same k-ascending chain as matvec, but with a contiguous inner
+    // loop the compiler can vectorize.
+    z.assign(w_.rows(), 0.0);
+    const std::size_t out = w_.rows();
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      const double xk = x[k];
+      const double* wt_row = wt_cache_.data().data() + k * out;
+      for (std::size_t j = 0; j < out; ++j) z[j] += wt_row[j] * xk;
+    }
+  } else {
+    z = w_.matvec(x);
+  }
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = activate(act_, z[i] + b_(i, 0));
+  }
+  return z;
+}
+
+void Dense::sync_inference_cache() { wt_cache_ = w_.transposed(); }
+
+void Dense::begin_capture(std::size_t batch) {
+  // Rows are fully overwritten by forward_capture, so the caches are only
+  // reallocated when the episode length changes.
+  if (xb_cache_.rows() != batch || xb_cache_.cols() != w_.cols()) {
+    xb_cache_ = Mat(batch, w_.cols());
+    zb_cache_ = Mat(batch, w_.rows());
+    yb_cache_ = Mat(batch, w_.rows());
+  }
+}
+
+Vec Dense::forward_capture(const Vec& x, std::size_t row) {
+  if (x.size() != w_.cols()) {
+    throw std::invalid_argument("Dense::forward_capture: input mismatch");
+  }
+  std::copy(x.begin(), x.end(), xb_cache_.row(row).begin());
+  const std::size_t out = w_.rows();
+  const auto zr = zb_cache_.row(row);
+  if (!wt_cache_.empty()) {
+    std::fill(zr.begin(), zr.end(), 0.0);
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      const double xk = x[k];
+      const double* wt_row = wt_cache_.data().data() + k * out;
+      for (std::size_t j = 0; j < out; ++j) zr[j] += wt_row[j] * xk;
+    }
+  } else {
+    const Vec z = w_.matvec(x);
+    std::copy(z.begin(), z.end(), zr.begin());
+  }
+  Vec y(out);
+  const auto yr = yb_cache_.row(row);
+  for (std::size_t i = 0; i < out; ++i) {
+    zr[i] += b_(i, 0);
+    y[i] = activate(act_, zr[i]);
+    yr[i] = y[i];
+  }
+  return y;
+}
+
+Mat Dense::forward_batch(const Mat& x) {
+  if (x.cols() != w_.cols()) {
+    throw std::invalid_argument("Dense::forward_batch: input size mismatch");
+  }
+  xb_cache_ = x;
+  // Both kernels produce the same k-ascending accumulation per output
+  // element as matvec (bit-identical); the synced transpose enables the
+  // contiguous axpy form, the unsynced fallback is the register-tiled
+  // dot-product form with no transpose copy.
+  zb_cache_ = wt_cache_.empty() ? matmul_nt(x, w_) : matmul(x, wt_cache_);
+  const std::size_t out = w_.rows();
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    for (std::size_t i = 0; i < out; ++i) zb_cache_(n, i) += b_(i, 0);
+  }
+  yb_cache_ = zb_cache_;
+  for (double& v : yb_cache_.data()) v = activate(act_, v);
+  return yb_cache_;
+}
+
+Mat Dense::backward_batch(const Mat& dy) {
+  if (dy.rows() != zb_cache_.rows() || dy.cols() != w_.rows()) {
+    throw std::invalid_argument("Dense::backward_batch: grad shape mismatch");
+  }
+  Mat dz(dy.rows(), dy.cols());
+  for (std::size_t j = 0; j < dz.size(); ++j) {
+    dz.data()[j] =
+        dy.data()[j] * activate_grad(act_, zb_cache_.data()[j],
+                                     yb_cache_.data()[j]);
+  }
+  add_matmul_tn(dw_, dz, xb_cache_);
+  for (std::size_t i = 0; i < dy.cols(); ++i) {
+    double acc = db_(i, 0);
+    for (std::size_t n = 0; n < dy.rows(); ++n) acc += dz(n, i);
+    db_(i, 0) = acc;
+  }
+  return matmul(dz, w_);
+}
+
 std::vector<ParamRef> Dense::params() {
   return {{&w_, &dw_}, {&b_, &db_}};
 }
@@ -111,12 +214,68 @@ Conv1D::Conv1D(std::size_t seq_len, std::size_t filters, std::size_t kernel,
   }
 }
 
+void Conv1D::conv_one(const double* x, double* z) const {
+  if (!wt_cache_.empty()) {
+    // Vectorizable form over W^T: initialize with the bias, then add the
+    // kernel taps k-ascending — the identical per-element chain as the
+    // f-major loops below, with a contiguous filter-inner sweep.
+    for (std::size_t t = 0; t < out_len_; ++t) {
+      double* zt = z + t * filters_;
+      for (std::size_t f = 0; f < filters_; ++f) zt[f] = b_(f, 0);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const double xk = x[t + k];
+        const double* wt_row = wt_cache_.data().data() + k * filters_;
+        for (std::size_t f = 0; f < filters_; ++f) zt[f] += wt_row[f] * xk;
+      }
+    }
+    return;
+  }
+  for (std::size_t t = 0; t < out_len_; ++t) {
+    for (std::size_t f = 0; f < filters_; ++f) {
+      double acc = b_(f, 0);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        acc += w_(f, k) * x[t + k];
+      }
+      z[t * filters_ + f] = acc;
+    }
+  }
+}
+
+void Conv1D::sync_inference_cache() { wt_cache_ = w_.transposed(); }
+
+void Conv1D::begin_capture(std::size_t batch) {
+  if (xb_cache_.rows() != batch || xb_cache_.cols() != seq_len_) {
+    xb_cache_ = Mat(batch, seq_len_);
+    zb_cache_ = Mat(batch, out_len_ * filters_);
+    yb_cache_ = Mat(batch, out_len_ * filters_);
+  }
+}
+
+Vec Conv1D::forward_capture(const Vec& x, std::size_t row) {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("Conv1D::forward_capture: input mismatch");
+  }
+  std::copy(x.begin(), x.end(), xb_cache_.row(row).begin());
+  const auto zr = zb_cache_.row(row);
+  conv_one(x.data(), zr.data());
+  Vec y(out_len_ * filters_);
+  const auto yr = yb_cache_.row(row);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = activate(act_, zr[i]);
+    yr[i] = y[i];
+  }
+  return y;
+}
+
 Vec Conv1D::forward(const Vec& x) {
   if (x.size() != seq_len_) {
     throw std::invalid_argument("Conv1D::forward: input size mismatch");
   }
   x_cache_ = x;
   z_cache_.assign(out_len_ * filters_, 0.0);
+  // Training forward always reads the live weights directly — never the
+  // synced transpose — so plain forward/backward training loops stay
+  // correct on a layer whose inference cache has gone stale.
   for (std::size_t t = 0; t < out_len_; ++t) {
     for (std::size_t f = 0; f < filters_; ++f) {
       double acc = b_(f, 0);
@@ -147,6 +306,56 @@ Vec Conv1D::backward(const Vec& dy) {
       for (std::size_t k = 0; k < kernel_; ++k) {
         dw_(f, k) += dz * x_cache_[t + k];
         dx[t + k] += dz * w_(f, k);
+      }
+    }
+  }
+  return dx;
+}
+
+Vec Conv1D::infer(const Vec& x) const {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("Conv1D::infer: input size mismatch");
+  }
+  Vec y(out_len_ * filters_);
+  conv_one(x.data(), y.data());
+  for (double& v : y) v = activate(act_, v);
+  return y;
+}
+
+Mat Conv1D::forward_batch(const Mat& x) {
+  if (x.cols() != seq_len_) {
+    throw std::invalid_argument("Conv1D::forward_batch: input size mismatch");
+  }
+  xb_cache_ = x;
+  zb_cache_ = Mat(x.rows(), out_len_ * filters_);
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    conv_one(x.row(n).data(), zb_cache_.row(n).data());
+  }
+  yb_cache_ = zb_cache_;
+  for (double& v : yb_cache_.data()) v = activate(act_, v);
+  return yb_cache_;
+}
+
+Mat Conv1D::backward_batch(const Mat& dy) {
+  if (dy.rows() != zb_cache_.rows() || dy.cols() != out_len_ * filters_) {
+    throw std::invalid_argument("Conv1D::backward_batch: grad shape mismatch");
+  }
+  Mat dx(dy.rows(), seq_len_);
+  for (std::size_t n = 0; n < dy.rows(); ++n) {
+    const auto xr = xb_cache_.row(n);
+    const auto dyr = dy.row(n);
+    const auto zr = zb_cache_.row(n);
+    const auto yr = yb_cache_.row(n);
+    const auto dxr = dx.row(n);
+    for (std::size_t t = 0; t < out_len_; ++t) {
+      for (std::size_t f = 0; f < filters_; ++f) {
+        const std::size_t idx = t * filters_ + f;
+        const double dz = dyr[idx] * activate_grad(act_, zr[idx], yr[idx]);
+        db_(f, 0) += dz;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          dw_(f, k) += dz * xr[t + k];
+          dxr[t + k] += dz * w_(f, k);
+        }
       }
     }
   }
@@ -211,6 +420,97 @@ Vec SimpleRnn::backward(const Vec& dy) {
   return dx;
 }
 
+Vec SimpleRnn::infer(const Vec& x) const {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("SimpleRnn::infer: input size mismatch");
+  }
+  Vec h(hidden_, 0.0);
+  Vec h_next(hidden_);
+  for (std::size_t t = 0; t < seq_len_; ++t) {
+    const Vec wh_h = wh_.matvec(h);
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      h_next[i] = std::tanh(wx_(i, 0) * x[t] + wh_h[i] + b_(i, 0));
+    }
+    std::swap(h, h_next);
+  }
+  return h;
+}
+
+Mat SimpleRnn::forward_batch(const Mat& x) {
+  if (x.cols() != seq_len_) {
+    throw std::invalid_argument("SimpleRnn::forward_batch: input mismatch");
+  }
+  xb_cache_ = x;
+  hb_cache_.assign(x.rows(), {});
+  Mat out(x.rows(), hidden_);
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    const auto xr = x.row(n);
+    auto& h_cache = hb_cache_[n];
+    h_cache.assign(seq_len_ + 1, Vec(hidden_, 0.0));
+    for (std::size_t t = 0; t < seq_len_; ++t) {
+      const Vec wh_h = wh_.matvec(h_cache[t]);
+      for (std::size_t i = 0; i < hidden_; ++i) {
+        h_cache[t + 1][i] =
+            std::tanh(wx_(i, 0) * xr[t] + wh_h[i] + b_(i, 0));
+      }
+    }
+    std::copy(h_cache.back().begin(), h_cache.back().end(),
+              out.row(n).begin());
+  }
+  return out;
+}
+
+void SimpleRnn::begin_capture(std::size_t batch) {
+  if (xb_cache_.rows() != batch || xb_cache_.cols() != seq_len_) {
+    xb_cache_ = Mat(batch, seq_len_);
+  }
+  hb_cache_.resize(batch);  // per-row recurrences overwrite their slot
+}
+
+Vec SimpleRnn::forward_capture(const Vec& x, std::size_t row) {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("SimpleRnn::forward_capture: input mismatch");
+  }
+  std::copy(x.begin(), x.end(), xb_cache_.row(row).begin());
+  auto& h_cache = hb_cache_[row];
+  h_cache.assign(seq_len_ + 1, Vec(hidden_, 0.0));
+  for (std::size_t t = 0; t < seq_len_; ++t) {
+    const Vec wh_h = wh_.matvec(h_cache[t]);
+    for (std::size_t i = 0; i < hidden_; ++i) {
+      h_cache[t + 1][i] = std::tanh(wx_(i, 0) * x[t] + wh_h[i] + b_(i, 0));
+    }
+  }
+  return h_cache.back();
+}
+
+Mat SimpleRnn::backward_batch(const Mat& dy) {
+  if (dy.rows() != xb_cache_.rows() || dy.cols() != hidden_) {
+    throw std::invalid_argument("SimpleRnn::backward_batch: grad mismatch");
+  }
+  Mat dx(dy.rows(), seq_len_);
+  for (std::size_t n = 0; n < dy.rows(); ++n) {
+    const auto xr = xb_cache_.row(n);
+    const auto dxr = dx.row(n);
+    const auto& h_cache = hb_cache_[n];
+    Vec dh(dy.row(n).begin(), dy.row(n).end());
+    for (std::size_t t = seq_len_; t-- > 0;) {
+      const Vec& h_next = h_cache[t + 1];
+      Vec dz(hidden_);
+      for (std::size_t i = 0; i < hidden_; ++i) {
+        dz[i] = dh[i] * (1.0 - h_next[i] * h_next[i]);  // tanh'
+      }
+      for (std::size_t i = 0; i < hidden_; ++i) {
+        dwx_(i, 0) += dz[i] * xr[t];
+        db_(i, 0) += dz[i];
+        dxr[t] += dz[i] * wx_(i, 0);
+      }
+      dwh_.add_outer(dz, h_cache[t]);
+      dh = wh_.matvec_transposed(dz);
+    }
+  }
+  return dx;
+}
+
 std::vector<ParamRef> SimpleRnn::params() {
   return {{&wx_, &dwx_}, {&wh_, &dwh_}, {&b_, &db_}};
 }
@@ -230,13 +530,10 @@ Lstm::Lstm(std::size_t seq_len, std::size_t hidden, util::Rng& rng)
   for (std::size_t i = 0; i < hidden_; ++i) b_(hidden_ + i, 0) = 1.0;
 }
 
-Vec Lstm::forward(const Vec& x) {
-  if (x.size() != seq_len_) {
-    throw std::invalid_argument("Lstm::forward: input size mismatch");
-  }
-  x_cache_ = x;
-  steps_.clear();
-  steps_.reserve(seq_len_);
+Vec Lstm::forward_one(std::span<const double> x,
+                      std::vector<StepCache>& steps) const {
+  steps.clear();
+  steps.reserve(seq_len_);
   Vec h(hidden_, 0.0);
   Vec c(hidden_, 0.0);
   for (std::size_t t = 0; t < seq_len_; ++t) {
@@ -264,23 +561,29 @@ Vec Lstm::forward(const Vec& x) {
     }
     h = sc.h;
     c = sc.c;
-    steps_.push_back(std::move(sc));
+    steps.push_back(std::move(sc));
   }
   return h;
 }
 
-Vec Lstm::backward(const Vec& dy) {
-  if (dy.size() != hidden_) {
-    throw std::invalid_argument("Lstm::backward: grad size mismatch");
+Vec Lstm::forward(const Vec& x) {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("Lstm::forward: input size mismatch");
   }
-  Vec dx(seq_len_, 0.0);
+  x_cache_ = x;
+  return forward_one(x, steps_);
+}
+
+void Lstm::backward_one(std::span<const double> x,
+                        const std::vector<StepCache>& steps, const Vec& dy,
+                        std::span<double> dx) {
   Vec dh = dy;
   Vec dc(hidden_, 0.0);
   const Vec zeros(hidden_, 0.0);
   for (std::size_t t = seq_len_; t-- > 0;) {
-    const StepCache& sc = steps_[t];
-    const Vec& c_prev = t > 0 ? steps_[t - 1].c : zeros;
-    const Vec& h_prev = t > 0 ? steps_[t - 1].h : zeros;
+    const StepCache& sc = steps[t];
+    const Vec& c_prev = t > 0 ? steps[t - 1].c : zeros;
+    const Vec& h_prev = t > 0 ? steps[t - 1].h : zeros;
     Vec dz(4 * hidden_);
     for (std::size_t i = 0; i < hidden_; ++i) {
       const double tanh_c = std::tanh(sc.c[i]);
@@ -296,13 +599,70 @@ Vec Lstm::backward(const Vec& dy) {
       dc[i] = dct * sc.f[i];
     }
     Vec input(1 + hidden_);
-    input[0] = x_cache_[t];
+    input[0] = x[t];
     for (std::size_t i = 0; i < hidden_; ++i) input[1 + i] = h_prev[i];
     dw_.add_outer(dz, input);
     for (std::size_t i = 0; i < 4 * hidden_; ++i) db_(i, 0) += dz[i];
     const Vec dinput = w_.matvec_transposed(dz);
     dx[t] += dinput[0];
     dh.assign(dinput.begin() + 1, dinput.end());
+  }
+}
+
+Vec Lstm::backward(const Vec& dy) {
+  if (dy.size() != hidden_) {
+    throw std::invalid_argument("Lstm::backward: grad size mismatch");
+  }
+  Vec dx(seq_len_, 0.0);
+  backward_one(x_cache_, steps_, dy, dx);
+  return dx;
+}
+
+Vec Lstm::infer(const Vec& x) const {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("Lstm::infer: input size mismatch");
+  }
+  std::vector<StepCache> steps;
+  return forward_one(x, steps);
+}
+
+Mat Lstm::forward_batch(const Mat& x) {
+  if (x.cols() != seq_len_) {
+    throw std::invalid_argument("Lstm::forward_batch: input size mismatch");
+  }
+  xb_cache_ = x;
+  steps_batch_.assign(x.rows(), {});
+  Mat out(x.rows(), hidden_);
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    const Vec h = forward_one(x.row(n), steps_batch_[n]);
+    std::copy(h.begin(), h.end(), out.row(n).begin());
+  }
+  return out;
+}
+
+void Lstm::begin_capture(std::size_t batch) {
+  if (xb_cache_.rows() != batch || xb_cache_.cols() != seq_len_) {
+    xb_cache_ = Mat(batch, seq_len_);
+  }
+  steps_batch_.resize(batch);  // forward_one clears its slot per row
+}
+
+Vec Lstm::forward_capture(const Vec& x, std::size_t row) {
+  if (x.size() != seq_len_) {
+    throw std::invalid_argument("Lstm::forward_capture: input mismatch");
+  }
+  std::copy(x.begin(), x.end(), xb_cache_.row(row).begin());
+  return forward_one(x, steps_batch_[row]);
+}
+
+Mat Lstm::backward_batch(const Mat& dy) {
+  if (dy.rows() != xb_cache_.rows() || dy.cols() != hidden_) {
+    throw std::invalid_argument("Lstm::backward_batch: grad shape mismatch");
+  }
+  Mat dx(dy.rows(), seq_len_);
+  for (std::size_t n = 0; n < dy.rows(); ++n) {
+    const Vec dyn(dy.row(n).begin(), dy.row(n).end());
+    backward_one(xb_cache_.row(n), steps_batch_[n], dyn, dx.row(n));
   }
   return dx;
 }

@@ -40,6 +40,41 @@ class Layer {
   /// gradients and returns gradient wrt the input of the last forward().
   virtual Vec backward(const Vec& dy) = 0;
 
+  /// Batched forward: each row of `x` is one sample. Row b of the result is
+  /// bit-identical to forward(row b); caches (separately from the
+  /// single-sample caches) what backward_batch needs.
+  virtual Mat forward_batch(const Mat& x) = 0;
+
+  /// Batched backward for the last forward_batch() (or a completed
+  /// begin_capture()/forward_capture() sequence). Accumulates parameter
+  /// gradients in ascending sample order — bit-identical to a loop of
+  /// single-sample forward/backward calls — and returns per-row input
+  /// gradients.
+  virtual Mat backward_batch(const Mat& dy) = 0;
+
+  /// Row-at-a-time batched forward, for callers that produce samples one
+  /// step at a time (a policy rollout) but want the batch caches filled as
+  /// they go so no second forward pass is needed before backward_batch.
+  /// begin_capture sizes the caches; forward_capture computes one sample
+  /// (bit-identical to forward()) and writes its caches into `row`.
+  virtual void begin_capture(std::size_t batch) = 0;
+  virtual Vec forward_capture(const Vec& x, std::size_t row) = 0;
+
+  /// Allocation-light inference: same math as forward() but touches no
+  /// training caches, so it is const and safe on a shared layer.
+  [[nodiscard]] virtual Vec infer(const Vec& x) const = 0;
+
+  /// Rebuilds derived read-only state the fast paths use (e.g. Dense's
+  /// transposed weights, which turn the latency-bound matvec into a
+  /// vectorizable sweep with the same per-element accumulation order).
+  /// Contract: once a layer has been synced, it must be re-synced after
+  /// every parameter change before the next infer(), forward_capture(),
+  /// or forward_batch() — those paths read the cached transpose when one
+  /// exists. forward()/backward() always read the live weights, so plain
+  /// single-sample training never needs syncing; a layer that has never
+  /// been synced uses its slow exact path everywhere.
+  virtual void sync_inference_cache() {}
+
   virtual std::vector<ParamRef> params() = 0;
 
   [[nodiscard]] virtual std::size_t in_dim() const = 0;
@@ -55,6 +90,12 @@ class Dense : public Layer {
 
   Vec forward(const Vec& x) override;
   Vec backward(const Vec& dy) override;
+  Mat forward_batch(const Mat& x) override;
+  Mat backward_batch(const Mat& dy) override;
+  void begin_capture(std::size_t batch) override;
+  Vec forward_capture(const Vec& x, std::size_t row) override;
+  [[nodiscard]] Vec infer(const Vec& x) const override;
+  void sync_inference_cache() override;
   std::vector<ParamRef> params() override;
   [[nodiscard]] std::size_t in_dim() const override { return w_.cols(); }
   [[nodiscard]] std::size_t out_dim() const override { return w_.rows(); }
@@ -64,6 +105,8 @@ class Dense : public Layer {
   Mat b_, db_;
   Activation act_;
   Vec x_cache_, z_cache_, y_cache_;
+  Mat xb_cache_, zb_cache_, yb_cache_;
+  Mat wt_cache_;  ///< w_^T; empty until sync_inference_cache()
 };
 
 /// 1-D convolution over a scalar sequence (in_channels = 1, stride 1,
@@ -77,6 +120,12 @@ class Conv1D : public Layer {
 
   Vec forward(const Vec& x) override;
   Vec backward(const Vec& dy) override;
+  Mat forward_batch(const Mat& x) override;
+  Mat backward_batch(const Mat& dy) override;
+  void begin_capture(std::size_t batch) override;
+  Vec forward_capture(const Vec& x, std::size_t row) override;
+  [[nodiscard]] Vec infer(const Vec& x) const override;
+  void sync_inference_cache() override;
   std::vector<ParamRef> params() override;
   [[nodiscard]] std::size_t in_dim() const override { return seq_len_; }
   [[nodiscard]] std::size_t out_dim() const override {
@@ -85,11 +134,17 @@ class Conv1D : public Layer {
   [[nodiscard]] std::size_t out_len() const { return out_len_; }
 
  private:
+  /// z for one sample, written filter-major per t with the serial
+  /// accumulation order (bias first, then kernel taps k-ascending).
+  void conv_one(const double* x, double* z) const;
+
   std::size_t seq_len_, filters_, kernel_, out_len_;
   Mat w_, dw_;  // filters x kernel
   Mat b_, db_;  // filters x 1
   Activation act_;
   Vec x_cache_, z_cache_, y_cache_;
+  Mat xb_cache_, zb_cache_, yb_cache_;
+  Mat wt_cache_;  ///< w_^T (kernel x filters); empty until synced
 };
 
 /// Elman RNN over a scalar sequence; returns the final hidden state.
@@ -101,6 +156,11 @@ class SimpleRnn : public Layer {
 
   Vec forward(const Vec& x) override;
   Vec backward(const Vec& dy) override;
+  Mat forward_batch(const Mat& x) override;
+  Mat backward_batch(const Mat& dy) override;
+  void begin_capture(std::size_t batch) override;
+  Vec forward_capture(const Vec& x, std::size_t row) override;
+  [[nodiscard]] Vec infer(const Vec& x) const override;
   std::vector<ParamRef> params() override;
   [[nodiscard]] std::size_t in_dim() const override { return seq_len_; }
   [[nodiscard]] std::size_t out_dim() const override { return hidden_; }
@@ -112,6 +172,8 @@ class SimpleRnn : public Layer {
   Mat b_, db_;    // hidden x 1
   Vec x_cache_;
   std::vector<Vec> h_cache_;  // h_0..h_T (h_0 = zeros)
+  Mat xb_cache_;
+  std::vector<std::vector<Vec>> hb_cache_;  // per sample: h_0..h_T
 };
 
 /// LSTM over a scalar sequence; returns the final hidden state. Used by the
@@ -122,6 +184,11 @@ class Lstm : public Layer {
 
   Vec forward(const Vec& x) override;
   Vec backward(const Vec& dy) override;
+  Mat forward_batch(const Mat& x) override;
+  Mat backward_batch(const Mat& dy) override;
+  void begin_capture(std::size_t batch) override;
+  Vec forward_capture(const Vec& x, std::size_t row) override;
+  [[nodiscard]] Vec infer(const Vec& x) const override;
   std::vector<ParamRef> params() override;
   [[nodiscard]] std::size_t in_dim() const override { return seq_len_; }
   [[nodiscard]] std::size_t out_dim() const override { return hidden_; }
@@ -132,12 +199,22 @@ class Lstm : public Layer {
     Vec c, h;        // post-step cell and hidden
   };
 
+  /// One sample's forward recurrence; appends per-step caches to `steps`.
+  Vec forward_one(std::span<const double> x, std::vector<StepCache>& steps)
+      const;
+  /// One sample's BPTT; accumulates dw_/db_ and writes the input gradient.
+  void backward_one(std::span<const double> x,
+                    const std::vector<StepCache>& steps, const Vec& dy,
+                    std::span<double> dx);
+
   std::size_t seq_len_, hidden_;
   // Gate weights stacked [i; f; g; o]: (4H x (1 + H)) over [x_t, h_{t-1}].
   Mat w_, dw_;
   Mat b_, db_;  // 4H x 1
   Vec x_cache_;
   std::vector<StepCache> steps_;
+  Mat xb_cache_;
+  std::vector<std::vector<StepCache>> steps_batch_;
 };
 
 }  // namespace nada::nn

@@ -33,6 +33,14 @@ class Mat {
   [[nodiscard]] Vec& data() { return data_; }
   [[nodiscard]] const Vec& data() const { return data_; }
 
+  /// View of one row (rows are contiguous in the row-major layout).
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
   void fill(double value);
   void zero() { fill(0.0); }
 
@@ -53,6 +61,11 @@ class Mat {
 
   void add_scaled(const Mat& other, double scale);
 
+  /// Transposed copy (cols x rows). The batched Dense forward multiplies
+  /// against W^T so its inner loop runs over contiguous output columns —
+  /// the vectorizable formulation of the same k-ascending dot product.
+  [[nodiscard]] Mat transposed() const;
+
   [[nodiscard]] double frobenius_norm() const;
 
  private:
@@ -60,6 +73,28 @@ class Mat {
   std::size_t cols_ = 0;
   Vec data_;
 };
+
+// ---- Batched (matrix-matrix) kernels --------------------------------------
+//
+// These back the batched layer forward/backward passes. Each kernel's
+// per-element accumulation order matches its single-sample counterpart
+// exactly, so batched results are bit-identical to a loop of single-sample
+// calls — the property the batched/serial probe equivalence test pins down.
+
+/// C = A * B^T with A (n x k) and B (m x k) -> C (n x m). Row i of C is
+/// bit-identical to B.matvec(row i of A): the k-dimension accumulates in
+/// ascending order into a fresh accumulator per element.
+[[nodiscard]] Mat matmul_nt(const Mat& a, const Mat& b);
+
+/// C = A * B with A (n x r) and B (r x m) -> C (n x m). Row i of C is
+/// bit-identical to B.matvec_transposed(row i of A): the r-dimension
+/// accumulates in ascending order.
+[[nodiscard]] Mat matmul(const Mat& a, const Mat& b);
+
+/// C += A^T * B with A (n x r), B (n x c), C (r x c), accumulating the
+/// n-dimension in ascending order — bit-identical to n successive
+/// C.add_outer(row i of A, row i of B) calls.
+void add_matmul_tn(Mat& c, const Mat& a, const Mat& b);
 
 // ---- Vector helpers -------------------------------------------------------
 

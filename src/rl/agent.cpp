@@ -21,7 +21,10 @@ AbrAgent::Decision AbrAgent::decide(const env::Observation& obs, bool sample,
   if (!matrix.all_finite()) {
     throw dsl::RuntimeError("state program produced non-finite values");
   }
-  const auto out = net_->forward(matrix.to_network_rows());
+  // Inference-only forward: bit-identical to net().forward, leaves the
+  // training caches alone, and rides the fast path on a synced net (the
+  // batched probe trainer's checkpoint evaluations).
+  const auto out = net_->forward_inference(matrix.to_network_rows());
   Decision d;
   d.probs = out.probs;
   d.value = out.value;

@@ -10,12 +10,13 @@ namespace nada::rl {
 
 double evaluate_agent(AbrAgent& agent,
                       std::span<const trace::Trace> test_traces,
+                      std::span<const std::size_t> indices,
                       const video::Video& video, env::Fidelity fidelity,
                       std::uint64_t eval_seed) {
   util::Rng eval_rng(eval_seed);
   util::RunningStats chunk_rewards;
-  for (const auto& tr : test_traces) {
-    env::AbrEnv env(tr, video, fidelity, eval_rng);
+  for (std::size_t idx : indices) {
+    env::AbrEnv env(test_traces[idx], video, fidelity, eval_rng);
     env::Observation obs = env.reset();
     while (!env.done()) {
       const auto decision = agent.decide(obs, /*sample=*/false, eval_rng);
@@ -27,12 +28,82 @@ double evaluate_agent(AbrAgent& agent,
   return chunk_rewards.mean();
 }
 
-std::span<const trace::Trace> Trainer::eval_traces() const {
-  const auto& test = dataset_->test;
-  if (config_.max_eval_traces == 0 || test.size() <= config_.max_eval_traces) {
-    return test;
+double evaluate_agent(AbrAgent& agent,
+                      std::span<const trace::Trace> test_traces,
+                      const video::Video& video, env::Fidelity fidelity,
+                      std::uint64_t eval_seed) {
+  return evaluate_agent(agent, test_traces,
+                        eval_trace_indices(test_traces.size(), 0), video,
+                        fidelity, eval_seed);
+}
+
+std::vector<std::size_t> eval_trace_indices(std::size_t num_traces,
+                                            std::size_t cap) {
+  if (cap == 0 || cap >= num_traces) {
+    std::vector<std::size_t> all(num_traces);
+    for (std::size_t i = 0; i < num_traces; ++i) all[i] = i;
+    return all;
   }
-  return std::span<const trace::Trace>(test.data(), config_.max_eval_traces);
+  // Even stride across the whole split: index j -> floor(j * n / cap).
+  // Indices are strictly increasing (cap < n), so no trace repeats.
+  std::vector<std::size_t> picked(cap);
+  for (std::size_t j = 0; j < cap; ++j) {
+    picked[j] = j * num_traces / cap;
+  }
+  return picked;
+}
+
+double resolve_reward_scale(const TrainConfig& config,
+                            const video::Video& video) {
+  return config.reward_scale > 0.0 ? config.reward_scale
+                                   : video.ladder().max_kbps() / 1000.0;
+}
+
+std::vector<double> discounted_returns(std::span<const double> rewards,
+                                       double reward_scale, double gamma) {
+  std::vector<double> returns(rewards.size());
+  double running = 0.0;
+  for (std::size_t t = rewards.size(); t-- > 0;) {
+    running = rewards[t] / reward_scale + gamma * running;
+    returns[t] = running;
+  }
+  return returns;
+}
+
+void condition_advantages(const TrainConfig& config,
+                          std::vector<double>& advantages) {
+  if (config.normalize_advantages && advantages.size() > 1) {
+    const double mean_adv = util::mean(advantages);
+    const double sd = std::max(util::stddev(advantages), 1e-6);
+    for (double& a : advantages) a = (a - mean_adv) / sd;
+  }
+  if (config.advantage_clip > 0.0) {
+    for (double& a : advantages) {
+      a = std::clamp(a, -config.advantage_clip, config.advantage_clip);
+    }
+  }
+}
+
+double a2c_step_gradient(const TrainConfig& config, const nn::Vec& probs,
+                         std::size_t action, double advantage,
+                         double step_return, double value,
+                         double entropy_weight, double scale,
+                         std::span<double> dlogits) {
+  const double ent = nn::entropy(probs);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double onehot = i == action ? 1.0 : 0.0;
+    const double policy_grad = advantage * (probs[i] - onehot);
+    const double entropy_grad =
+        entropy_weight * probs[i] *
+        (std::log(std::max(probs[i], 1e-12)) + ent);
+    dlogits[i] = (policy_grad + entropy_grad) * scale;
+  }
+  // Huber (smooth-L1) critic: bounded gradient so early catastrophic
+  // returns cannot dominate the update.
+  const double value_error =
+      std::clamp(value - step_return, -config.huber_delta,
+                 config.huber_delta);
+  return 2.0 * config.critic_weight * value_error * scale;
 }
 
 Trainer::Trainer(const trace::Dataset& dataset, const video::Video& video,
@@ -48,6 +119,13 @@ Trainer::Trainer(const trace::Dataset& dataset, const video::Video& video,
   if (config_.test_interval == 0) {
     throw std::invalid_argument("Trainer: zero test interval");
   }
+  eval_indices_ =
+      eval_trace_indices(dataset_->test.size(), config_.max_eval_traces);
+}
+
+double Trainer::checkpoint_eval(AbrAgent& agent) const {
+  return evaluate_agent(agent, dataset_->test, eval_indices_, *video_,
+                        config_.fidelity, seed_ ^ 0x5eedf00d);
 }
 
 void Trainer::run_epoch(AbrAgent& agent, nn::Adam& optimizer,
@@ -73,16 +151,11 @@ void Trainer::run_epoch(AbrAgent& agent, nn::Adam& optimizer,
   }
 
   // Discounted returns over scaled rewards (see TrainConfig::reward_scale).
-  const double reward_scale =
-      config_.reward_scale > 0.0
-          ? config_.reward_scale
-          : video_->ladder().max_kbps() / 1000.0;
-  std::vector<double> returns(steps.size());
-  double running = 0.0;
-  for (std::size_t t = steps.size(); t-- > 0;) {
-    running = steps[t].reward / reward_scale + config_.gamma * running;
-    returns[t] = running;
-  }
+  const double reward_scale = resolve_reward_scale(config_, *video_);
+  std::vector<double> rewards(steps.size());
+  for (std::size_t t = 0; t < steps.size(); ++t) rewards[t] = steps[t].reward;
+  const std::vector<double> returns =
+      discounted_returns(rewards, reward_scale, config_.gamma);
 
   // First pass: fresh values for the advantage estimates.
   std::vector<double> advantages(steps.size());
@@ -93,16 +166,7 @@ void Trainer::run_epoch(AbrAgent& agent, nn::Adam& optimizer,
     const auto out = agent.net().forward(matrices[t].to_network_rows());
     advantages[t] = returns[t] - out.value;
   }
-  if (config_.normalize_advantages && steps.size() > 1) {
-    const double mean_adv = util::mean(advantages);
-    const double sd = std::max(util::stddev(advantages), 1e-6);
-    for (double& a : advantages) a = (a - mean_adv) / sd;
-  }
-  if (config_.advantage_clip > 0.0) {
-    for (double& a : advantages) {
-      a = std::clamp(a, -config_.advantage_clip, config_.advantage_clip);
-    }
-  }
+  condition_advantages(config_, advantages);
 
   // Accumulate policy + value gradients over the episode.
   agent.net().zero_grad();
@@ -112,23 +176,11 @@ void Trainer::run_epoch(AbrAgent& agent, nn::Adam& optimizer,
   for (std::size_t t = 0; t < steps.size(); ++t) {
     reward_sum += steps[t].reward;
     const auto out = agent.net().forward(matrices[t].to_network_rows());
-    const double advantage = advantages[t];
-    const double ent = nn::entropy(out.probs);
     nn::Vec dlogits(num_actions);
-    for (std::size_t i = 0; i < num_actions; ++i) {
-      const double onehot = i == steps[t].action ? 1.0 : 0.0;
-      const double policy_grad = advantage * (out.probs[i] - onehot);
-      const double entropy_grad =
-          entropy_weight * out.probs[i] *
-          (std::log(std::max(out.probs[i], 1e-12)) + ent);
-      dlogits[i] = (policy_grad + entropy_grad) * scale;
-    }
-    // Huber (smooth-L1) critic: bounded gradient so early catastrophic
-    // returns cannot dominate the update.
-    const double value_error =
-        std::clamp(out.value - returns[t], -config_.huber_delta,
-                   config_.huber_delta);
-    const double dvalue = 2.0 * config_.critic_weight * value_error * scale;
+    const double dvalue =
+        a2c_step_gradient(config_, out.probs, steps[t].action, advantages[t],
+                          returns[t], out.value, entropy_weight, scale,
+                          dlogits);
     agent.net().backward(dlogits, dvalue);
   }
   auto params = agent.net().params();
@@ -160,17 +212,14 @@ TrainResult Trainer::train(const dsl::StateProgram& program,
 
       if (config_.evaluate_checkpoints &&
           (epoch + 1) % config_.test_interval == 0) {
-        const double score =
-            evaluate_agent(agent, eval_traces(), *video_, config_.fidelity,
-                           seed_ ^ 0x5eedf00d);
+        const double score = checkpoint_eval(agent);
         result.test_epochs.push_back(static_cast<double>(epoch + 1));
         result.test_scores.push_back(score);
       }
     }
     if (config_.evaluate_checkpoints && result.test_scores.empty()) {
       // Budget smaller than the checkpoint interval: evaluate once at end.
-      const double score = evaluate_agent(
-          agent, eval_traces(), *video_, config_.fidelity, seed_ ^ 0x5eedf00d);
+      const double score = checkpoint_eval(agent);
       result.test_epochs.push_back(static_cast<double>(config_.epochs));
       result.test_scores.push_back(score);
     }

@@ -82,6 +82,49 @@ struct TrainResult {
                                     env::Fidelity fidelity,
                                     std::uint64_t eval_seed);
 
+/// As above but over the subset `test_traces[i]` for i in `indices`
+/// (ascending); used when TrainConfig::max_eval_traces caps evaluation.
+[[nodiscard]] double evaluate_agent(AbrAgent& agent,
+                                    std::span<const trace::Trace> test_traces,
+                                    std::span<const std::size_t> indices,
+                                    const video::Video& video,
+                                    env::Fidelity fidelity,
+                                    std::uint64_t eval_seed);
+
+/// Deterministic evaluation subset: `cap` indices strided evenly across
+/// [0, num_traces) (all indices when cap is 0 or >= num_traces). A strided
+/// pick keeps the subset representative of the whole split — evaluating a
+/// prefix would bias every checkpoint score toward whatever traces happen
+/// to sort first.
+[[nodiscard]] std::vector<std::size_t> eval_trace_indices(
+    std::size_t num_traces, std::size_t cap);
+
+// ---- A2C loss arithmetic, shared by Trainer and BatchProbeTrainer -----------
+// One definition of the per-epoch math keeps the serial and batched probe
+// paths structurally incapable of drifting apart (their bit-identity is the
+// batched engine's core guarantee).
+
+/// TrainConfig::reward_scale with its 0 = "ladder top bitrate in Mbps"
+/// default resolved.
+[[nodiscard]] double resolve_reward_scale(const TrainConfig& config,
+                                          const video::Video& video);
+
+/// Discounted returns over scaled rewards, newest-to-oldest accumulation.
+[[nodiscard]] std::vector<double> discounted_returns(
+    std::span<const double> rewards, double reward_scale, double gamma);
+
+/// In-place advantage standardization and clipping per TrainConfig.
+void condition_advantages(const TrainConfig& config,
+                          std::vector<double>& advantages);
+
+/// One step's policy gradient (entropy-regularized, written into `dlogits`)
+/// and Huber critic gradient (returned).
+double a2c_step_gradient(const TrainConfig& config, const nn::Vec& probs,
+                         std::size_t action, double advantage,
+                         double step_return, double value,
+                         double entropy_weight, double scale,
+                         std::span<double> dlogits);
+
 class Trainer {
  public:
   Trainer(const trace::Dataset& dataset, const video::Video& video,
@@ -97,13 +140,14 @@ class Trainer {
  private:
   void run_epoch(AbrAgent& agent, nn::Adam& optimizer, double entropy_weight,
                  TrainResult& result);
-  [[nodiscard]] std::span<const trace::Trace> eval_traces() const;
+  [[nodiscard]] double checkpoint_eval(AbrAgent& agent) const;
 
   const trace::Dataset* dataset_;
   const video::Video* video_;
   TrainConfig config_;
   std::uint64_t seed_;
   util::Rng rng_;
+  std::vector<std::size_t> eval_indices_;
 };
 
 }  // namespace nada::rl

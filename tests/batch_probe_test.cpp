@@ -1,0 +1,316 @@
+// The batched probe engine's headline guarantee: given the same seeds,
+// BatchProbeTrainer is BIT-IDENTICAL to a fresh rl::Trainer per candidate —
+// reward curves, checkpoint scores, failure captures — and the pipeline's
+// batched probe stage journals exactly the records the serial stage would.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "dsl/state_program.h"
+#include "gen/state_gen.h"
+#include "rl/batch_probe.h"
+#include "rl/trainer.h"
+#include "store/candidate_store.h"
+#include "trace/generator.h"
+#include "util/thread_pool.h"
+#include "video/video.h"
+
+namespace nada::rl {
+namespace {
+
+nn::ArchSpec tiny_arch() {
+  nn::ArchSpec spec = nn::ArchSpec::pensieve();
+  spec.conv_filters = 8;
+  spec.scalar_hidden = 8;
+  spec.merge_hidden = 16;
+  return spec;
+}
+
+trace::Dataset tiny_dataset(std::uint64_t seed = 11) {
+  return trace::build_dataset(trace::Environment::kFcc, 0.03, seed);
+}
+
+std::vector<dsl::StateProgram> candidate_programs() {
+  std::vector<dsl::StateProgram> programs;
+  programs.push_back(
+      dsl::StateProgram::compile(dsl::pensieve_state_source()));
+  programs.push_back(dsl::StateProgram::compile(
+      "emit \"buf\" = buffer_size_s / 10.0;\n"
+      "emit \"tput\" = throughput_mbps / 8.0;\n"));
+  programs.push_back(dsl::StateProgram::compile(
+      "emit \"tput\" = throughput_mbps / 8.0;\n"
+      "emit \"dl\" = download_time_s / 10.0;\n"
+      "emit \"left\" = chunks_remaining / total_chunks;\n"));
+  return programs;
+}
+
+std::vector<ProbeJob> make_jobs(const std::vector<dsl::StateProgram>& programs,
+                                const nn::ArchSpec& arch, std::size_t count) {
+  std::vector<ProbeJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back(ProbeJob{&programs[i % programs.size()], &arch,
+                            0xb10bULL * 131 + i * 0x9e3779b9ULL});
+  }
+  return jobs;
+}
+
+std::vector<TrainResult> run_serial(const trace::Dataset& dataset,
+                                    const video::Video& video,
+                                    const TrainConfig& config,
+                                    const std::vector<ProbeJob>& jobs) {
+  std::vector<TrainResult> results;
+  results.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    Trainer trainer(dataset, video, config, job.seed);
+    results.push_back(trainer.train(*job.program, *job.spec));
+  }
+  return results;
+}
+
+void expect_identical(const TrainResult& serial, const TrainResult& batched) {
+  EXPECT_EQ(serial.failed, batched.failed);
+  EXPECT_EQ(serial.error, batched.error);
+  // operator== on vector<double> is exact: any bit drift fails.
+  EXPECT_EQ(serial.train_rewards, batched.train_rewards);
+  EXPECT_EQ(serial.test_epochs, batched.test_epochs);
+  EXPECT_EQ(serial.test_scores, batched.test_scores);
+  EXPECT_EQ(serial.final_score, batched.final_score);
+  EXPECT_EQ(serial.emulation_score, batched.emulation_score);
+}
+
+TEST(BatchProbeTrainer, BitIdenticalToSerialTrainer) {
+  const auto dataset = tiny_dataset();
+  const auto video = video::make_test_video(video::pensieve_ladder(), 5);
+  const auto programs = candidate_programs();
+  const auto arch = tiny_arch();
+  TrainConfig config;
+  config.epochs = 12;
+  config.evaluate_checkpoints = false;  // the pipeline's probe setting
+  const auto jobs = make_jobs(programs, arch, 7);
+
+  const auto serial = run_serial(dataset, video, config, jobs);
+  // Block size 3 forces blocks that straddle different programs and leave a
+  // ragged tail.
+  const BatchProbeTrainer batched(dataset, video,
+                                  BatchProbeConfig{config, 3});
+  const auto batch = batched.train(jobs);
+
+  ASSERT_EQ(batch.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("candidate " + std::to_string(i));
+    ASSERT_FALSE(serial[i].failed) << serial[i].error;
+    expect_identical(serial[i], batch[i]);
+  }
+}
+
+TEST(BatchProbeTrainer, BitIdenticalWithCheckpointEvaluation) {
+  const auto dataset = tiny_dataset();
+  const auto video = video::make_test_video(video::pensieve_ladder(), 6);
+  const auto programs = candidate_programs();
+  const auto arch = tiny_arch();
+  TrainConfig config;
+  config.epochs = 10;
+  config.test_interval = 5;
+  config.max_eval_traces = 2;  // exercises the strided eval subset too
+  const auto jobs = make_jobs(programs, arch, 4);
+
+  const auto serial = run_serial(dataset, video, config, jobs);
+  const BatchProbeTrainer batched(dataset, video,
+                                  BatchProbeConfig{config, 4});
+  const auto batch = batched.train(jobs);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("candidate " + std::to_string(i));
+    ASSERT_EQ(serial[i].test_scores.size(), 2u);
+    expect_identical(serial[i], batch[i]);
+  }
+}
+
+TEST(BatchProbeTrainer, BitIdenticalUnderEmulationFidelity) {
+  // Emulation sessions draw jitter from the candidate's RNG inside every
+  // step, so this pins the interleaving of action draws and session draws.
+  const auto dataset = tiny_dataset();
+  const auto video = video::make_test_video(video::pensieve_ladder(), 7);
+  const auto programs = candidate_programs();
+  const auto arch = tiny_arch();
+  TrainConfig config;
+  config.epochs = 6;
+  config.fidelity = env::Fidelity::kEmulation;
+  config.evaluate_checkpoints = false;
+  const auto jobs = make_jobs(programs, arch, 5);
+
+  const auto serial = run_serial(dataset, video, config, jobs);
+  const BatchProbeTrainer batched(dataset, video,
+                                  BatchProbeConfig{config, 2});
+  const auto batch = batched.train(jobs);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("candidate " + std::to_string(i));
+    expect_identical(serial[i], batch[i]);
+  }
+}
+
+TEST(BatchProbeTrainer, FailedCandidateIsolatedFromBlock) {
+  const auto dataset = tiny_dataset();
+  const auto video = video::make_test_video(video::pensieve_ladder(), 8);
+  const auto programs = candidate_programs();
+  const auto fragile = dsl::StateProgram::compile(
+      "emit \"x\" = log(vmin(throughput_mbps));\n");
+  const auto arch = tiny_arch();
+  TrainConfig config;
+  config.epochs = 8;
+  config.evaluate_checkpoints = false;
+
+  // Fragile candidate in the middle of one block.
+  std::vector<ProbeJob> jobs = make_jobs(programs, arch, 4);
+  jobs.insert(jobs.begin() + 1, ProbeJob{&fragile, &arch, 0xdeadULL});
+
+  const auto serial = run_serial(dataset, video, config, jobs);
+  const BatchProbeTrainer batched(dataset, video,
+                                  BatchProbeConfig{config, 5});
+  const auto batch = batched.train(jobs);
+
+  ASSERT_TRUE(serial[1].failed);
+  EXPECT_TRUE(batch[1].failed);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("candidate " + std::to_string(i));
+    expect_identical(serial[i], batch[i]);
+  }
+}
+
+TEST(BatchProbeTrainer, PoolScheduledBlocksMatchSerial) {
+  const auto dataset = tiny_dataset();
+  const auto video = video::make_test_video(video::pensieve_ladder(), 9);
+  const auto programs = candidate_programs();
+  const auto arch = tiny_arch();
+  TrainConfig config;
+  config.epochs = 8;
+  config.evaluate_checkpoints = false;
+  const auto jobs = make_jobs(programs, arch, 9);
+
+  const auto serial = run_serial(dataset, video, config, jobs);
+  util::ThreadPool pool(3);
+  const BatchProbeTrainer batched(dataset, video,
+                                  BatchProbeConfig{config, 2});
+  const auto batch = batched.train(jobs, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("candidate " + std::to_string(i));
+    expect_identical(serial[i], batch[i]);
+  }
+}
+
+TEST(BatchProbeTrainer, RejectsDegenerateConfig) {
+  const auto dataset = tiny_dataset();
+  const auto video = video::make_test_video(video::pensieve_ladder(), 10);
+  TrainConfig zero_epochs;
+  zero_epochs.epochs = 0;
+  EXPECT_THROW(
+      BatchProbeTrainer(dataset, video, BatchProbeConfig{zero_epochs, 4}),
+      std::invalid_argument);
+  const auto programs = candidate_programs();
+  const auto arch = tiny_arch();
+  TrainConfig config;
+  config.epochs = 2;
+  const BatchProbeTrainer trainer(dataset, video,
+                                  BatchProbeConfig{config, 4});
+  std::vector<ProbeJob> null_job{ProbeJob{nullptr, &arch, 1}};
+  EXPECT_THROW((void)trainer.train(null_job), std::invalid_argument);
+}
+
+// ---- pipeline-level equivalence ---------------------------------------------
+
+class TempStoreDir {
+ public:
+  TempStoreDir() {
+    path_ = (std::filesystem::temp_directory_path() / "nada_batch_probe_test")
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempStoreDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(PipelineProbeBatch, BatchedAndSerialProduceIdenticalOutcomesAndJournals) {
+  const auto dataset = tiny_dataset(21);
+  const auto video = video::make_test_video(video::pensieve_ladder(), 5);
+  util::ThreadPool pool(2);
+
+  core::PipelineConfig config;
+  config.num_candidates = 14;
+  config.early_epochs = 6;
+  config.full_train_top = 2;
+  config.seeds = 2;
+  config.train.epochs = 8;
+  config.train.test_interval = 4;
+  config.probe_block = 4;
+
+  TempStoreDir dir;
+  auto run = [&](bool batched, const std::string& journal) {
+    core::PipelineConfig c = config;
+    c.probe_batch = batched;
+    core::Pipeline pipeline(dataset, video, c, 424242, &pool);
+    store::CandidateStore store(dir.file(journal), pipeline.store_scope());
+    pipeline.attach_store(&store);
+    gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
+                                  99);
+    auto result = pipeline.search_states(generator, config.baseline_arch);
+    return std::make_pair(std::move(result), store.records());
+  };
+
+  auto [serial_result, serial_records] = run(false, "serial.jsonl");
+  auto [batch_result, batch_records] = run(true, "batched.jsonl");
+
+  // The probe_batch knob must not move the store scope: both runs share the
+  // same funnel digest, so cached journals survive flipping it.
+  ASSERT_EQ(serial_result.n_total, batch_result.n_total);
+  EXPECT_EQ(serial_result.n_probes_run, batch_result.n_probes_run);
+  EXPECT_EQ(serial_result.n_early_stopped, batch_result.n_early_stopped);
+  EXPECT_EQ(serial_result.best_index, batch_result.best_index);
+  EXPECT_EQ(serial_result.best_score, batch_result.best_score);
+  ASSERT_EQ(serial_result.outcomes.size(), batch_result.outcomes.size());
+  for (std::size_t i = 0; i < serial_result.outcomes.size(); ++i) {
+    SCOPED_TRACE("candidate " + std::to_string(i));
+    const auto& a = serial_result.outcomes[i];
+    const auto& b = batch_result.outcomes[i];
+    EXPECT_EQ(a.early_probed, b.early_probed);
+    EXPECT_EQ(a.early_rewards, b.early_rewards);  // bitwise
+    EXPECT_EQ(a.early_stopped, b.early_stopped);
+    EXPECT_EQ(a.fully_trained, b.fully_trained);
+    EXPECT_EQ(a.test_score, b.test_score);
+  }
+
+  // Journal contents match record for record (order may differ: the serial
+  // stage journals from pool workers as they finish).
+  auto by_fp = [](const std::vector<store::OutcomeRecord>& records) {
+    std::map<std::string, store::OutcomeRecord> index;
+    for (const auto& r : records) index[r.fingerprint.hex()] = r;
+    return index;
+  };
+  const auto serial_map = by_fp(serial_records);
+  const auto batch_map = by_fp(batch_records);
+  ASSERT_EQ(serial_map.size(), batch_map.size());
+  for (const auto& [fp, a] : serial_map) {
+    SCOPED_TRACE("fingerprint " + fp);
+    const auto it = batch_map.find(fp);
+    ASSERT_NE(it, batch_map.end());
+    const auto& b = it->second;
+    EXPECT_EQ(a.stage, b.stage);
+    EXPECT_EQ(a.early_probed, b.early_probed);
+    EXPECT_EQ(a.early_rewards, b.early_rewards);  // bitwise
+    EXPECT_EQ(a.compile_error, b.compile_error);
+    EXPECT_EQ(a.fully_trained, b.fully_trained);
+    EXPECT_EQ(a.test_score, b.test_score);
+  }
+}
+
+}  // namespace
+}  // namespace nada::rl

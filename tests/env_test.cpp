@@ -275,5 +275,110 @@ TEST(AbrEnv, ResetStartsFreshEpisode) {
   for (double v : obs.throughput_mbps) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(AbrEnv, ConstructionConsumesNoRandomness) {
+  // The seed stream must be a pure function of the episodes actually run:
+  // building an env (without resetting it) leaves the RNG untouched, so a
+  // caller that constructs one env per episode and a caller that reuses one
+  // env see identical draws. This is the invariant the batched/serial
+  // probe equivalence rests on.
+  const auto tr = constant_trace(3.0);
+  const auto vid = test_video();
+  util::Rng rng_a(77);
+  util::Rng rng_b(77);
+  AbrEnv env(tr, vid, Fidelity::kSimulation, rng_a);
+  EXPECT_EQ(rng_a.uniform(), rng_b.uniform());
+}
+
+TEST(AbrEnv, UseBeforeResetThrows) {
+  const auto tr = constant_trace(3.0);
+  const auto vid = test_video();
+  util::Rng rng(16);
+  AbrEnv env(tr, vid, Fidelity::kSimulation, rng);
+  EXPECT_THROW(env.step(0), std::logic_error);
+  EXPECT_THROW((void)env.done(), std::logic_error);
+  EXPECT_NO_THROW(env.reset());
+  EXPECT_FALSE(env.done());
+}
+
+TEST(AbrEnv, FreshAndReusedEnvSeeSameEpisodes) {
+  const auto tr = constant_trace(2.0);
+  const auto vid = test_video();
+  util::Rng fresh_rng(31);
+  util::Rng reused_rng(31);
+  AbrEnv reused(tr, vid, Fidelity::kSimulation, reused_rng);
+  for (int episode = 0; episode < 3; ++episode) {
+    AbrEnv fresh(tr, vid, Fidelity::kSimulation, fresh_rng);
+    Observation a = fresh.reset();
+    Observation b = reused.reset();
+    while (!fresh.done()) {
+      const auto sa = fresh.step(2);
+      const auto sb = reused.step(2);
+      EXPECT_EQ(sa.reward, sb.reward);
+      EXPECT_EQ(sa.observation.throughput_mbps,
+                sb.observation.throughput_mbps);
+    }
+    EXPECT_TRUE(reused.done());
+  }
+}
+
+// ---- stall-deadline truncation ------------------------------------------------
+
+TEST(StreamingSession, TruncatedDownloadReportsDeliveredBytes) {
+  // 1 kbps forever: a top-level chunk (~2 MB) cannot finish within the
+  // 3600 s stall deadline. The session must say so instead of reporting a
+  // completed download at a fictitious throughput.
+  const auto tr = constant_trace(0.001);
+  const auto vid = test_video();
+  StreamingSession session(tr, vid);
+  const DownloadResult dl = session.download_chunk(5);
+  EXPECT_TRUE(dl.truncated);
+  EXPECT_LT(dl.delivered_bytes, dl.chunk_bytes);
+  EXPECT_GT(dl.delivered_bytes, 0.0);
+  // Honest throughput: delivered bytes over elapsed time, around 1 kbps —
+  // not chunk_bytes over elapsed (which would claim ~5x more).
+  EXPECT_LT(dl.throughput_mbps, 0.01);
+  EXPECT_GE(dl.download_time_s, StreamingSession::kStallDeadlineS);
+}
+
+TEST(StreamingSession, CompletedDownloadNotTruncated) {
+  const auto tr = constant_trace(5.0);
+  const auto vid = test_video();
+  StreamingSession session(tr, vid);
+  const DownloadResult dl = session.download_chunk(2);
+  EXPECT_FALSE(dl.truncated);
+  EXPECT_DOUBLE_EQ(dl.delivered_bytes, dl.chunk_bytes);
+}
+
+TEST(EmuSession, TruncatedDownloadReportsDeliveredBytes) {
+  const auto tr = constant_trace(0.001);
+  const auto vid = test_video();
+  util::Rng rng(5);
+  EmuSession session(tr, vid, rng);
+  const DownloadResult dl = session.download_chunk(5);
+  EXPECT_TRUE(dl.truncated);
+  EXPECT_LT(dl.delivered_bytes, dl.chunk_bytes);
+  EXPECT_LT(dl.throughput_mbps, 0.01);
+}
+
+TEST(AbrEnv, TruncatedStepSurfacedAndRewardCapped) {
+  const auto tr = constant_trace(0.001);
+  const auto vid = test_video();
+  util::Rng rng(17);
+  AbrEnv env(tr, vid, Fidelity::kSimulation, rng);
+  env.reset();
+  const StepResult step = env.step(5);
+  EXPECT_TRUE(step.truncated);
+  EXPECT_LE(step.reward, 0.0);
+}
+
+TEST(AbrEnv, NormalStepNotTruncated) {
+  const auto tr = constant_trace(5.0);
+  const auto vid = test_video();
+  util::Rng rng(18);
+  AbrEnv env(tr, vid, Fidelity::kSimulation, rng);
+  env.reset();
+  EXPECT_FALSE(env.step(2).truncated);
+}
+
 }  // namespace
 }  // namespace nada::env

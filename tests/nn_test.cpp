@@ -217,6 +217,153 @@ TEST(GradCheck, Lstm) {
   check_layer_gradients(layer, {0.4, -0.6, 0.9, -0.1, 0.3}, 1e-4);
 }
 
+// ---- batched kernels and batched layer passes --------------------------------
+
+TEST(Mat, MatmulNtMatchesMatvecPerRow) {
+  util::Rng rng(41);
+  Mat a(3, 5);
+  Mat b(4, 5);
+  for (double& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.uniform(-1.0, 1.0);
+  const Mat c = matmul_nt(a, b);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const Vec expect = b.matvec(a.row(i));
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      EXPECT_EQ(c(i, j), expect[j]);  // bitwise
+    }
+  }
+}
+
+TEST(Mat, MatmulMatchesMatvecTransposedPerRow) {
+  util::Rng rng(42);
+  Mat a(3, 4);
+  Mat b(4, 6);
+  for (double& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.uniform(-1.0, 1.0);
+  const Mat c = matmul(a, b);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const Vec expect = b.matvec_transposed(a.row(i));
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      EXPECT_EQ(c(i, j), expect[j]);  // bitwise
+    }
+  }
+}
+
+TEST(Mat, AddMatmulTnMatchesSequentialAddOuter) {
+  util::Rng rng(43);
+  Mat a(5, 3);
+  Mat b(5, 4);
+  for (double& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.uniform(-1.0, 1.0);
+  Mat sequential(3, 4, 0.5);
+  for (std::size_t n = 0; n < a.rows(); ++n) {
+    sequential.add_outer(a.row(n), b.row(n));
+  }
+  Mat batched(3, 4, 0.5);
+  add_matmul_tn(batched, a, b);
+  EXPECT_EQ(sequential.data(), batched.data());  // bitwise
+}
+
+TEST(Mat, BatchedKernelShapeMismatchThrows) {
+  Mat a(2, 3);
+  Mat b(2, 4);
+  EXPECT_THROW((void)matmul_nt(a, b), std::invalid_argument);
+  EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
+  Mat c(3, 3);
+  EXPECT_THROW(add_matmul_tn(c, a, b), std::invalid_argument);
+}
+
+/// Two layers built from the same seed have identical weights; run B
+/// samples through one with single-sample calls and through the other with
+/// one batched call, and demand bitwise-equal outputs, parameter gradients,
+/// and input gradients.
+template <typename MakeLayer>
+void check_batched_matches_single(MakeLayer make, std::size_t in_dim,
+                                  std::size_t batch) {
+  util::Rng rng_single(2024);
+  util::Rng rng_batch(2024);
+  auto single = make(rng_single);
+  auto batched = make(rng_batch);
+
+  util::Rng data_rng(7);
+  Mat x(batch, in_dim);
+  for (double& v : x.data()) v = data_rng.uniform(-1.0, 1.0);
+  Mat dy(batch, single->out_dim());
+  for (double& v : dy.data()) v = data_rng.uniform(-1.0, 1.0);
+
+  // infer() must agree with forward().
+  {
+    const Vec x0(x.row(0).begin(), x.row(0).end());
+    EXPECT_EQ(single->infer(x0), single->forward(x0));
+  }
+
+  single->zero_grad();
+  batched->zero_grad();
+  Mat dx_single(batch, in_dim);
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
+    const Vec xn(x.row(nidx).begin(), x.row(nidx).end());
+    const Vec yn = single->forward(xn);
+    const Vec dyn(dy.row(nidx).begin(), dy.row(nidx).end());
+    const Vec dxn = single->backward(dyn);
+    std::copy(dxn.begin(), dxn.end(), dx_single.row(nidx).begin());
+    (void)yn;
+  }
+  const Mat y_batch = batched->forward_batch(x);
+  const Mat dx_batch = batched->backward_batch(dy);
+
+  // Outputs bitwise-identical to per-sample forward.
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
+    const Vec xn(x.row(nidx).begin(), x.row(nidx).end());
+    const Vec yn = single->forward(xn);
+    for (std::size_t j = 0; j < yn.size(); ++j) {
+      EXPECT_EQ(y_batch(nidx, j), yn[j]) << "sample " << nidx;
+    }
+  }
+  EXPECT_EQ(dx_single.data(), dx_batch.data());
+  auto ps = single->params();
+  auto pb = batched->params();
+  ASSERT_EQ(ps.size(), pb.size());
+  for (std::size_t p = 0; p < ps.size(); ++p) {
+    EXPECT_EQ(ps[p].grad->data(), pb[p].grad->data()) << "param " << p;
+  }
+}
+
+TEST(BatchedLayers, DenseMatchesSingle) {
+  check_batched_matches_single(
+      [](util::Rng& rng) {
+        return std::make_unique<Dense>(5, 4, Activation::kTanh, rng);
+      },
+      5, 6);
+}
+
+TEST(BatchedLayers, DenseReluMatchesSingle) {
+  check_batched_matches_single(
+      [](util::Rng& rng) {
+        return std::make_unique<Dense>(6, 3, Activation::kRelu, rng);
+      },
+      6, 4);
+}
+
+TEST(BatchedLayers, Conv1DMatchesSingle) {
+  check_batched_matches_single(
+      [](util::Rng& rng) {
+        return std::make_unique<Conv1D>(8, 3, 4, Activation::kRelu, rng);
+      },
+      8, 5);
+}
+
+TEST(BatchedLayers, SimpleRnnMatchesSingle) {
+  check_batched_matches_single(
+      [](util::Rng& rng) { return std::make_unique<SimpleRnn>(8, 4, rng); },
+      8, 5);
+}
+
+TEST(BatchedLayers, LstmMatchesSingle) {
+  check_batched_matches_single(
+      [](util::Rng& rng) { return std::make_unique<Lstm>(8, 4, rng); }, 8,
+      5);
+}
+
 TEST(Conv1D, RejectsBadKernel) {
   util::Rng rng(11);
   EXPECT_THROW(Conv1D(4, 2, 5, Activation::kRelu, rng),
@@ -386,6 +533,114 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(temporal_unit_name(std::get<0>(info.param))) +
              (std::get<1>(info.param) ? "_shared" : "_separate");
     });
+
+class NetBatchedVariantTest
+    : public ::testing::TestWithParam<std::tuple<TemporalUnit, bool>> {};
+
+TEST_P(NetBatchedVariantTest, BatchedMatchesSingleBitwise) {
+  const auto [unit, shared] = GetParam();
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.temporal = unit;
+  spec.shared_trunk = shared;
+  spec.conv_filters = 8;
+  spec.rnn_hidden = 8;
+  spec.scalar_hidden = 8;
+  spec.merge_hidden = 8;
+  util::Rng rng_single(99);
+  util::Rng rng_batch(99);
+  util::Rng rng_capture(99);
+  ActorCriticNet single(spec, pensieve_signature(), 6, rng_single);
+  ActorCriticNet batched(spec, pensieve_signature(), 6, rng_batch);
+  ActorCriticNet captured(spec, pensieve_signature(), 6, rng_capture);
+  captured.sync_inference_cache();  // capture runs on the fast path
+
+  util::Rng data_rng(3);
+  const std::size_t batch = 5;
+  std::vector<std::vector<Vec>> samples(batch);
+  for (auto& sample : samples) {
+    for (std::size_t len : pensieve_signature().row_lengths) {
+      Vec row(std::max<std::size_t>(len, 1));
+      for (double& v : row) v = data_rng.uniform(-1.0, 1.0);
+      sample.push_back(std::move(row));
+    }
+  }
+  Mat dlogits(batch, 6);
+  for (double& v : dlogits.data()) v = data_rng.uniform(-0.5, 0.5);
+  Vec dvalues(batch);
+  for (double& v : dvalues) v = data_rng.uniform(-0.5, 0.5);
+
+  // Single path: interleaved forward/backward per sample, as the serial
+  // trainer's gradient loop does.
+  single.zero_grad();
+  std::vector<ActorCriticNet::Output> single_outs;
+  for (std::size_t b = 0; b < batch; ++b) {
+    single_outs.push_back(single.forward(samples[b]));
+    const Vec db(dlogits.row(b).begin(), dlogits.row(b).end());
+    single.backward(db, dvalues[b]);
+  }
+  batched.zero_grad();
+  const auto batch_out = batched.forward_batch(samples);
+  batched.backward_batch(dlogits, dvalues);
+
+  // Capture path: forward one row at a time (as the rollout does), then a
+  // single backward over the captured caches.
+  captured.zero_grad();
+  captured.begin_batch_capture(batch);
+  std::vector<ActorCriticNet::Output> capture_outs;
+  for (std::size_t b = 0; b < batch; ++b) {
+    capture_outs.push_back(captured.forward_capture(samples[b], b));
+  }
+  captured.backward_batch(dlogits, dvalues);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    EXPECT_EQ(batch_out.probs[b], single_outs[b].probs);  // bitwise
+    EXPECT_EQ(batch_out.values[b], single_outs[b].value);
+    EXPECT_EQ(capture_outs[b].probs, single_outs[b].probs);
+    EXPECT_EQ(capture_outs[b].value, single_outs[b].value);
+    // forward_inference must agree as well (it shares the fast path).
+    const auto inference = captured.forward_inference(samples[b]);
+    EXPECT_EQ(inference.probs, single_outs[b].probs);
+    EXPECT_EQ(inference.value, single_outs[b].value);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(batch_out.logits(b, j), single_outs[b].logits[j]);
+    }
+  }
+  auto ps = single.params();
+  auto pb = batched.params();
+  auto pc = captured.params();
+  ASSERT_EQ(ps.size(), pb.size());
+  ASSERT_EQ(ps.size(), pc.size());
+  for (std::size_t p = 0; p < ps.size(); ++p) {
+    EXPECT_EQ(ps[p].grad->data(), pb[p].grad->data()) << "param " << p;
+    EXPECT_EQ(ps[p].grad->data(), pc[p].grad->data()) << "param " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, NetBatchedVariantTest,
+    ::testing::Combine(::testing::Values(TemporalUnit::kConv1D,
+                                         TemporalUnit::kRnn,
+                                         TemporalUnit::kLstm,
+                                         TemporalUnit::kDense),
+                       ::testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<TemporalUnit, bool>>& info) {
+      return std::string(temporal_unit_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_shared" : "_separate");
+    });
+
+TEST(ActorCriticNet, BatchedRejectsEmptyAndMalformedBatches) {
+  ArchSpec spec = ArchSpec::pensieve();
+  spec.conv_filters = 4;
+  spec.scalar_hidden = 4;
+  spec.merge_hidden = 4;
+  util::Rng rng(5);
+  StateSignature sig;
+  sig.row_lengths = {1, 8};
+  ActorCriticNet net(spec, sig, 3, rng);
+  EXPECT_THROW((void)net.forward_batch({}), std::invalid_argument);
+  std::vector<std::vector<Vec>> bad_rows = {{{0.1}}};
+  EXPECT_THROW((void)net.forward_batch(bad_rows), std::invalid_argument);
+}
 
 TEST(ActorCriticNet, WholeNetGradientCheck) {
   // End-to-end gradient check through branches, merge, and actor head via
@@ -571,6 +826,24 @@ TEST(Classifier, PredictRejectsWrongDim) {
   EXPECT_THROW(clf.predict({1.0}), std::invalid_argument);
   Conv1DClassifier c2(8, 4, 3, 4, rng);
   EXPECT_THROW(c2.predict({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Classifier, PredictIsConstAndStable) {
+  // predict() runs a cache-free inference path: it is callable through a
+  // const reference and repeated calls return the same score.
+  util::Rng rng(24);
+  MlpClassifier mlp(2, {4}, rng);
+  const BinaryClassifier& mlp_ref = mlp;
+  const double m1 = mlp_ref.predict({0.3, -0.2});
+  EXPECT_EQ(m1, mlp_ref.predict({0.3, -0.2}));
+
+  Conv1DClassifier cnn(8, 4, 3, 4, rng);
+  const BinaryClassifier& cnn_ref = cnn;
+  const Vec x = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  const double c1 = cnn_ref.predict(x);
+  EXPECT_EQ(c1, cnn_ref.predict(x));
+  EXPECT_GT(c1, 0.0);
+  EXPECT_LT(c1, 1.0);
 }
 
 }  // namespace

@@ -229,6 +229,52 @@ TEST(EvaluateAgent, EmulationDiffersFromSimulation) {
   EXPECT_NE(sim, emu);
 }
 
+TEST(EvalTraceIndices, StridesAcrossWholeSplit) {
+  // The capped subset must sample the whole split, not its prefix.
+  const auto picked = eval_trace_indices(10, 4);
+  EXPECT_EQ(picked, (std::vector<std::size_t>{0, 2, 5, 7}));
+  // Strictly increasing, spanning past the midpoint.
+  EXPECT_GT(picked.back(), 10u / 2);
+}
+
+TEST(EvalTraceIndices, UncappedIsIdentity) {
+  const auto all = eval_trace_indices(5, 0);
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(eval_trace_indices(5, 9), all);
+  EXPECT_EQ(eval_trace_indices(5, 5), all);
+}
+
+TEST(EvalTraceIndices, NoDuplicates) {
+  for (std::size_t n : {7u, 13u, 40u}) {
+    for (std::size_t cap = 1; cap < n; ++cap) {
+      const auto picked = eval_trace_indices(n, cap);
+      ASSERT_EQ(picked.size(), cap);
+      for (std::size_t j = 1; j < picked.size(); ++j) {
+        EXPECT_LT(picked[j - 1], picked[j]);
+      }
+      EXPECT_LT(picked.back(), n);
+    }
+  }
+}
+
+TEST(EvaluateAgent, SubsetOverloadMatchesManualSubset) {
+  const auto dataset = tiny_dataset();
+  const auto video = video::make_test_video(video::pensieve_ladder(), 18);
+  const auto program = pensieve_program();
+  util::Rng rng(8);
+  AbrAgent agent(program, tiny_arch(), 6, rng);
+  const std::vector<std::size_t> indices =
+      eval_trace_indices(dataset.test.size(), 2);
+  std::vector<trace::Trace> subset;
+  for (std::size_t i : indices) subset.push_back(dataset.test[i]);
+  const double via_indices =
+      evaluate_agent(agent, dataset.test, indices, video,
+                     env::Fidelity::kSimulation, 42);
+  const double via_copy = evaluate_agent(agent, subset, video,
+                                         env::Fidelity::kSimulation, 42);
+  EXPECT_DOUBLE_EQ(via_indices, via_copy);
+}
+
 // ---- sessions -------------------------------------------------------------------
 
 TEST(RunSessions, MedianAcrossSeeds) {
