@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 #include "filter/checks.h"
 #include "gen/state_gen.h"
+#include "env/abr_domain.h"
 
 namespace {
 
@@ -32,9 +33,9 @@ Rates measure(const nada::gen::LlmProfile& profile,
     const auto cand = generator.generate();
     unique.insert(cand.source);
     std::optional<dsl::StateProgram> program;
-    if (!filter::compilation_check(cand.source, &program).passed) continue;
+    if (!filter::compilation_check(cand.source, env::abr_catalog(), &program).passed) continue;
     ++compiled;
-    if (filter::normalization_check(*program).passed) ++normalized;
+    if (filter::normalization_check(*program, env::abr_catalog()).passed) ++normalized;
   }
   Rates r;
   r.compile = static_cast<double>(compiled) / static_cast<double>(n);

@@ -10,6 +10,7 @@
 #include "bench/bench_common.h"
 #include "filter/checks.h"
 #include "gen/state_gen.h"
+#include "env/abr_domain.h"
 
 int main() {
   using namespace nada;
@@ -30,7 +31,7 @@ int main() {
   std::vector<Compiled> compiled;
   for (const auto& cand : batch) {
     std::optional<dsl::StateProgram> program;
-    if (filter::compilation_check(cand.source, &program).passed) {
+    if (filter::compilation_check(cand.source, env::abr_catalog(), &program).passed) {
       compiled.push_back(Compiled{*std::move(program), cand.flaw});
     }
   }
@@ -43,7 +44,7 @@ int main() {
     std::size_t clean_total = 0, clean_rejected = 0;
     std::size_t raw_total = 0, raw_passed = 0;
     for (const auto& c : compiled) {
-      const bool pass = filter::normalization_check(c.program, t).passed;
+      const bool pass = filter::normalization_check(c.program, env::abr_catalog(), t).passed;
       passed += pass ? 1 : 0;
       if (c.flaw == gen::InjectedFlaw::kNone) {
         ++clean_total;

@@ -12,6 +12,7 @@
 #include "bench/bench_common.h"
 #include "core/pipeline.h"
 #include "filter/earlystop.h"
+#include "env/abr_domain.h"
 
 namespace {
 
@@ -114,10 +115,10 @@ int main() {
         ++tries;
         const auto cand = g.generate();
         std::optional<dsl::StateProgram> program;
-        if (!filter::compilation_check(cand.source, &program).passed) {
+        if (!filter::compilation_check(cand.source, env::abr_catalog(), &program).passed) {
           continue;
         }
-        if (!filter::normalization_check(*program).passed) continue;
+        if (!filter::normalization_check(*program, env::abr_catalog()).passed) continue;
         survivors.emplace_back(cand.id, cand.source);
       }
     };

@@ -12,6 +12,7 @@
 #include "rl/agent.h"
 #include "trace/generator.h"
 #include "video/video.h"
+#include "env/abr_domain.h"
 
 namespace {
 
@@ -27,7 +28,7 @@ BENCHMARK(BM_DslCompile);
 
 void BM_DslRunPensieveState(benchmark::State& state) {
   const auto program = dsl::StateProgram::compile(dsl::pensieve_state_source());
-  const auto obs = dsl::canned_observation();
+  const auto obs = env::bindings_from_observation(env::canned_observation());
   for (auto _ : state) {
     benchmark::DoNotOptimize(program.run(obs));
   }
@@ -40,7 +41,7 @@ void BM_DslRunAdvancedState(benchmark::State& state) {
       "emit \"pred\" = linreg_predict(throughput_mbps) / 8.0;\n"
       "emit \"buf\" = savgol(buffer_size_s_history) / 60.0;\n"
       "emit \"bufd\" = diff(buffer_size_s_history) / 10.0;\n");
-  const auto obs = dsl::canned_observation();
+  const auto obs = env::bindings_from_observation(env::canned_observation());
   for (auto _ : state) {
     benchmark::DoNotOptimize(program.run(obs));
   }
@@ -143,7 +144,7 @@ void BM_CompilationCheck(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        filter::compilation_check(batch[i % batch.size()].source));
+        filter::compilation_check(batch[i % batch.size()].source, env::abr_catalog()));
     ++i;
   }
 }
@@ -153,7 +154,7 @@ void BM_NormalizationCheck(benchmark::State& state) {
   const auto program =
       dsl::StateProgram::compile(dsl::pensieve_state_source());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter::normalization_check(program));
+    benchmark::DoNotOptimize(filter::normalization_check(program, env::abr_catalog()));
   }
 }
 BENCHMARK(BM_NormalizationCheck);

@@ -11,6 +11,7 @@
 #include "filter/checks.h"
 #include "gen/state_gen.h"
 #include "util/thread_pool.h"
+#include "env/abr_domain.h"
 
 int main() {
   using namespace nada;
@@ -42,11 +43,11 @@ int main() {
     std::vector<int> normalized(n, 0);
     pool.parallel_for(n, [&](std::size_t i) {
       std::optional<dsl::StateProgram> program;
-      if (!filter::compilation_check(batch[i].source, &program).passed) {
+      if (!filter::compilation_check(batch[i].source, env::abr_catalog(), &program).passed) {
         return;
       }
       compiled[i] = 1;
-      if (filter::normalization_check(*program).passed) normalized[i] = 1;
+      if (filter::normalization_check(*program, env::abr_catalog()).passed) normalized[i] = 1;
     });
     std::size_t n_compiled = 0;
     std::size_t n_normalized = 0;

@@ -14,6 +14,7 @@
 #include "trace/generator.h"
 #include "util/table.h"
 #include "video/video.h"
+#include "env/abr_domain.h"
 
 int main() {
   using namespace nada;
@@ -32,25 +33,25 @@ emit "tput_pred" = linreg_predict(throughput_mbps) / (max_bitrate_kbps / 1000.0)
 )";
 
   std::cout << "Input variables available to state programs:\n";
-  for (const auto& var : dsl::input_variables()) {
+  for (const auto& var : env::input_variables()) {
     std::cout << "  " << var.name << (var.is_vector ? "  (vector)" : "")
               << "\n";
   }
 
   // --- validate -------------------------------------------------------------
   std::optional<dsl::StateProgram> program;
-  const auto compile = filter::compilation_check(my_state, &program);
+  const auto compile = filter::compilation_check(my_state, env::abr_catalog(), &program);
   if (!compile.passed) {
     std::cerr << "compilation check failed: " << compile.reason << "\n";
     return 1;
   }
-  const auto norm = filter::normalization_check(*program);
+  const auto norm = filter::normalization_check(*program, env::abr_catalog());
   if (!norm.passed) {
     std::cerr << "normalization check failed: " << norm.reason << "\n";
     return 1;
   }
   std::cout << "\nBoth pre-checks passed. State shape:";
-  for (std::size_t len : program->run(dsl::canned_observation()).row_lengths()) {
+  for (std::size_t len : program->run(env::abr_catalog().canned()).row_lengths()) {
     std::cout << " " << len;
   }
   std::cout << "\n";

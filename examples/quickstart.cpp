@@ -17,6 +17,7 @@
 #include "util/stats.h"
 #include "util/table.h"
 #include "video/video.h"
+#include "env/abr_domain.h"
 
 int main() {
   using namespace nada;
@@ -48,7 +49,7 @@ int main() {
   // --- 3. The original Pensieve state, as a NadaScript program. ------------
   const dsl::StateProgram state =
       dsl::StateProgram::compile(dsl::pensieve_state_source());
-  const dsl::StateMatrix matrix = state.run(dsl::canned_observation());
+  const dsl::StateMatrix matrix = state.run(env::abr_catalog().canned());
   std::cout << "\nPensieve state matrix (" << matrix.rows.size()
             << " rows):\n";
   for (const auto& row : matrix.rows) {

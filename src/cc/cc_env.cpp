@@ -20,10 +20,10 @@ CcEnv::CcEnv(const trace::Trace& capacity, CcConfig config, util::Rng& rng)
       config_.min_rate_mbps >= config_.max_rate_mbps) {
     throw std::invalid_argument("CcEnv: bad rate bounds");
   }
-  reset();
 }
 
 CcObservation CcEnv::reset() {
+  started_ = true;
   clock_s_ = rng_->uniform(0.0, std::max(capacity_->duration_s() - 1.0, 0.0));
   rate_mbps_ = config_.init_rate_mbps;
   queue_ms_ = 0.0;
@@ -41,6 +41,7 @@ void CcEnv::push(std::vector<double>& hist, double v) {
 }
 
 CcStepResult CcEnv::step(std::size_t action) {
+  if (!started_) throw std::logic_error("CcEnv::step before reset");
   if (done()) throw std::logic_error("CcEnv::step after episode end");
   if (action >= rate_actions().size()) {
     throw std::out_of_range("CcEnv::step: action index");

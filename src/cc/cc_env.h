@@ -57,17 +57,27 @@ struct CcStepResult {
 
 /// One episode = steps_per_episode monitor intervals over one capacity
 /// trace (wrapping like the ABR simulator).
+///
+/// Construction consumes no randomness: the RNG is only drawn when reset()
+/// starts an episode (start offset) and during steps (measurement jitter),
+/// so the caller's seed stream is a pure function of the episodes it
+/// actually runs — the property the batched/serial probe equivalence
+/// guarantee rests on. reset() must be called before step().
 class CcEnv {
  public:
   CcEnv(const trace::Trace& capacity, CcConfig config, util::Rng& rng);
 
+  /// Starts a fresh episode (new random trace offset); returns the initial
+  /// observation.
   CcObservation reset();
 
   /// Applies rate action index (see rate_actions()) and advances one
-  /// monitor interval.
+  /// monitor interval. Throws std::logic_error before the first reset().
   CcStepResult step(std::size_t action);
 
-  [[nodiscard]] bool done() const { return step_ >= config_.steps_per_episode; }
+  [[nodiscard]] bool done() const {
+    return started_ && step_ >= config_.steps_per_episode;
+  }
   [[nodiscard]] std::size_t num_actions() const {
     return rate_actions().size();
   }
@@ -85,6 +95,7 @@ class CcEnv {
   double rate_mbps_ = 0.0;
   double queue_ms_ = 0.0;  ///< queue occupancy expressed as drain time
   std::size_t step_ = 0;
+  bool started_ = false;
   std::vector<double> send_hist_, ack_hist_, rtt_hist_, loss_hist_;
 };
 

@@ -125,21 +125,19 @@ void copy_full_train_result(const CandidateOutcome& from,
 /// each result to `apply(k, result)` with k indexing `jobs`. Shared by the
 /// state and architecture searches so the two dispatches cannot drift.
 void run_probe_stage(
-    const trace::Dataset& dataset, const video::Video& video,
-    util::ThreadPool* pool, const PipelineConfig& config,
-    const rl::TrainConfig& probe_config,
+    const env::TaskDomain& domain, util::ThreadPool* pool,
+    const PipelineConfig& config, const rl::TrainConfig& probe_config,
     const std::vector<rl::ProbeJob>& jobs,
     const std::function<void(std::size_t, const rl::TrainResult&)>& apply) {
   if (config.probe_batch) {
     const rl::BatchProbeTrainer batch_trainer(
-        dataset, video, rl::BatchProbeConfig{probe_config,
-                                             config.probe_block});
+        domain, rl::BatchProbeConfig{probe_config, config.probe_block});
     const auto results = batch_trainer.train(jobs, pool);
     for (std::size_t k = 0; k < jobs.size(); ++k) apply(k, results[k]);
     return;
   }
   auto probe = [&](std::size_t k) {
-    rl::Trainer trainer(dataset, video, probe_config, jobs[k].seed);
+    rl::Trainer trainer(domain, probe_config, jobs[k].seed);
     apply(k, trainer.train(*jobs[k].program, *jobs[k].spec));
   };
   if (pool != nullptr && jobs.size() > 1) {
@@ -151,27 +149,67 @@ void run_probe_stage(
 
 }  // namespace
 
+void Pipeline::validate_config(const PipelineConfig& config) {
+  if (config.num_candidates == 0) {
+    throw std::invalid_argument(
+        "PipelineConfig: num_candidates must be >= 1 (got 0)");
+  }
+  if (config.full_train_top == 0) {
+    throw std::invalid_argument(
+        "PipelineConfig: full_train_top must be >= 1 (got 0)");
+  }
+  if (config.full_train_top > config.num_candidates) {
+    throw std::invalid_argument(
+        "PipelineConfig: full_train_top (" +
+        std::to_string(config.full_train_top) +
+        ") exceeds num_candidates (" +
+        std::to_string(config.num_candidates) +
+        "): cannot fully train more designs than the stream holds");
+  }
+  if (config.seeds == 0) {
+    throw std::invalid_argument(
+        "PipelineConfig: seeds must be >= 1 (got 0); the paper's protocol "
+        "trains each survivor across independent seeds");
+  }
+  if (config.probe_block == 0) {
+    throw std::invalid_argument(
+        "PipelineConfig: probe_block must be >= 1 (got 0)");
+  }
+  if (config.early_epochs == 0) {
+    throw std::invalid_argument(
+        "PipelineConfig: early_epochs must be >= 1 (got 0); the probe "
+        "stage needs a non-empty reward window");
+  }
+}
+
+Pipeline::Pipeline(std::shared_ptr<const env::TaskDomain> domain,
+                   PipelineConfig config, std::uint64_t seed,
+                   util::ThreadPool* pool)
+    : owned_domain_(std::move(domain)), domain_(owned_domain_.get()),
+      config_(std::move(config)), seed_(seed), pool_(pool) {
+  validate_config(config_);
+}
+
+Pipeline::Pipeline(const env::TaskDomain& domain, PipelineConfig config,
+                   std::uint64_t seed, util::ThreadPool* pool)
+    : Pipeline(std::shared_ptr<const env::TaskDomain>(
+                   std::shared_ptr<void>{}, &domain),
+               std::move(config), seed, pool) {}
+
 Pipeline::Pipeline(const trace::Dataset& dataset, const video::Video& video,
                    PipelineConfig config, std::uint64_t seed,
                    util::ThreadPool* pool)
-    : dataset_(&dataset), video_(&video), config_(std::move(config)),
-      seed_(seed), pool_(pool) {
-  if (config_.num_candidates == 0) {
-    throw std::invalid_argument("Pipeline: zero candidates");
-  }
-  if (config_.full_train_top == 0) {
-    throw std::invalid_argument("Pipeline: full_train_top is zero");
-  }
-}
+    : Pipeline(std::make_shared<env::AbrDomain>(dataset, video),
+               std::move(config), seed, pool) {}
 
 const rl::SessionResult& Pipeline::original_baseline() {
   if (!original_.has_value()) {
     const dsl::StateProgram original_state =
-        dsl::StateProgram::compile(dsl::pensieve_state_source());
+        dsl::StateProgram::compile(domain_->baseline_state_source());
     rl::SessionConfig sc;
     sc.seeds = config_.seeds;
     sc.train = config_.train;
-    original_ = rl::run_sessions(*dataset_, *video_, original_state,
+    original_ = rl::run_sessions(*domain_, original_state,
                                  config_.baseline_arch, sc,
                                  seed_ ^ 0x0817b05eULL, pool_);
   }
@@ -194,36 +232,11 @@ store::StoreScope Pipeline::store_scope() const {
        << ";norm_threshold=" << config_.normalization_threshold
        << ";norm_fuzz=" << config_.normalization_fuzz_runs
        << ";pipeline_seed=" << seed_;
-  // Results are only reusable against the same traces and video: two
-  // datasets of the same environment (different scale or build seed) must
-  // not alias in the store.
-  const auto fold = [](std::uint64_t h, std::string_view text) {
-    return util::mix64(h ^ util::fnv1a64(text));
-  };
-  const auto hash_traces = [&fold](const std::vector<trace::Trace>& traces) {
-    std::uint64_t h = traces.size();
-    for (const auto& t : traces) {
-      h = fold(h, t.name());
-      h = util::mix64(h ^ t.size());
-      h = fold(h, util::shortest_double(t.mean_kbps()));
-    }
-    return h;
-  };
-  spec << ";train_traces=" << hash_traces(dataset_->train)
-       << ";test_traces=" << hash_traces(dataset_->test);
-  std::uint64_t vh = fold(video_->num_chunks(), video_->name());
-  vh = fold(vh, util::shortest_double(video_->chunk_len_s()));
-  for (double kbps : video_->ladder().all_kbps()) {
-    vh = fold(vh, util::shortest_double(kbps));
-  }
-  for (std::size_t c = 0; c < video_->num_chunks(); ++c) {
-    for (double bytes : video_->chunk_bytes_all_levels(c)) {
-      vh = fold(vh, util::shortest_double(bytes));
-    }
-  }
-  spec << ";video=" << vh;
+  // The domain appends the identity of its data (traces, video, simulator
+  // parameters): results are only reusable against the same inputs.
+  domain_->append_scope_spec(spec);
   store::StoreScope scope;
-  scope.env = trace::environment_name(dataset_->spec.env);
+  scope.env = domain_->scope_env();
   scope.config_digest = store::fingerprint_text(spec.str()).hex();
   return scope;
 }
@@ -372,13 +385,13 @@ PipelineResult Pipeline::search_states(
       }
       cached[i].reset();
     }
-    const auto compile = filter::compilation_check(candidates[i].source,
-                                                   &programs[i]);
+    const auto compile = filter::compilation_check(
+        candidates[i].source, domain_->catalog(), &programs[i]);
     outcome.compiled = compile.passed;
     outcome.compile_error = compile.reason;
     if (compile.passed) {
       const auto norm = filter::normalization_check(
-          *programs[i], config_.normalization_threshold,
+          *programs[i], domain_->catalog(), config_.normalization_threshold,
           config_.normalization_fuzz_runs, seed_ ^ (fps[i].lo * 0x9e3779b9ULL));
       outcome.normalized = norm.passed;
       outcome.normalization_error = norm.reason;
@@ -421,7 +434,7 @@ PipelineResult Pipeline::search_states(
                                       seed_ ^ (0xb10b << 8) ^ fps[i].lo});
   }
   run_probe_stage(
-      *dataset_, *video_, pool_, config_, probe_config, probe_jobs,
+      *domain_, pool_, config_, probe_config, probe_jobs,
       [&](std::size_t k, const rl::TrainResult& probe_result) {
         const std::size_t i = probe_set[k];
         if (!probe_result.failed) {
@@ -479,7 +492,7 @@ PipelineResult Pipeline::search_states(
                                   seed_ ^ (0xf111 << 4) ^ fps[i].lo});
   }
   const auto sessions =
-      rl::run_session_batch(*dataset_, *video_, jobs, session_config, pool_);
+      rl::run_session_batch(*domain_, jobs, session_config, pool_);
   apply_session_results(outcomes, to_train, sessions);
   result.n_full_trains_run = to_train.size();
   for (std::size_t i : clones) {
@@ -513,7 +526,8 @@ PipelineResult Pipeline::search_archs(
   result.original = original_baseline();
   result.original_score = result.original.test_score;
 
-  const nn::StateSignature signature = rl::derive_signature(state);
+  const nn::StateSignature signature =
+      rl::derive_signature(state, domain_->catalog());
 
   const store::Fingerprint state_fp =
       store::fingerprint_state_source(state.source());
@@ -537,7 +551,7 @@ PipelineResult Pipeline::search_archs(
       ++result.n_precheck_cache_hits;
     } else {
       const auto check = filter::arch_compilation_check(
-          candidates[i].spec, signature, video_->ladder().levels());
+          candidates[i].spec, signature, domain_->num_actions());
       outcomes[i].compiled = check.passed;
       outcomes[i].compile_error = check.reason;
       // The normalization check does not apply to architectures (§2.2).
@@ -567,7 +581,7 @@ PipelineResult Pipeline::search_archs(
                                       seed_ ^ (0xa10b << 8) ^ fps[i].lo});
   }
   run_probe_stage(
-      *dataset_, *video_, pool_, config_, probe_config, probe_jobs,
+      *domain_, pool_, config_, probe_config, probe_jobs,
       [&](std::size_t k, const rl::TrainResult& probe_result) {
         const std::size_t i = probe_set[k];
         if (!probe_result.failed) {
@@ -616,7 +630,7 @@ PipelineResult Pipeline::search_archs(
                                   seed_ ^ (0xf222 << 4) ^ fps[i].lo});
   }
   const auto sessions =
-      rl::run_session_batch(*dataset_, *video_, jobs, session_config, pool_);
+      rl::run_session_batch(*domain_, jobs, session_config, pool_);
   apply_session_results(outcomes, to_train, sessions);
   result.n_full_trains_run = to_train.size();
   for (std::size_t i : clones) {

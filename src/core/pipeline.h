@@ -6,19 +6,30 @@
 // of validated designs while spending as little training compute as
 // possible on the duds.
 //
+// The pipeline is domain-generic: it runs over any env::TaskDomain (ABR
+// streaming and congestion control ship in-tree), checking candidates
+// against the domain's binding catalog and training them in the domain's
+// episodes through the identical funnel code path. The historical
+// (dataset, video) constructor is the ABR convenience form.
+//
 // With a store::CandidateStore attached (attach_store), the funnel also
 // never re-spends compute across runs: every stage consults the store
 // first and checkpoints its results into it, so reruns serve cached
 // outcomes and interrupted runs continue via resume_states/resume_archs.
+// store_scope() carries the domain token, so ABR and CC journals coexist
+// in one store directory without aliasing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "dsl/state_program.h"
+#include "env/abr_domain.h"
+#include "env/domain.h"
 #include "filter/checks.h"
 #include "filter/earlystop.h"
 #include "gen/arch_gen.h"
@@ -118,7 +129,13 @@ struct PipelineResult {
 
 class Pipeline {
  public:
-  /// `pool` may be null (serial execution).
+  /// Domain-generic pipeline; `domain` must outlive it. `pool` may be null
+  /// (serial execution). Throws std::invalid_argument on a degenerate
+  /// config (see validate_config).
+  Pipeline(const env::TaskDomain& domain, PipelineConfig config,
+           std::uint64_t seed, util::ThreadPool* pool = nullptr);
+
+  /// ABR convenience: wraps (dataset, video) in an owned env::AbrDomain.
   Pipeline(const trace::Dataset& dataset, const video::Video& video,
            PipelineConfig config, std::uint64_t seed,
            util::ThreadPool* pool = nullptr);
@@ -138,7 +155,7 @@ class Pipeline {
       gen::ArchGenerator& generator, const dsl::StateProgram& state,
       const filter::EarlyStopModel* early_stop_model = nullptr);
 
-  /// Trains the original Pensieve design (state + architecture) under the
+  /// Trains the domain's original design (state + architecture) under the
   /// same protocol; used as the comparison baseline and cached.
   [[nodiscard]] const rl::SessionResult& original_baseline();
 
@@ -146,10 +163,11 @@ class Pipeline {
   /// live under in a candidate store. Everything that changes a stored
   /// per-candidate result — training protocol, probe budget, seeds,
   /// normalization check parameters, the pipeline seed, the identity of
-  /// the dataset's traces and the video, and the simulator-semantics
-  /// revision — feeds the digest;
-  /// selection-only knobs (num_candidates, full_train_top) do not, so the
-  /// cache survives re-ranking with a different top-K.
+  /// the domain's data (traces, video, simulator parameters), and the
+  /// simulator-semantics revision — feeds the digest; selection-only knobs
+  /// (num_candidates, full_train_top) do not, so the cache survives
+  /// re-ranking with a different top-K. The scope's env field is the
+  /// domain token ("starlink" for ABR, "cc-starlink" for CC).
   [[nodiscard]] store::StoreScope store_scope() const;
 
   /// Attaches a persistent store: subsequent searches consult it before
@@ -175,6 +193,14 @@ class Pipeline {
       const filter::EarlyStopModel* early_stop_model = nullptr);
 
  private:
+  Pipeline(std::shared_ptr<const env::TaskDomain> domain,
+           PipelineConfig config, std::uint64_t seed, util::ThreadPool* pool);
+
+  /// Up-front validation with descriptive errors: num_candidates >= 1,
+  /// 1 <= full_train_top <= num_candidates, seeds >= 1, probe_block >= 1,
+  /// early_epochs >= 1.
+  static void validate_config(const PipelineConfig& config);
+
   static void apply_session_results(
       std::vector<CandidateOutcome>& outcomes,
       const std::vector<std::size_t>& selected,
@@ -184,8 +210,8 @@ class Pipeline {
       const filter::EarlyStopModel* early_stop_model,
       std::vector<CandidateOutcome>& all) const;
 
-  const trace::Dataset* dataset_;
-  const video::Video* video_;
+  std::shared_ptr<const env::TaskDomain> owned_domain_;
+  const env::TaskDomain* domain_;
   PipelineConfig config_;
   std::uint64_t seed_;
   util::ThreadPool* pool_;

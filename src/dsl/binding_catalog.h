@@ -1,0 +1,52 @@
+// Per-domain binding catalogs.
+//
+// A state program is only meaningful relative to a vocabulary of input
+// variables: ABR programs read throughput/buffer histories, congestion-
+// control programs read rate/RTT/loss histories. A BindingCatalog makes one
+// domain's vocabulary concrete — the variable list the candidate generator
+// samples from, a canned observation for trial runs (the compilation
+// check), and a fuzz-observation generator for the normalization check.
+//
+// The pre-checks validate every program against the catalog of the domain
+// it was generated for: a program that references a name outside the
+// vocabulary fails its trial run on canned() exactly like the paper's
+// Python exception check, so cross-domain programs cannot slip through on
+// the strength of an unrelated domain's bindings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/interpreter.h"
+#include "util/rng.h"
+
+namespace nada::dsl {
+
+/// One observation variable exposed to state programs.
+struct InputVariable {
+  std::string name;
+  bool is_vector = false;
+};
+
+class BindingCatalog {
+ public:
+  virtual ~BindingCatalog() = default;
+
+  /// Domain token ("abr", "cc") naming this vocabulary.
+  [[nodiscard]] virtual const std::string& domain() const = 0;
+
+  /// All variables exposed to programs, with vector/scalar kinds. The
+  /// candidate generator samples from this set; docs enumerate it.
+  [[nodiscard]] virtual const std::vector<InputVariable>& variables()
+      const = 0;
+
+  /// A synthetic observation with plausible mid-episode values; the canned
+  /// input for trial runs (the compilation check).
+  [[nodiscard]] virtual Bindings canned() const = 0;
+
+  /// A randomized observation for the normalization fuzz check. Values are
+  /// drawn from wide but physically meaningful ranges.
+  [[nodiscard]] virtual Bindings fuzz(util::Rng& rng) const = 0;
+};
+
+}  // namespace nada::dsl

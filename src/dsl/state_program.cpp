@@ -4,47 +4,13 @@
 
 namespace nada::dsl {
 
-Bindings bindings_from_observation(const env::Observation& obs) {
-  Bindings b;
-  b.emplace("throughput_mbps", Value(obs.throughput_mbps));
-  b.emplace("download_time_s", Value(obs.download_time_s));
-  b.emplace("buffer_size_s_history", Value(obs.buffer_s_history));
-  b.emplace("next_chunk_sizes_bytes", Value(obs.next_chunk_bytes));
-  b.emplace("bitrate_levels_kbps", Value(obs.ladder_kbps));
-  b.emplace("buffer_size_s", Value(obs.buffer_s));
-  b.emplace("chunks_remaining", Value(obs.chunks_remaining));
-  b.emplace("total_chunks", Value(obs.total_chunks));
-  b.emplace("last_bitrate_kbps", Value(obs.last_bitrate_kbps));
-  b.emplace("chunk_length_s", Value(obs.chunk_len_s));
-  b.emplace("max_bitrate_kbps",
-            Value(obs.ladder_kbps.empty() ? 0.0 : obs.ladder_kbps.back()));
-  return b;
-}
-
-const std::vector<InputVariable>& input_variables() {
-  static const std::vector<InputVariable> kVars = {
-      {"throughput_mbps", true},
-      {"download_time_s", true},
-      {"buffer_size_s_history", true},
-      {"next_chunk_sizes_bytes", true},
-      {"bitrate_levels_kbps", true},
-      {"buffer_size_s", false},
-      {"chunks_remaining", false},
-      {"total_chunks", false},
-      {"last_bitrate_kbps", false},
-      {"chunk_length_s", false},
-      {"max_bitrate_kbps", false},
-  };
-  return kVars;
-}
-
 StateProgram StateProgram::compile(std::string source) {
   Program program = parse(source);
   return StateProgram(std::move(source), std::move(program));
 }
 
-StateMatrix StateProgram::run(const env::Observation& obs) const {
-  return run_program(program_, bindings_from_observation(obs));
+StateMatrix StateProgram::run(const Bindings& inputs) const {
+  return run_program(program_, inputs);
 }
 
 const std::string& pensieve_state_source() {
@@ -59,55 +25,6 @@ emit "next_sizes_mb" = next_chunk_sizes_bytes / 1000000.0;
 emit "chunks_left" = chunks_remaining / total_chunks;
 )";
   return kSource;
-}
-
-env::Observation canned_observation() {
-  env::Observation obs;
-  obs.throughput_mbps = {2.1, 1.8, 2.4, 2.2, 1.9, 2.6, 2.3, 2.0};
-  obs.download_time_s = {1.5, 1.9, 1.3, 1.4, 1.8, 1.2, 1.5, 1.6};
-  obs.buffer_s_history = {8.0, 9.5, 11.0, 12.2, 13.0, 13.5, 14.1, 14.8};
-  obs.next_chunk_bytes = {150000, 375000, 600000, 925000, 1425000, 2150000};
-  obs.ladder_kbps = {300, 750, 1200, 1850, 2850, 4300};
-  obs.buffer_s = 14.8;
-  obs.chunks_remaining = 30.0;
-  obs.total_chunks = 48.0;
-  obs.last_bitrate_kbps = 1200.0;
-  obs.chunk_len_s = 4.0;
-  return obs;
-}
-
-env::Observation fuzz_observation(util::Rng& rng) {
-  env::Observation obs;
-  // Wide but physical ranges: the point of the fuzz check is to surface
-  // features that blow past the threshold once realistic magnitudes (bytes,
-  // kbps) flow through un-normalized code paths.
-  const bool high_bandwidth = rng.bernoulli(0.5);
-  const double bw_cap_mbps = high_bandwidth ? 400.0 : 10.0;
-  obs.throughput_mbps.resize(env::kHistoryLen);
-  obs.download_time_s.resize(env::kHistoryLen);
-  obs.buffer_s_history.resize(env::kHistoryLen);
-  for (std::size_t i = 0; i < env::kHistoryLen; ++i) {
-    obs.throughput_mbps[i] = rng.uniform(0.05, bw_cap_mbps);
-    obs.download_time_s[i] = rng.uniform(0.05, 40.0);
-    obs.buffer_s_history[i] = rng.uniform(0.0, 60.0);
-  }
-  if (high_bandwidth) {
-    obs.ladder_kbps = {1850, 2850, 4300, 12000, 24000, 53000};
-  } else {
-    obs.ladder_kbps = {300, 750, 1200, 1850, 2850, 4300};
-  }
-  obs.next_chunk_bytes.resize(obs.ladder_kbps.size());
-  for (std::size_t i = 0; i < obs.ladder_kbps.size(); ++i) {
-    obs.next_chunk_bytes[i] =
-        obs.ladder_kbps[i] * 1000.0 / 8.0 * 4.0 * rng.uniform(0.7, 1.3);
-  }
-  obs.buffer_s = rng.uniform(0.0, 60.0);
-  obs.total_chunks = 48.0;
-  obs.chunks_remaining = rng.uniform(0.0, obs.total_chunks);
-  obs.last_bitrate_kbps =
-      obs.ladder_kbps[static_cast<std::size_t>(rng.uniform_int(0, 5))];
-  obs.chunk_len_s = 4.0;
-  return obs;
 }
 
 }  // namespace nada::dsl

@@ -1,41 +1,33 @@
 // StateProgram: a compiled NadaScript state function.
 //
 // This is the unit NADA searches over for the "state representation"
-// component. A program maps the raw observation (throughput history, buffer
-// level, next chunk sizes, ...) to the state matrix the actor-critic
-// network consumes. The original Pensieve state is provided in this
-// language (pensieve_state_source) and serves as the seed design.
+// component. A program maps a raw observation — expressed as named input
+// bindings, per the domain's BindingCatalog — to the state matrix the
+// actor-critic network consumes. The language itself is domain-agnostic:
+// the same DSL expresses ABR state functions over throughput/buffer
+// histories and CC state functions over rate/RTT/loss histories; only the
+// binding vocabulary changes (src/env and src/cc own those vocabularies).
+//
+// The original Pensieve state is provided in this language
+// (pensieve_state_source) and serves as the ABR seed design.
 #pragma once
 
 #include <string>
-#include <vector>
 
 #include "dsl/ast.h"
 #include "dsl/interpreter.h"
-#include "env/abr_env.h"
 
 namespace nada::dsl {
-
-/// Converts an observation into the interpreter's input bindings. The
-/// variable names are the "semantically meaningful names" the paper's
-/// prompting strategy introduces (§2.1).
-[[nodiscard]] Bindings bindings_from_observation(const env::Observation& obs);
-
-/// Names of all observation variables exposed to programs, with a flag for
-/// whether each is a vector. The candidate generator samples from this set.
-struct InputVariable {
-  std::string name;
-  bool is_vector = false;
-};
-[[nodiscard]] const std::vector<InputVariable>& input_variables();
 
 class StateProgram {
  public:
   /// Parses `source`; throws CompileError on syntax errors.
   [[nodiscard]] static StateProgram compile(std::string source);
 
-  /// Runs against an observation; throws RuntimeError on evaluation errors.
-  [[nodiscard]] StateMatrix run(const env::Observation& obs) const;
+  /// Runs against a set of observation bindings (see BindingCatalog);
+  /// throws RuntimeError on evaluation errors, including references to
+  /// variables outside the bound vocabulary.
+  [[nodiscard]] StateMatrix run(const Bindings& inputs) const;
 
   [[nodiscard]] const std::string& source() const { return source_; }
   [[nodiscard]] const Program& program() const { return program_; }
@@ -53,14 +45,5 @@ class StateProgram {
 /// throughput history, download-time history, next chunk sizes, chunks
 /// remaining) with Pensieve's normalization constants.
 [[nodiscard]] const std::string& pensieve_state_source();
-
-/// A synthetic observation with plausible mid-stream values; used as the
-/// canned input for trial runs (the compilation check).
-[[nodiscard]] env::Observation canned_observation();
-
-/// A randomized observation for the normalization fuzz check. Values are
-/// drawn from wide but physically meaningful ranges (throughput up to
-/// hundreds of Mbps, chunk sizes up to tens of MB).
-[[nodiscard]] env::Observation fuzz_observation(util::Rng& rng);
 
 }  // namespace nada::dsl

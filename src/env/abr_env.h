@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "env/domain.h"
 #include "env/session.h"
 #include "trace/trace.h"
 #include "util/rng.h"
@@ -53,10 +54,8 @@ struct StepResult {
   bool done = false;
 };
 
-enum class Fidelity {
-  kSimulation,  ///< chunk-level simulator (paper Tables 3/5, Figures 3/4)
-  kEmulation,   ///< slow-start + HTTP overhead model (paper Table 4)
-};
+// Fidelity (kSimulation: paper Tables 3/5, Figures 3/4; kEmulation: paper
+// Table 4) lives in env/domain.h so every domain shares the enum.
 
 /// One episode = one video streamed over one trace. The session starts at a
 /// random offset into the trace, as in Pensieve's training setup.

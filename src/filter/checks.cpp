@@ -7,12 +7,13 @@
 namespace nada::filter {
 
 CheckResult compilation_check(const std::string& source,
+                              const dsl::BindingCatalog& catalog,
                               std::optional<dsl::StateProgram>* out) {
   try {
     dsl::StateProgram program = dsl::StateProgram::compile(source);
 
     // Trial run (the paper's execution check).
-    const dsl::StateMatrix matrix = program.run(dsl::canned_observation());
+    const dsl::StateMatrix matrix = program.run(catalog.canned());
     if (!matrix.all_finite()) {
       return CheckResult::fail("trial run produced non-finite values");
     }
@@ -22,7 +23,7 @@ CheckResult compilation_check(const std::string& source,
     // between observations cannot be trained. Compare against a second,
     // different observation.
     util::Rng rng(0x70b1a5ULL);
-    const dsl::StateMatrix second = program.run(dsl::fuzz_observation(rng));
+    const dsl::StateMatrix second = program.run(catalog.fuzz(rng));
     if (matrix.row_lengths() != second.row_lengths()) {
       return CheckResult::fail("state shape varies across observations");
     }
@@ -35,6 +36,7 @@ CheckResult compilation_check(const std::string& source,
 }
 
 CheckResult normalization_check(const dsl::StateProgram& program,
+                                const dsl::BindingCatalog& catalog,
                                 double threshold, std::size_t runs,
                                 std::uint64_t seed) {
   if (threshold <= 0.0) {
@@ -43,7 +45,7 @@ CheckResult normalization_check(const dsl::StateProgram& program,
   util::Rng rng(seed);
   try {
     for (std::size_t i = 0; i < runs; ++i) {
-      const dsl::StateMatrix matrix = program.run(dsl::fuzz_observation(rng));
+      const dsl::StateMatrix matrix = program.run(catalog.fuzz(rng));
       if (!matrix.all_finite()) {
         return CheckResult::fail("non-finite feature under fuzzing");
       }

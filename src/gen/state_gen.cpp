@@ -8,146 +8,274 @@
 namespace nada::gen {
 namespace {
 
-// Variant tables. Every entry here is a complete, well-normalized
-// expression: under the fuzz observation ranges (throughput up to 400 Mbps,
-// chunk sizes up to ~35 MB, buffers up to 60 s) all values stay well below
-// the normalization threshold T=100.
+// ---- ABR design space -------------------------------------------------------
+// Every entry here is a complete, well-normalized expression: under the ABR
+// fuzz observation ranges (throughput up to 400 Mbps, chunk sizes up to
+// ~35 MB, buffers up to 60 s) all values stay well below the normalization
+// threshold T=100. The tables, order, and probabilities are the historical
+// ABR generator's: candidate streams for a given seed are bit-identical to
+// the pre-StateSpace implementation (the store's journaled fingerprints
+// depend on it).
 
-struct Variant {
-  const char* expr;
-  const char* tag;
-};
-
-// -- core rows (Pensieve's six), index 0 is the original design
-constexpr Variant kLastQuality[] = {
-    {"last_bitrate_kbps / max_bitrate_kbps", "orig"},
-    {"2.0 * (last_bitrate_kbps / max_bitrate_kbps) - 1.0", "range_pm1"},
-    {"log1p(last_bitrate_kbps) / log1p(max_bitrate_kbps)", "log_quality"},
-};
-
-constexpr Variant kBuffer[] = {
-    {"buffer_size_s / 10.0", "orig"},
-    {"buffer_size_s / 60.0", "norm60"},
-    {"buffer_size_s / 30.0 - 1.0", "range_pm1"},
-    {"clip(buffer_size_s / 10.0, 0.0, 4.0)", "clipped"},
-};
-
-constexpr Variant kThroughput[] = {
-    {"throughput_mbps / 8.0", "orig"},
-    {"throughput_mbps / (max_bitrate_kbps / 1000.0)", "ladder_rel"},
-    {"throughput_mbps / 4.0 - 1.0", "range_pm1"},
-    {"smooth(throughput_mbps, 3) / 8.0", "smoothed"},
-    {"smooth(throughput_mbps, 3) / (max_bitrate_kbps / 1000.0)",
-     "smoothed_ladder_rel"},
-    {"log1p(throughput_mbps) / 4.0", "log"},
-    {"ema(throughput_mbps, 0.5) / 8.0", "ema"},
-};
-
-constexpr Variant kDownloadTime[] = {
-    {"download_time_s / 10.0", "orig"},
-    {"download_time_s / (chunk_length_s * 10.0)", "chunk_rel"},
-    {"smooth(download_time_s, 3) / 10.0", "smoothed"},
-    {"clip(download_time_s / 10.0, 0.0, 4.0)", "clipped"},
-};
-
-constexpr Variant kNextSizes[] = {
-    {"next_chunk_sizes_bytes / 1000000.0", "orig"},
-    {"next_chunk_sizes_bytes * 8.0 / (max_bitrate_kbps * 1000.0 * "
-     "chunk_length_s)",
-     "ladder_rel"},
-    {"log1p(next_chunk_sizes_bytes) / 20.0", "log"},
-};
-
-constexpr Variant kChunksLeft[] = {
-    {"chunks_remaining / total_chunks", "orig"},
-    {"2.0 * (chunks_remaining / total_chunks) - 1.0", "range_pm1"},
-};
-
-// -- additional engineered features (§4's discoveries)
-constexpr Variant kAdvanced[] = {
-    {"ema_last(throughput_mbps, 0.4) / 8.0", "tput_ema_last"},
-    {"std(throughput_mbps / 8.0)", "tput_std"},
-    {"trend(throughput_mbps) / 8.0", "tput_trend"},
-    {"linreg_predict(throughput_mbps) / 8.0", "tput_pred"},
-    {"linreg_predict(throughput_mbps) / (max_bitrate_kbps / 1000.0)",
-     "tput_pred_ladder"},
-    {"linreg_predict(download_time_s) / 10.0", "dl_pred"},
-    {"trend(download_time_s) / 10.0", "dl_trend"},
-    {"buffer_size_s_history / 60.0", "buf_history"},
-    {"trend(buffer_size_s_history) / chunk_length_s", "buf_trend"},
-    {"diff(buffer_size_s_history) / 10.0", "buf_diff"},
-    {"savgol(buffer_size_s_history) / 60.0", "buf_savgol"},
-    {"std(buffer_size_s_history / 10.0)", "buf_std"},
-    {"(buffer_size_s_history[-1] - buffer_size_s_history[-2]) / "
-     "chunk_length_s",
-     "buf_last_diff"},
-    {"where(buffer_size_s > 15.0, 1.0, 0.0)", "buf_headroom_flag"},
-    {"min(throughput_mbps / 8.0, vec(8, 1.0))", "tput_capped"},
-};
-
-// -- raw-unit variants (planted normalization failures): magnitudes exceed
-// T=100 under the fuzz ranges with near-certainty.
-constexpr Variant kUnnormalized[] = {
-    {"throughput_mbps * 1000.0", "raw_tput_kbps"},
-    {"next_chunk_sizes_bytes", "raw_sizes_bytes"},
-    {"download_time_s * 1000.0", "raw_dl_ms"},
-    {"last_bitrate_kbps", "raw_last_kbps"},
-    {"next_chunk_sizes_bytes / 1000.0", "sizes_kb"},
-};
-
-// -- semantic bugs (planted compile/trial-run failures): each reliably
-// throws during a trial run — undefined names, bad arity, bad indices,
-// type errors. These mimic the Python exceptions the paper's compilation
-// check catches.
-constexpr Variant kRuntimeBugs[] = {
-    {"throghput_mbps / 8.0", "typo_variable"},
-    {"moving_average(throughput_mbps, 3)", "unknown_function"},
-    {"ema(throughput_mbps)", "bad_arity"},
-    {"throughput_mbps[12]", "index_out_of_range"},
-    {"diff(buffer_size_s)", "diff_of_scalar"},
-    {"slice(throughput_mbps, 5, 3)", "bad_slice"},
-    {"sqrt(trend(throughput_mbps) - 100.0)", "sqrt_negative"},
-    {"normalize_minmax(vec(8, 1.0))", "constant_minmax"},
-    {"throughput_mbps / (buffer_size_s - buffer_size_s)", "div_by_zero"},
-    {"log(trend(download_time_s) - 50.0)", "log_negative"},
-};
-
-const char* kIdeas[] = {
-    "re-balance normalization ranges so features share scale",
-    "expose short-term throughput dynamics to the policy",
-    "let the policy see how the playback buffer has been evolving",
-    "predict upcoming network conditions instead of only reacting",
-    "simplify the state to reduce overfitting on small trace sets",
-    "make normalization ladder-aware so high-bitrate regimes stay bounded",
-    "smooth noisy measurements before they reach the network",
-};
-
-template <std::size_t N>
-const Variant& pick(util::Rng& rng, const Variant (&table)[N]) {
-  return table[static_cast<std::size_t>(
-      rng.uniform_int(0, static_cast<std::int64_t>(N) - 1))];
+const StateSpace& build_abr_space() {
+  static const StateSpace kSpace = [] {
+    StateSpace s;
+    s.domain = "abr";
+    // -- core rows (Pensieve's six), variant 0 is the original design
+    s.core = {
+        {"last_quality",
+         0.5,
+         {{"last_bitrate_kbps / max_bitrate_kbps", "orig"},
+          {"2.0 * (last_bitrate_kbps / max_bitrate_kbps) - 1.0", "range_pm1"},
+          {"log1p(last_bitrate_kbps) / log1p(max_bitrate_kbps)",
+           "log_quality"}}},
+        {"buffer_s",
+         0.5,
+         {{"buffer_size_s / 10.0", "orig"},
+          {"buffer_size_s / 60.0", "norm60"},
+          {"buffer_size_s / 30.0 - 1.0", "range_pm1"},
+          {"clip(buffer_size_s / 10.0, 0.0, 4.0)", "clipped"}}},
+        {"throughput",
+         1.0,
+         {{"throughput_mbps / 8.0", "orig"},
+          {"throughput_mbps / (max_bitrate_kbps / 1000.0)", "ladder_rel"},
+          {"throughput_mbps / 4.0 - 1.0", "range_pm1"},
+          {"smooth(throughput_mbps, 3) / 8.0", "smoothed"},
+          {"smooth(throughput_mbps, 3) / (max_bitrate_kbps / 1000.0)",
+           "smoothed_ladder_rel"},
+          {"log1p(throughput_mbps) / 4.0", "log"},
+          {"ema(throughput_mbps, 0.5) / 8.0", "ema"}}},
+        {"download_time",
+         0.6,
+         {{"download_time_s / 10.0", "orig"},
+          {"download_time_s / (chunk_length_s * 10.0)", "chunk_rel"},
+          {"smooth(download_time_s, 3) / 10.0", "smoothed"},
+          {"clip(download_time_s / 10.0, 0.0, 4.0)", "clipped"}}},
+        {"next_sizes",
+         0.8,
+         {{"next_chunk_sizes_bytes / 1000000.0", "orig"},
+          {"next_chunk_sizes_bytes * 8.0 / (max_bitrate_kbps * 1000.0 * "
+           "chunk_length_s)",
+           "ladder_rel"},
+          {"log1p(next_chunk_sizes_bytes) / 20.0", "log"}}},
+        {"chunks_left",
+         0.3,
+         {{"chunks_remaining / total_chunks", "orig"},
+          {"2.0 * (chunks_remaining / total_chunks) - 1.0", "range_pm1"}}},
+    };
+    // Feature removal (the paper's Starlink insight: drop download times
+    // and next-chunk sizes to fight overfitting on small datasets).
+    s.removable = {"download_time", "next_sizes", "chunks_left"};
+    // -- additional engineered features (§4's discoveries)
+    s.advanced = {
+        {"ema_last(throughput_mbps, 0.4) / 8.0", "tput_ema_last"},
+        {"std(throughput_mbps / 8.0)", "tput_std"},
+        {"trend(throughput_mbps) / 8.0", "tput_trend"},
+        {"linreg_predict(throughput_mbps) / 8.0", "tput_pred"},
+        {"linreg_predict(throughput_mbps) / (max_bitrate_kbps / 1000.0)",
+         "tput_pred_ladder"},
+        {"linreg_predict(download_time_s) / 10.0", "dl_pred"},
+        {"trend(download_time_s) / 10.0", "dl_trend"},
+        {"buffer_size_s_history / 60.0", "buf_history"},
+        {"trend(buffer_size_s_history) / chunk_length_s", "buf_trend"},
+        {"diff(buffer_size_s_history) / 10.0", "buf_diff"},
+        {"savgol(buffer_size_s_history) / 60.0", "buf_savgol"},
+        {"std(buffer_size_s_history / 10.0)", "buf_std"},
+        {"(buffer_size_s_history[-1] - buffer_size_s_history[-2]) / "
+         "chunk_length_s",
+         "buf_last_diff"},
+        {"where(buffer_size_s > 15.0, 1.0, 0.0)", "buf_headroom_flag"},
+        {"min(throughput_mbps / 8.0, vec(8, 1.0))", "tput_capped"},
+    };
+    // -- raw-unit variants (planted normalization failures)
+    s.unnormalized = {
+        {"throughput_mbps * 1000.0", "raw_tput_kbps"},
+        {"next_chunk_sizes_bytes", "raw_sizes_bytes"},
+        {"download_time_s * 1000.0", "raw_dl_ms"},
+        {"last_bitrate_kbps", "raw_last_kbps"},
+        {"next_chunk_sizes_bytes / 1000.0", "sizes_kb"},
+    };
+    // -- semantic bugs (planted compile/trial-run failures): each reliably
+    // throws during a trial run — undefined names, bad arity, bad indices,
+    // type errors. These mimic the Python exceptions the paper's
+    // compilation check catches.
+    s.runtime_bugs = {
+        {"throghput_mbps / 8.0", "typo_variable"},
+        {"moving_average(throughput_mbps, 3)", "unknown_function"},
+        {"ema(throughput_mbps)", "bad_arity"},
+        {"throughput_mbps[12]", "index_out_of_range"},
+        {"diff(buffer_size_s)", "diff_of_scalar"},
+        {"slice(throughput_mbps, 5, 3)", "bad_slice"},
+        {"sqrt(trend(throughput_mbps) - 100.0)", "sqrt_negative"},
+        {"normalize_minmax(vec(8, 1.0))", "constant_minmax"},
+        {"throughput_mbps / (buffer_size_s - buffer_size_s)", "div_by_zero"},
+        {"log(trend(download_time_s) - 50.0)", "log_negative"},
+    };
+    s.ideas = {
+        "re-balance normalization ranges so features share scale",
+        "expose short-term throughput dynamics to the policy",
+        "let the policy see how the playback buffer has been evolving",
+        "predict upcoming network conditions instead of only reacting",
+        "simplify the state to reduce overfitting on small trace sets",
+        "make normalization ladder-aware so high-bitrate regimes stay "
+        "bounded",
+        "smooth noisy measurements before they reach the network",
+    };
+    s.keyword_typos = {
+        {"emit \"throughput\"", "emti \"throughput\""},
+        {"emit \"buffer_s\"", "emitt \"buffer_s\""},
+    };
+    s.truncation_tail =
+        "emit \"extra_feature\" = clip(throughput_mbps / (\n";
+    return s;
+  }();
+  return kSpace;
 }
 
-template <std::size_t N>
-const Variant& pick_mutated(util::Rng& rng, const Variant (&table)[N],
-                            double mutate_prob) {
-  if (N > 1 && rng.bernoulli(mutate_prob)) {
+// ---- CC design space --------------------------------------------------------
+// The same structure over the congestion-control vocabulary
+// (cc::cc_input_variables). Normalization calibration assumes the CC fuzz
+// ranges (rates up to 500 Mbps, base RTT 5-200 ms plus up to ~400 ms of
+// queueing, loss in [0, 1]); every clean expression stays below T=100.
+
+const StateSpace& build_cc_space() {
+  static const StateSpace kSpace = [] {
+    StateSpace s;
+    s.domain = "cc";
+    s.core = {
+        {"rate",
+         0.5,
+         {{"log1p(current_rate_mbps) / 6.0", "orig"},
+          {"current_rate_mbps / 100.0", "linear100"},
+          {"log1p(current_rate_mbps) / log1p(500.0)", "log_cap_rel"}}},
+        {"ack_rate",
+         1.0,
+         {{"log1p(ack_rate_mbps) / 6.0", "orig"},
+          {"ack_rate_mbps / 100.0", "linear100"},
+          {"smooth(ack_rate_mbps, 3) / 100.0", "smoothed"},
+          {"ema(ack_rate_mbps, 0.5) / 100.0", "ema"},
+          {"log1p(ack_rate_mbps) / log1p(500.0)", "log_cap_rel"}}},
+        {"utilization",
+         0.6,
+         {{"min(ack_rate_mbps / max(send_rate_mbps, vec(8, 0.001)), "
+           "vec(8, 2.0))",
+           "orig"},
+          {"clip(ack_rate_mbps / max(send_rate_mbps, vec(8, 0.1)), 0.0, "
+           "2.0)",
+           "clipped"}}},
+        {"rtt_inflation",
+         1.0,
+         {{"rtt_ms / min_rtt_ms / 10.0", "orig"},
+          {"(rtt_ms - min_rtt_ms) / 100.0", "queue_delay_100ms"},
+          {"log1p(rtt_ms) / 8.0", "log"},
+          {"clip(rtt_ms / min_rtt_ms / 10.0, 0.0, 10.0)", "clipped"}}},
+        {"loss",
+         0.4,
+         {{"loss_fraction", "orig"},
+          {"smooth(loss_fraction, 3)", "smoothed"},
+          {"ema(loss_fraction, 0.5)", "ema"}}},
+        {"rtt_trend",
+         0.8,
+         {{"trend(rtt_ms) / min_rtt_ms", "orig"},
+          {"trend(rtt_ms) / 100.0", "trend_100ms"},
+          {"diff(rtt_ms) / 100.0", "diff_100ms"}}},
+    };
+    s.removable = {"rtt_trend", "utilization", "rtt_inflation"};
+    s.advanced = {
+        {"trend(ack_rate_mbps) / 100.0", "ack_trend"},
+        {"linreg_predict(ack_rate_mbps) / 100.0", "ack_pred"},
+        {"std(ack_rate_mbps / 100.0)", "ack_std"},
+        {"savgol(ack_rate_mbps) / 100.0", "ack_savgol"},
+        {"ema(send_rate_mbps, 0.4) / 100.0", "send_ema"},
+        {"(rtt_ms - min_rtt_ms) / 200.0", "queue_delay"},
+        {"std(rtt_ms / 100.0)", "rtt_std"},
+        {"trend(loss_fraction)", "loss_trend"},
+        {"min_rtt_ms / 200.0", "min_rtt_norm"},
+        {"where(current_rate_mbps > ack_rate_mbps[-1], 1.0, 0.0)",
+         "probing_flag"},
+        {"diff(ack_rate_mbps) / 100.0", "ack_diff"},
+        {"(send_rate_mbps[-1] - ack_rate_mbps[-1]) / 100.0",
+         "rate_mismatch"},
+    };
+    s.unnormalized = {
+        {"send_rate_mbps * 1000.0", "raw_send_kbps"},
+        {"ack_rate_mbps * 1000.0", "raw_ack_kbps"},
+        {"rtt_ms * 100.0", "raw_rtt_x100"},
+        {"rtt_ms", "raw_rtt_ms"},
+    };
+    s.runtime_bugs = {
+        {"ack_rate_mbp / 100.0", "typo_variable"},
+        {"moving_average(ack_rate_mbps, 3)", "unknown_function"},
+        {"ema(rtt_ms)", "bad_arity"},
+        {"rtt_ms[12]", "index_out_of_range"},
+        {"diff(current_rate_mbps)", "diff_of_scalar"},
+        {"slice(ack_rate_mbps, 5, 3)", "bad_slice"},
+        {"sqrt(0.0 - current_rate_mbps)", "sqrt_negative"},
+        {"normalize_minmax(vec(8, 1.0))", "constant_minmax"},
+        {"loss_fraction / (min_rtt_ms - min_rtt_ms)", "div_by_zero"},
+        {"log(0.0 - current_rate_mbps)", "log_negative"},
+    };
+    s.ideas = {
+        "keep the queue shallow while tracking the bottleneck rate",
+        "expose delivery-rate dynamics so the policy can probe safely",
+        "let the policy see RTT inflation building before loss appears",
+        "predict achievable throughput instead of only reacting to loss",
+        "simplify the state to the signals AIMD itself reacts to",
+        "normalize against the path's own minimum RTT",
+        "smooth noisy per-interval measurements before the network",
+    };
+    s.keyword_typos = {
+        {"emit \"ack_rate\"", "emti \"ack_rate\""},
+        {"emit \"loss\"", "emitt \"loss\""},
+    };
+    s.truncation_tail = "emit \"extra_feature\" = clip(ack_rate_mbps / (\n";
+    return s;
+  }();
+  return kSpace;
+}
+
+const StateVariant& pick(util::Rng& rng,
+                         const std::vector<StateVariant>& table) {
+  return table[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(table.size()) - 1))];
+}
+
+const StateVariant& pick_mutated(util::Rng& rng,
+                                 const std::vector<StateVariant>& table,
+                                 double mutate_prob) {
+  if (table.size() > 1 && rng.bernoulli(mutate_prob)) {
     // Pick any non-original variant.
-    return table[static_cast<std::size_t>(
-        rng.uniform_int(1, static_cast<std::int64_t>(N) - 1))];
+    return table[static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(table.size()) - 1))];
   }
   return table[0];
 }
 
 }  // namespace
 
+const StateSpace& abr_state_space() { return build_abr_space(); }
+
+const StateSpace& cc_state_space() { return build_cc_space(); }
+
+StateGenerator::StateGenerator(const StateSpace& space,
+                               const LlmProfile& profile,
+                               const PromptStrategy& strategy,
+                               std::uint64_t seed)
+    : space_(&space), profile_(profile.with_strategy(strategy)), seed_(seed),
+      rng_(seed) {
+  std::string prefix = util::to_lower(profile_.name);
+  std::erase_if(prefix, [](char c) { return c == '.' || c == ' '; });
+  // ABR keeps its historical "<profile>-state-<n>" ids (journaled records
+  // carry them); other domains name themselves.
+  id_stem_ = space_->domain == "abr"
+                 ? prefix + "-state-"
+                 : prefix + "-" + space_->domain + "-state-";
+}
+
 StateGenerator::StateGenerator(const LlmProfile& profile,
                                const PromptStrategy& strategy,
                                std::uint64_t seed)
-    : profile_(profile.with_strategy(strategy)), seed_(seed), rng_(seed) {
-  id_prefix_ = util::to_lower(profile_.name);
-  std::erase_if(id_prefix_, [](char c) { return c == '.' || c == ' '; });
-}
+    : StateGenerator(abr_state_space(), profile, strategy, seed) {}
 
 void StateGenerator::reset() {
   rng_.reseed(seed_);
@@ -158,28 +286,23 @@ std::vector<StateGenerator::RowChoice> StateGenerator::sample_clean_rows() {
   const double mutate = 0.25 + 0.5 * profile_.creativity;
   std::vector<RowChoice> rows;
 
-  auto add = [&rows](const std::string& name, const Variant& v) {
-    rows.push_back(RowChoice{name, v.expr, v.tag});
-  };
+  for (const StateRowFamily& family : space_->core) {
+    const StateVariant& v =
+        pick_mutated(rng_, family.variants, mutate * family.mutate_scale);
+    rows.push_back(RowChoice{family.row_name, v.expr, v.tag});
+  }
 
-  add("last_quality", pick_mutated(rng_, kLastQuality, mutate * 0.5));
-  add("buffer_s", pick_mutated(rng_, kBuffer, mutate * 0.5));
-  add("throughput", pick_mutated(rng_, kThroughput, mutate));
-  add("download_time", pick_mutated(rng_, kDownloadTime, mutate * 0.6));
-  add("next_sizes", pick_mutated(rng_, kNextSizes, mutate * 0.8));
-  add("chunks_left", pick_mutated(rng_, kChunksLeft, mutate * 0.3));
-
-  // Feature removal (the paper's Starlink insight: drop download times and
-  // next-chunk sizes to fight overfitting on small datasets).
+  // Feature removal (overfitting countermeasure; which rows are fair game
+  // is the domain's call).
   if (rng_.bernoulli(0.25 * profile_.creativity)) {
-    static constexpr const char* kRemovable[] = {"download_time",
-                                                 "next_sizes", "chunks_left"};
-    const std::size_t n_remove =
-        rng_.bernoulli(0.4) ? 2 : 1;
+    const std::size_t n_remove = rng_.bernoulli(0.4) ? 2 : 1;
     for (std::size_t r = 0; r < n_remove; ++r) {
-      const char* target =
-          kRemovable[rng_.uniform_int(0, 2)];
-      std::erase_if(rows, [target](const RowChoice& rc) {
+      const std::string& target = space_->removable[static_cast<std::size_t>(
+          rng_.uniform_int(0,
+                           static_cast<std::int64_t>(
+                               space_->removable.size()) -
+                               1))];
+      std::erase_if(rows, [&target](const RowChoice& rc) {
         return rc.name == target;
       });
     }
@@ -189,8 +312,8 @@ std::vector<StateGenerator::RowChoice> StateGenerator::sample_clean_rows() {
   std::size_t extras = 0;
   double p_extra = 0.3 + 0.5 * profile_.creativity;
   while (extras < 3 && rng_.bernoulli(p_extra)) {
-    const Variant& v = pick(rng_, kAdvanced);
-    const std::string name = v.tag;
+    const StateVariant& v = pick(rng_, space_->advanced);
+    const std::string& name = v.tag;
     // Avoid duplicate rows.
     const bool duplicate =
         std::any_of(rows.begin(), rows.end(), [&name](const RowChoice& rc) {
@@ -206,7 +329,7 @@ std::vector<StateGenerator::RowChoice> StateGenerator::sample_clean_rows() {
 }
 
 void StateGenerator::force_unnormalized(std::vector<RowChoice>& rows) {
-  const Variant& v = pick(rng_, kUnnormalized);
+  const StateVariant& v = pick(rng_, space_->unnormalized);
   // Replace a random row's expression with the raw-unit one.
   const auto idx = static_cast<std::size_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1));
@@ -215,7 +338,7 @@ void StateGenerator::force_unnormalized(std::vector<RowChoice>& rows) {
 }
 
 void StateGenerator::inject_runtime_error(std::vector<RowChoice>& rows) {
-  const Variant& v = pick(rng_, kRuntimeBugs);
+  const StateVariant& v = pick(rng_, space_->runtime_bugs);
   const auto idx = static_cast<std::size_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(rows.size()) - 1));
   rows[idx].expr = v.expr;
@@ -243,13 +366,12 @@ std::string StateGenerator::corrupt_syntax(std::string source) {
       break;
     }
     case 2:  // misspelled keyword
-      source = util::replace_all(std::move(source), "emit \"throughput\"",
-                                 "emti \"throughput\"");
-      source = util::replace_all(std::move(source), "emit \"buffer_s\"",
-                                 "emitt \"buffer_s\"");
+      for (const auto& [pattern, replacement] : space_->keyword_typos) {
+        source = util::replace_all(std::move(source), pattern, replacement);
+      }
       break;
     case 3:  // the model ran out of tokens mid-expression
-      source += "emit \"extra_feature\" = clip(throughput_mbps / (\n";
+      source += space_->truncation_tail;
       break;
     default:  // duplicated operator
       source = util::replace_all(std::move(source), " / ", " / / ");
@@ -268,7 +390,7 @@ StateCandidate StateGenerator::generate() {
   StateCandidate cand;
   {
     std::ostringstream id;
-    id << id_prefix_ << "-state-" << counter_++;
+    id << id_stem_ << counter_++;
     cand.id = id.str();
   }
 
@@ -289,8 +411,9 @@ StateCandidate StateGenerator::generate() {
   if (fate == InjectedFlaw::kUnnormalized) force_unnormalized(rows);
   if (fate == InjectedFlaw::kRuntime) inject_runtime_error(rows);
 
-  const char* idea =
-      kIdeas[rng_.uniform_int(0, std::size(kIdeas) - 1)];
+  const std::string& idea = space_->ideas[static_cast<std::size_t>(
+      rng_.uniform_int(0,
+                       static_cast<std::int64_t>(space_->ideas.size()) - 1))];
   std::string source = render(rows, idea);
   if (fate == InjectedFlaw::kSyntax) source = corrupt_syntax(std::move(source));
 

@@ -1,18 +1,26 @@
 // State-function candidate generator (the LLM stand-in for §2.1).
 //
 // Generates NadaScript programs by sampling a structured design space
-// around Pensieve's original state: per-row normalization variants (range
-// remaps, factor changes, ladder-relative scaling), feature removal, and
-// additional engineered features (EMA/smoothed throughput, variance,
-// trends, linear-regression prediction, Savitzky-Golay buffer smoothing,
-// buffer differences) — the exact families of changes §4 reports the LLMs
+// around a domain's original state function: per-row normalization
+// variants (range remaps, factor changes, scale-aware remixes), feature
+// removal, and additional engineered features (EMA/smoothed signals,
+// variance, trends, linear-regression prediction, Savitzky-Golay
+// smoothing) — the exact families of changes §4 reports the LLMs
 // discovering. Flaws (syntax errors, semantic/runtime errors, raw-unit
 // features) are injected at profile-calibrated rates; the downstream
 // filters must detect them the hard way.
+//
+// The design space is data: a StateSpace bundles one domain's variant
+// tables over that domain's binding vocabulary. abr_state_space() is the
+// historical ABR space (sampling streams are bit-identical to the
+// pre-StateSpace generator); cc_state_space() spans the congestion-control
+// vocabulary (src/cc), so the same generator machinery produces CC
+// candidates for the same funnel.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gen/profile.h"
@@ -20,8 +28,53 @@
 
 namespace nada::gen {
 
+/// One candidate expression for a row, tagged for test/bench attribution.
+struct StateVariant {
+  std::string expr;
+  std::string tag;
+};
+
+/// One core row of the domain's original design plus its well-normalized
+/// mutations. variants[0] is the original expression.
+struct StateRowFamily {
+  std::string row_name;
+  /// Multiplier on the profile's mutation probability for this row (rows
+  /// central to the design mutate more).
+  double mutate_scale = 1.0;
+  std::vector<StateVariant> variants;
+};
+
+/// A domain's full candidate design space.
+struct StateSpace {
+  std::string domain;  ///< binding-vocabulary token ("abr", "cc")
+  std::vector<StateRowFamily> core;
+  /// Row names eligible for feature removal.
+  std::vector<std::string> removable;
+  /// Additional engineered features (row name = tag).
+  std::vector<StateVariant> advanced;
+  /// Raw-unit variants (planted normalization failures): magnitudes exceed
+  /// T=100 under the domain's fuzz ranges with near-certainty.
+  std::vector<StateVariant> unnormalized;
+  /// Semantic bugs (planted compile/trial-run failures): each reliably
+  /// throws during a trial run.
+  std::vector<StateVariant> runtime_bugs;
+  /// Idea comments prepended to generated programs.
+  std::vector<std::string> ideas;
+  /// Keyword misspellings applied by the syntax corruptor (pattern ->
+  /// replacement over the rendered source).
+  std::vector<std::pair<std::string, std::string>> keyword_typos;
+  /// Appended when the "model ran out of tokens mid-expression".
+  std::string truncation_tail;
+};
+
+/// The ABR design space around Pensieve's original state.
+[[nodiscard]] const StateSpace& abr_state_space();
+
+/// The congestion-control design space around default_cc_state_source().
+[[nodiscard]] const StateSpace& cc_state_space();
+
 struct StateCandidate {
-  std::string id;       ///< e.g. "gpt4-state-00042"
+  std::string id;       ///< e.g. "gpt4-state-00042" / "gpt4-cc-state-7"
   std::string source;   ///< NadaScript program text
   InjectedFlaw flaw = InjectedFlaw::kNone;  ///< ground truth for tests only
   std::vector<std::string> feature_tags;    ///< which templates were used
@@ -29,6 +82,11 @@ struct StateCandidate {
 
 class StateGenerator {
  public:
+  /// Samples from `space`. The space must outlive the generator.
+  StateGenerator(const StateSpace& space, const LlmProfile& profile,
+                 const PromptStrategy& strategy, std::uint64_t seed);
+
+  /// ABR convenience: samples from abr_state_space().
   StateGenerator(const LlmProfile& profile, const PromptStrategy& strategy,
                  std::uint64_t seed);
 
@@ -47,6 +105,8 @@ class StateGenerator {
     return profile_;
   }
 
+  [[nodiscard]] const StateSpace& space() const { return *space_; }
+
  private:
   struct RowChoice {
     std::string name;
@@ -61,11 +121,12 @@ class StateGenerator {
       const std::vector<RowChoice>& rows, const std::string& idea_comment);
   [[nodiscard]] std::string corrupt_syntax(std::string source);
 
+  const StateSpace* space_;
   LlmProfile profile_;  // effective (strategy applied)
   std::uint64_t seed_ = 0;
   util::Rng rng_;
   std::uint64_t counter_ = 0;
-  std::string id_prefix_;
+  std::string id_stem_;
 };
 
 }  // namespace nada::gen

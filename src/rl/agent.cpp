@@ -2,21 +2,32 @@
 
 namespace nada::rl {
 
-nn::StateSignature derive_signature(const dsl::StateProgram& program) {
-  const dsl::StateMatrix matrix = program.run(dsl::canned_observation());
+nn::StateSignature derive_signature(const dsl::StateProgram& program,
+                                    const dsl::BindingCatalog& catalog) {
+  const dsl::StateMatrix matrix = program.run(catalog.canned());
   nn::StateSignature sig;
   sig.row_lengths = matrix.row_lengths();
   return sig;
 }
 
-AbrAgent::AbrAgent(const dsl::StateProgram& program, const nn::ArchSpec& spec,
-                   std::size_t num_actions, util::Rng& rng)
-    : program_(&program), sig_(derive_signature(program)) {
+nn::StateSignature derive_signature(const dsl::StateProgram& program) {
+  return derive_signature(program, env::abr_catalog());
+}
+
+PolicyAgent::PolicyAgent(const dsl::StateProgram& program,
+                         const nn::ArchSpec& spec, std::size_t num_actions,
+                         const dsl::BindingCatalog& catalog, util::Rng& rng)
+    : program_(&program), sig_(derive_signature(program, catalog)) {
   net_ = std::make_unique<nn::ActorCriticNet>(spec, sig_, num_actions, rng);
 }
 
-AbrAgent::Decision AbrAgent::decide(const env::Observation& obs, bool sample,
-                                    util::Rng& rng) {
+PolicyAgent::PolicyAgent(const dsl::StateProgram& program,
+                         const nn::ArchSpec& spec, std::size_t num_actions,
+                         util::Rng& rng)
+    : PolicyAgent(program, spec, num_actions, env::abr_catalog(), rng) {}
+
+PolicyAgent::Decision PolicyAgent::decide(const dsl::Bindings& obs,
+                                          bool sample, util::Rng& rng) {
   const dsl::StateMatrix matrix = program_->run(obs);
   if (!matrix.all_finite()) {
     throw dsl::RuntimeError("state program produced non-finite values");
@@ -39,8 +50,13 @@ AbrAgent::Decision AbrAgent::decide(const env::Observation& obs, bool sample,
   return d;
 }
 
-void AbrAgent::forward_backward(const env::Observation& obs,
-                                const nn::Vec& dlogits, double dvalue) {
+PolicyAgent::Decision PolicyAgent::decide(const env::Observation& obs,
+                                          bool sample, util::Rng& rng) {
+  return decide(env::bindings_from_observation(obs), sample, rng);
+}
+
+void PolicyAgent::forward_backward(const dsl::Bindings& obs,
+                                   const nn::Vec& dlogits, double dvalue) {
   const dsl::StateMatrix matrix = program_->run(obs);
   (void)net_->forward(matrix.to_network_rows());
   net_->backward(dlogits, dvalue);

@@ -1,29 +1,38 @@
-// AbrAgent: a state program plus an actor-critic network.
+// PolicyAgent: a state program plus an actor-critic network.
 //
 // A NADA candidate design is the pair (state function, architecture); the
 // agent binds the two together: it runs the state program on each raw
-// observation and feeds the resulting matrix to the network. The network's
-// input signature is derived from a trial run of the state program, so any
-// state shape the DSL can produce gets a matching network.
+// observation (expressed as DSL bindings, so any TaskDomain's observations
+// fit) and feeds the resulting matrix to the network. The network's input
+// signature is derived from a trial run of the state program on the
+// domain catalog's canned observation, so any state shape the DSL can
+// produce gets a matching network.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 
+#include "dsl/binding_catalog.h"
 #include "dsl/state_program.h"
-#include "env/abr_env.h"
+#include "env/abr_domain.h"
 #include "nn/arch.h"
 #include "util/rng.h"
 
 namespace nada::rl {
 
-class AbrAgent {
+class PolicyAgent {
  public:
-  /// Builds the network for `program`'s state shape. Throws
-  /// dsl::RuntimeError if the program fails its trial run and nn::ArchError
-  /// if the spec cannot be instantiated for the resulting signature.
-  AbrAgent(const dsl::StateProgram& program, const nn::ArchSpec& spec,
-           std::size_t num_actions, util::Rng& rng);
+  /// Builds the network for `program`'s state shape under `catalog`'s
+  /// canned observation. Throws dsl::RuntimeError if the program fails its
+  /// trial run and nn::ArchError if the spec cannot be instantiated for
+  /// the resulting signature.
+  PolicyAgent(const dsl::StateProgram& program, const nn::ArchSpec& spec,
+              std::size_t num_actions, const dsl::BindingCatalog& catalog,
+              util::Rng& rng);
+
+  /// ABR convenience: derives the signature via env::abr_catalog().
+  PolicyAgent(const dsl::StateProgram& program, const nn::ArchSpec& spec,
+              std::size_t num_actions, util::Rng& rng);
 
   struct Decision {
     std::size_t action = 0;
@@ -33,11 +42,14 @@ class AbrAgent {
 
   /// Runs the state program and the network; samples the action from the
   /// policy when `sample` is true, otherwise picks the argmax.
+  Decision decide(const dsl::Bindings& obs, bool sample, util::Rng& rng);
+
+  /// ABR convenience overload.
   Decision decide(const env::Observation& obs, bool sample, util::Rng& rng);
 
   /// Re-runs the forward pass for `obs` (so layer caches are fresh) and
   /// backpropagates the combined policy/value gradient.
-  void forward_backward(const env::Observation& obs, const nn::Vec& dlogits,
+  void forward_backward(const dsl::Bindings& obs, const nn::Vec& dlogits,
                         double dvalue);
 
   [[nodiscard]] nn::ActorCriticNet& net() { return *net_; }
@@ -50,8 +62,15 @@ class AbrAgent {
   std::unique_ptr<nn::ActorCriticNet> net_;
 };
 
+/// The historical name from when the agent was ABR-only.
+using AbrAgent = PolicyAgent;
+
 /// Derives the network input signature from a trial run of the program on
-/// the canned observation.
+/// `catalog`'s canned observation.
+[[nodiscard]] nn::StateSignature derive_signature(
+    const dsl::StateProgram& program, const dsl::BindingCatalog& catalog);
+
+/// ABR convenience: derive against env::abr_catalog().
 [[nodiscard]] nn::StateSignature derive_signature(
     const dsl::StateProgram& program);
 

@@ -11,16 +11,16 @@ namespace nada::rl {
 
 /// Everything one candidate carries through the lockstep loop. The RNG is
 /// the candidate's private stream: it must see exactly the draws a serial
-/// Trainer's would (trace choice, episode offset, action sampling, and —
+/// Trainer's would (episode choice, episode offset, action sampling, and —
 /// under emulation fidelity — the session's jitter), in the same order.
 struct BatchProbeTrainer::Candidate {
   const ProbeJob* job = nullptr;
   TrainResult* result = nullptr;
   util::Rng rng;
-  std::unique_ptr<AbrAgent> agent;
+  std::unique_ptr<PolicyAgent> agent;
   std::unique_ptr<nn::Adam> optimizer;
-  std::unique_ptr<env::AbrEnv> env;
-  env::Observation obs;
+  std::unique_ptr<env::Episode> episode;
+  dsl::Bindings obs;
   bool failed = false;
   bool episode_done = false;
   // Current episode's trajectory. The rollout's forward_capture fills the
@@ -44,14 +44,10 @@ struct BatchProbeTrainer::Candidate {
   }
 };
 
-BatchProbeTrainer::BatchProbeTrainer(const trace::Dataset& dataset,
-                                     const video::Video& video,
-                                     BatchProbeConfig config)
-    : dataset_(&dataset), video_(&video), config_(std::move(config)) {
-  if (dataset_->train.empty() || dataset_->test.empty()) {
-    throw std::invalid_argument(
-        "BatchProbeTrainer: dataset has an empty split");
-  }
+BatchProbeTrainer::BatchProbeTrainer(
+    std::shared_ptr<const env::TaskDomain> domain, BatchProbeConfig config)
+    : owned_domain_(std::move(domain)), domain_(owned_domain_.get()),
+      config_(std::move(config)) {
   if (config_.train.epochs == 0) {
     throw std::invalid_argument("BatchProbeTrainer: zero epochs");
   }
@@ -59,9 +55,21 @@ BatchProbeTrainer::BatchProbeTrainer(const trace::Dataset& dataset,
     throw std::invalid_argument("BatchProbeTrainer: zero test interval");
   }
   if (config_.block_size == 0) config_.block_size = 1;
-  eval_indices_ =
-      eval_trace_indices(dataset_->test.size(), config_.train.max_eval_traces);
+  eval_indices_ = eval_trace_indices(domain_->num_eval_units(),
+                                     config_.train.max_eval_traces);
 }
+
+BatchProbeTrainer::BatchProbeTrainer(const env::TaskDomain& domain,
+                                     BatchProbeConfig config)
+    : BatchProbeTrainer(std::shared_ptr<const env::TaskDomain>(
+                            std::shared_ptr<void>{}, &domain),
+                        std::move(config)) {}
+
+BatchProbeTrainer::BatchProbeTrainer(const trace::Dataset& dataset,
+                                     const video::Video& video,
+                                     BatchProbeConfig config)
+    : BatchProbeTrainer(std::make_shared<env::AbrDomain>(dataset, video),
+                        std::move(config)) {}
 
 std::vector<TrainResult> BatchProbeTrainer::train(
     std::span<const ProbeJob> jobs, util::ThreadPool* pool) const {
@@ -89,9 +97,9 @@ std::vector<TrainResult> BatchProbeTrainer::train(
 }
 
 void BatchProbeTrainer::step_candidate(Candidate& c) const {
-  // Mirrors AbrAgent::decide(obs, sample=true, rng) followed by env.step(),
-  // but keeps the state rows for the fused update instead of discarding
-  // them.
+  // Mirrors PolicyAgent::decide(obs, sample=true, rng) followed by
+  // episode->step(), but keeps the state rows for the fused update instead
+  // of discarding them.
   const dsl::StateMatrix matrix = c.agent->program().run(c.obs);
   if (!matrix.all_finite()) {
     throw dsl::RuntimeError("state program produced non-finite values");
@@ -102,7 +110,7 @@ void BatchProbeTrainer::step_candidate(Candidate& c) const {
   // the epoch update can go straight to backward_batch.
   auto out = c.agent->net().forward_capture(rows, c.actions.size());
   const std::size_t action = c.rng.weighted_index(out.probs);
-  env::StepResult sr = c.env->step(action);
+  env::DomainStep sr = c.episode->step(action);
   c.step_probs.push_back(std::move(out.probs));
   c.step_values.push_back(out.value);
   c.actions.push_back(action);
@@ -116,16 +124,16 @@ void BatchProbeTrainer::update_candidate(Candidate& c,
   const std::size_t steps = c.actions.size();
   const auto& train = config_.train;
 
-  const double reward_scale = resolve_reward_scale(train, *video_);
+  const double reward_scale = resolve_reward_scale(train, *domain_);
   const std::vector<double> returns =
       discounted_returns(c.rewards, reward_scale, train.gamma);
 
   // The rollout's capture pass already computed every activation this
   // update needs (the weights do not move within an epoch): probs and
   // values were recorded per step, and the layers' batch caches hold the
-  // rows backward_batch reads. Episodes always span the full video, so
-  // the capture must have filled every row.
-  if (steps != static_cast<std::size_t>(video_->num_chunks())) {
+  // rows backward_batch reads. Episodes always span the domain's full
+  // fixed length, so the capture must have filled every row.
+  if (steps != domain_->episode_length()) {
     throw std::logic_error("BatchProbeTrainer: episode/capture length skew");
   }
   std::vector<double> advantages(steps);
@@ -166,8 +174,8 @@ void BatchProbeTrainer::finalize_candidate(Candidate& c) const {
   if (train.evaluate_checkpoints && result.test_scores.empty()) {
     // Budget smaller than the checkpoint interval: evaluate once at end.
     const double score =
-        evaluate_agent(*c.agent, dataset_->test, eval_indices_, *video_,
-                       train.fidelity, c.job->seed ^ 0x5eedf00d);
+        evaluate_agent(*c.agent, *domain_, eval_indices_, train.fidelity,
+                       c.job->seed ^ 0x5eedf00d);
     result.test_epochs.push_back(static_cast<double>(train.epochs));
     result.test_scores.push_back(score);
   }
@@ -176,8 +184,8 @@ void BatchProbeTrainer::finalize_candidate(Candidate& c) const {
                            : util::tail_mean(result.train_rewards, 10);
   if (train.emulation_final_eval) {
     result.emulation_score =
-        evaluate_agent(*c.agent, dataset_->test, *video_,
-                       env::Fidelity::kEmulation, c.job->seed ^ 0xe111u);
+        evaluate_agent(*c.agent, *domain_, env::Fidelity::kEmulation,
+                       c.job->seed ^ 0xe111u);
   }
 }
 
@@ -195,9 +203,9 @@ void BatchProbeTrainer::train_block(std::span<const ProbeJob> jobs,
   for (Candidate& c : block) {
     try {
       util::Rng init_rng(c.job->seed ^ 0xabcdef1234567890ULL);
-      c.agent = std::make_unique<AbrAgent>(*c.job->program, *c.job->spec,
-                                           video_->ladder().levels(),
-                                           init_rng);
+      c.agent = std::make_unique<PolicyAgent>(*c.job->program, *c.job->spec,
+                                              domain_->num_actions(),
+                                              domain_->catalog(), init_rng);
       c.agent->net().sync_inference_cache();
       c.optimizer = std::make_unique<nn::Adam>(train.learning_rate);
     } catch (const std::exception& e) {
@@ -218,16 +226,15 @@ void BatchProbeTrainer::train_block(std::span<const ProbeJob> jobs,
         train.entropy_start +
         (train.entropy_end - train.entropy_start) * progress;
 
-    // Episode starts: per-candidate trace choice and offset, drawn from the
-    // candidate's own stream in the serial order (choice, then reset).
+    // Episode starts: per-candidate environment choice and offset, drawn
+    // from the candidate's own stream in the serial order (choice, then
+    // reset).
     for (Candidate& c : block) {
       if (c.failed) continue;
       try {
-        const trace::Trace& tr = c.rng.choice(dataset_->train);
-        c.env = std::make_unique<env::AbrEnv>(tr, *video_, train.fidelity,
-                                              c.rng);
-        c.obs = c.env->reset();
-        c.agent->net().begin_batch_capture(video_->num_chunks());
+        c.episode = domain_->start_train_episode(train.fidelity, c.rng);
+        c.obs = c.episode->reset();
+        c.agent->net().begin_batch_capture(domain_->episode_length());
         c.step_probs.clear();
         c.step_values.clear();
         c.actions.clear();
@@ -271,9 +278,8 @@ void BatchProbeTrainer::train_block(std::span<const ProbeJob> jobs,
         if (c.failed) continue;
         try {
           const double score =
-              evaluate_agent(*c.agent, dataset_->test, eval_indices_,
-                             *video_, train.fidelity,
-                             c.job->seed ^ 0x5eedf00d);
+              evaluate_agent(*c.agent, *domain_, eval_indices_,
+                             train.fidelity, c.job->seed ^ 0x5eedf00d);
           c.result->test_epochs.push_back(static_cast<double>(epoch + 1));
           c.result->test_scores.push_back(score);
         } catch (const std::exception& e) {

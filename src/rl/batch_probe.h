@@ -12,18 +12,26 @@
 // once per step instead of twice, and the thread pool schedules blocks
 // of candidates instead of one task per candidate.
 //
+// The trainer is domain-generic (it probes whatever env::TaskDomain it is
+// given — ABR and CC use the identical code path); fixed-length episodes
+// are required so the capture caches can be sized up front, and both
+// domains provide them.
+//
 // The contract that makes this safe to switch on by default: given the
 // same per-candidate seeds, results are BIT-IDENTICAL to a fresh
 // rl::Trainer per candidate — same reward curves, same failure captures,
 // same checkpoint scores. The batched kernels preserve the serial
 // accumulation order (see nn/mat.h), and candidates never share a random
-// draw. tests/batch_probe_test.cpp pins the guarantee down.
+// draw. tests/batch_probe_test.cpp (ABR) and tests/cc_funnel_test.cpp
+// (CC) pin the guarantee down.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "env/domain.h"
 #include "rl/trainer.h"
 #include "util/thread_pool.h"
 
@@ -46,13 +54,17 @@ struct BatchProbeConfig {
   std::size_t block_size = 4;
 };
 
-/// Trains each job exactly as `Trainer(dataset, video, config.train,
+/// Trains each job exactly as `Trainer(domain, config.train,
 /// job.seed).train(*job.program, *job.spec)` would, but in lockstep blocks
 /// with fused per-epoch updates. Results are bit-identical to the serial
 /// path; failures are captured per candidate without disturbing the rest
 /// of the block.
 class BatchProbeTrainer {
  public:
+  /// Domain-generic; `domain` must outlive the trainer.
+  BatchProbeTrainer(const env::TaskDomain& domain, BatchProbeConfig config);
+
+  /// ABR convenience: wraps (dataset, video) in an owned env::AbrDomain.
   BatchProbeTrainer(const trace::Dataset& dataset, const video::Video& video,
                     BatchProbeConfig config);
 
@@ -64,14 +76,17 @@ class BatchProbeTrainer {
  private:
   struct Candidate;
 
+  BatchProbeTrainer(std::shared_ptr<const env::TaskDomain> domain,
+                    BatchProbeConfig config);
+
   void train_block(std::span<const ProbeJob> jobs,
                    std::span<TrainResult> results) const;
   void step_candidate(Candidate& c) const;
   void update_candidate(Candidate& c, double entropy_weight) const;
   void finalize_candidate(Candidate& c) const;
 
-  const trace::Dataset* dataset_;
-  const video::Video* video_;
+  std::shared_ptr<const env::TaskDomain> owned_domain_;
+  const env::TaskDomain* domain_;
   BatchProbeConfig config_;
   std::vector<std::size_t> eval_indices_;
 };

@@ -59,8 +59,7 @@ SessionResult aggregate_sessions(std::vector<TrainResult> sessions,
   return result;
 }
 
-SessionResult run_sessions(const trace::Dataset& dataset,
-                           const video::Video& video,
+SessionResult run_sessions(const env::TaskDomain& domain,
                            const dsl::StateProgram& program,
                            const nn::ArchSpec& spec,
                            const SessionConfig& config,
@@ -70,7 +69,7 @@ SessionResult run_sessions(const trace::Dataset& dataset,
   }
   std::vector<TrainResult> sessions(config.seeds);
   auto run_one = [&](std::size_t i) {
-    Trainer trainer(dataset, video, config.train,
+    Trainer trainer(domain, config.train,
                     base_seed + 0x9e3779b9ULL * (i + 1));
     sessions[i] = trainer.train(program, spec);
   };
@@ -83,10 +82,20 @@ SessionResult run_sessions(const trace::Dataset& dataset,
                             config.train.emulation_final_eval);
 }
 
-std::vector<SessionResult> run_session_batch(
-    const trace::Dataset& dataset, const video::Video& video,
-    const std::vector<SessionJob>& jobs, const SessionConfig& config,
-    util::ThreadPool* pool) {
+SessionResult run_sessions(const trace::Dataset& dataset,
+                           const video::Video& video,
+                           const dsl::StateProgram& program,
+                           const nn::ArchSpec& spec,
+                           const SessionConfig& config,
+                           std::uint64_t base_seed, util::ThreadPool* pool) {
+  const env::AbrDomain domain(dataset, video);
+  return run_sessions(domain, program, spec, config, base_seed, pool);
+}
+
+std::vector<SessionResult> run_session_batch(const env::TaskDomain& domain,
+                                             const std::vector<SessionJob>& jobs,
+                                             const SessionConfig& config,
+                                             util::ThreadPool* pool) {
   if (config.seeds == 0) {
     throw std::invalid_argument("run_session_batch: zero seeds");
   }
@@ -102,7 +111,7 @@ std::vector<SessionResult> run_session_batch(
   auto run_one = [&](std::size_t flat) {
     const std::size_t j = flat / config.seeds;
     const std::size_t s = flat % config.seeds;
-    Trainer trainer(dataset, video, config.train,
+    Trainer trainer(domain, config.train,
                     jobs[j].base_seed + 0x9e3779b9ULL * (s + 1));
     per_job[j][s] = trainer.train(*jobs[j].program, *jobs[j].spec);
   };
@@ -118,6 +127,14 @@ std::vector<SessionResult> run_session_batch(
                                          config.train.emulation_final_eval));
   }
   return results;
+}
+
+std::vector<SessionResult> run_session_batch(
+    const trace::Dataset& dataset, const video::Video& video,
+    const std::vector<SessionJob>& jobs, const SessionConfig& config,
+    util::ThreadPool* pool) {
+  const env::AbrDomain domain(dataset, video);
+  return run_session_batch(domain, jobs, config, pool);
 }
 
 }  // namespace nada::rl

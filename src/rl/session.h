@@ -5,11 +5,14 @@
 // and the reported score is the median across sessions. run_sessions
 // implements exactly that protocol (seed count is configurable) and also
 // returns the per-checkpoint median curve used by Figures 3 and 4.
+// Sessions are domain-generic; the (dataset, video) overloads are the ABR
+// convenience form.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "env/domain.h"
 #include "rl/trainer.h"
 #include "util/thread_pool.h"
 
@@ -33,8 +36,16 @@ struct SessionResult {
   bool failed = false;  ///< true when every session failed
 };
 
-/// Trains `program`+`spec` across `config.seeds` independent sessions.
-/// Sessions run in parallel when `pool` is non-null.
+/// Trains `program`+`spec` across `config.seeds` independent sessions over
+/// `domain`. Sessions run in parallel when `pool` is non-null.
+[[nodiscard]] SessionResult run_sessions(const env::TaskDomain& domain,
+                                         const dsl::StateProgram& program,
+                                         const nn::ArchSpec& spec,
+                                         const SessionConfig& config,
+                                         std::uint64_t base_seed,
+                                         util::ThreadPool* pool = nullptr);
+
+/// ABR convenience overload.
 [[nodiscard]] SessionResult run_sessions(const trace::Dataset& dataset,
                                          const video::Video& video,
                                          const dsl::StateProgram& program,
@@ -58,6 +69,11 @@ struct SessionJob {
 /// Trains many designs, flattening every (design, seed) pair into one
 /// parallel work list — keeps all pool threads busy even when designs
 /// outnumber seeds or vice versa.
+[[nodiscard]] std::vector<SessionResult> run_session_batch(
+    const env::TaskDomain& domain, const std::vector<SessionJob>& jobs,
+    const SessionConfig& config, util::ThreadPool* pool);
+
+/// ABR convenience overload.
 [[nodiscard]] std::vector<SessionResult> run_session_batch(
     const trace::Dataset& dataset, const video::Video& video,
     const std::vector<SessionJob>& jobs, const SessionConfig& config,

@@ -3,12 +3,38 @@
 #include <algorithm>
 #include <cmath>
 
+#include "env/abr_env.h"
 #include "nn/optimizer.h"
 #include "util/stats.h"
 
 namespace nada::rl {
 
-double evaluate_agent(AbrAgent& agent,
+double evaluate_agent(PolicyAgent& agent, const env::TaskDomain& domain,
+                      std::span<const std::size_t> indices,
+                      env::Fidelity fidelity, std::uint64_t eval_seed) {
+  util::Rng eval_rng(eval_seed);
+  util::RunningStats step_rewards;
+  for (std::size_t idx : indices) {
+    const auto episode = domain.start_eval_episode(idx, fidelity, eval_rng);
+    dsl::Bindings obs = episode->reset();
+    while (!episode->done()) {
+      const auto decision = agent.decide(obs, /*sample=*/false, eval_rng);
+      env::DomainStep step = episode->step(decision.action);
+      step_rewards.add(step.reward);
+      obs = std::move(step.observation);
+    }
+  }
+  return step_rewards.mean();
+}
+
+double evaluate_agent(PolicyAgent& agent, const env::TaskDomain& domain,
+                      env::Fidelity fidelity, std::uint64_t eval_seed) {
+  return evaluate_agent(agent, domain,
+                        eval_trace_indices(domain.num_eval_units(), 0),
+                        fidelity, eval_seed);
+}
+
+double evaluate_agent(PolicyAgent& agent,
                       std::span<const trace::Trace> test_traces,
                       std::span<const std::size_t> indices,
                       const video::Video& video, env::Fidelity fidelity,
@@ -28,7 +54,7 @@ double evaluate_agent(AbrAgent& agent,
   return chunk_rewards.mean();
 }
 
-double evaluate_agent(AbrAgent& agent,
+double evaluate_agent(PolicyAgent& agent,
                       std::span<const trace::Trace> test_traces,
                       const video::Video& video, env::Fidelity fidelity,
                       std::uint64_t eval_seed) {
@@ -54,9 +80,9 @@ std::vector<std::size_t> eval_trace_indices(std::size_t num_traces,
 }
 
 double resolve_reward_scale(const TrainConfig& config,
-                            const video::Video& video) {
+                            const env::TaskDomain& domain) {
   return config.reward_scale > 0.0 ? config.reward_scale
-                                   : video.ladder().max_kbps() / 1000.0;
+                                   : domain.reward_scale_hint();
 }
 
 std::vector<double> discounted_returns(std::span<const double> rewards,
@@ -106,13 +132,10 @@ double a2c_step_gradient(const TrainConfig& config, const nn::Vec& probs,
   return 2.0 * config.critic_weight * value_error * scale;
 }
 
-Trainer::Trainer(const trace::Dataset& dataset, const video::Video& video,
+Trainer::Trainer(std::shared_ptr<const env::TaskDomain> domain,
                  TrainConfig config, std::uint64_t seed)
-    : dataset_(&dataset), video_(&video), config_(config), seed_(seed),
-      rng_(seed) {
-  if (dataset_->train.empty() || dataset_->test.empty()) {
-    throw std::invalid_argument("Trainer: dataset has an empty split");
-  }
+    : owned_domain_(std::move(domain)), domain_(owned_domain_.get()),
+      config_(config), seed_(seed), rng_(seed) {
   if (config_.epochs == 0) {
     throw std::invalid_argument("Trainer: zero epochs");
   }
@@ -120,38 +143,50 @@ Trainer::Trainer(const trace::Dataset& dataset, const video::Video& video,
     throw std::invalid_argument("Trainer: zero test interval");
   }
   eval_indices_ =
-      eval_trace_indices(dataset_->test.size(), config_.max_eval_traces);
+      eval_trace_indices(domain_->num_eval_units(), config_.max_eval_traces);
 }
 
-double Trainer::checkpoint_eval(AbrAgent& agent) const {
-  return evaluate_agent(agent, dataset_->test, eval_indices_, *video_,
-                        config_.fidelity, seed_ ^ 0x5eedf00d);
+Trainer::Trainer(const env::TaskDomain& domain, TrainConfig config,
+                 std::uint64_t seed)
+    : Trainer(std::shared_ptr<const env::TaskDomain>(
+                  std::shared_ptr<void>{}, &domain),
+              config, seed) {}
+
+Trainer::Trainer(const trace::Dataset& dataset, const video::Video& video,
+                 TrainConfig config, std::uint64_t seed)
+    : Trainer(std::make_shared<env::AbrDomain>(dataset, video), config,
+              seed) {}
+
+double Trainer::checkpoint_eval(PolicyAgent& agent) const {
+  return evaluate_agent(agent, *domain_, eval_indices_, config_.fidelity,
+                        seed_ ^ 0x5eedf00d);
 }
 
-void Trainer::run_epoch(AbrAgent& agent, nn::Adam& optimizer,
+void Trainer::run_epoch(PolicyAgent& agent, nn::Adam& optimizer,
                         double entropy_weight, TrainResult& result) {
-  const trace::Trace& tr = rng_.choice(dataset_->train);
-  env::AbrEnv env(tr, *video_, config_.fidelity, rng_);
+  const auto episode =
+      domain_->start_train_episode(config_.fidelity, rng_);
 
   struct Step {
-    env::Observation obs;
+    dsl::Bindings obs;
     std::size_t action = 0;
     double reward = 0.0;
     double value = 0.0;
   };
   std::vector<Step> steps;
-  steps.reserve(video_->num_chunks());
+  steps.reserve(domain_->episode_length());
 
-  env::Observation obs = env.reset();
-  while (!env.done()) {
+  dsl::Bindings obs = episode->reset();
+  while (!episode->done()) {
     const auto decision = agent.decide(obs, /*sample=*/true, rng_);
-    const env::StepResult sr = env.step(decision.action);
-    steps.push_back(Step{obs, decision.action, sr.reward, decision.value});
-    obs = sr.observation;
+    env::DomainStep sr = episode->step(decision.action);
+    steps.push_back(
+        Step{std::move(obs), decision.action, sr.reward, decision.value});
+    obs = std::move(sr.observation);
   }
 
   // Discounted returns over scaled rewards (see TrainConfig::reward_scale).
-  const double reward_scale = resolve_reward_scale(config_, *video_);
+  const double reward_scale = resolve_reward_scale(config_, *domain_);
   std::vector<double> rewards(steps.size());
   for (std::size_t t = 0; t < steps.size(); ++t) rewards[t] = steps[t].reward;
   const std::vector<double> returns =
@@ -196,7 +231,8 @@ TrainResult Trainer::train(const dsl::StateProgram& program,
   TrainResult result;
   try {
     util::Rng init_rng(seed_ ^ 0xabcdef1234567890ULL);
-    AbrAgent agent(program, spec, video_->ladder().levels(), init_rng);
+    PolicyAgent agent(program, spec, domain_->num_actions(),
+                      domain_->catalog(), init_rng);
     nn::Adam optimizer(config_.learning_rate);
 
     for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -228,8 +264,8 @@ TrainResult Trainer::train(const dsl::StateProgram& program,
                              : util::tail_mean(result.train_rewards, 10);
     if (config_.emulation_final_eval) {
       result.emulation_score =
-          evaluate_agent(agent, dataset_->test, *video_,
-                         env::Fidelity::kEmulation, seed_ ^ 0xe111u);
+          evaluate_agent(agent, *domain_, env::Fidelity::kEmulation,
+                         seed_ ^ 0xe111u);
     }
   } catch (const std::exception& e) {
     result.failed = true;

@@ -1,17 +1,25 @@
-// Advantage actor-critic training for ABR agents, following Pensieve's
-// training protocol: each epoch streams one full video over a randomly
-// chosen training trace, the discounted-return advantage drives the policy
-// gradient (with entropy regularization), and model checkpoints are
-// periodically evaluated on the held-out test traces.
+// Advantage actor-critic training over any TaskDomain, following
+// Pensieve's training protocol: each epoch rolls one full episode in an
+// environment randomly chosen from the train split, the discounted-return
+// advantage drives the policy gradient (with entropy regularization), and
+// model checkpoints are periodically evaluated on the held-out eval split.
+//
+// The trainer is domain-generic: ABR and congestion control train through
+// the same loop, differing only in the env::TaskDomain they are given.
+// ABR-shaped convenience overloads (dataset + video) construct an
+// env::AbrDomain internally and are bit-identical to the historical
+// ABR-only implementation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dsl/state_program.h"
-#include "env/abr_env.h"
+#include "env/abr_domain.h"
+#include "env/domain.h"
 #include "nn/arch.h"
 #include "nn/optimizer.h"
 #include "rl/agent.h"
@@ -30,9 +38,10 @@ struct TrainConfig {
   double critic_weight = 0.5;
   double grad_clip = 5.0;
   /// Rewards are divided by this for gradient computation so policy/value
-  /// gradients have comparable magnitudes across bitrate ladders (QoE_lin
+  /// gradients have comparable magnitudes across reward regimes (QoE_lin
   /// on the 53 Mbps YouTube ladder is ~12x Pensieve's). 0 = auto: use the
-  /// ladder's top bitrate in Mbps. Reported test scores are unscaled.
+  /// domain's reward_scale_hint (ABR: the ladder's top bitrate in Mbps).
+  /// Reported test scores are unscaled.
   double reward_scale = 0.0;
   /// Standardize advantages within each episode (zero mean, unit variance)
   /// before the policy-gradient step. Off by default: with QoE_lin's
@@ -49,20 +58,21 @@ struct TrainConfig {
   /// the training-reward curve); final_score falls back to the tail of the
   /// training rewards.
   bool evaluate_checkpoints = true;
-  /// Caps how many test traces each checkpoint evaluation streams
+  /// Caps how many eval units each checkpoint evaluation streams
   /// (0 = all). Scaled-down runs use this to keep evaluation from
   /// dominating training cost.
   std::size_t max_eval_traces = 0;
   /// After training completes, additionally evaluate the final policy on
-  /// the test traces under the emulation-fidelity session (paper Table 4:
-  /// sim-trained designs validated in emulation).
+  /// the eval split under emulation fidelity (paper Table 4: sim-trained
+  /// designs validated in emulation). Domains without an emulation model
+  /// evaluate under their only simulator.
   bool emulation_final_eval = false;
 };
 
 /// Everything one training session produces. Reward curves feed the
 /// early-stopping classifier; test curves feed Figures 3 and 4.
 struct TrainResult {
-  std::vector<double> train_rewards;  ///< per-epoch mean chunk reward
+  std::vector<double> train_rewards;  ///< per-epoch mean step reward
   std::vector<double> test_epochs;    ///< checkpoint positions
   std::vector<double> test_scores;    ///< checkpoint test scores
   double final_score = 0.0;  ///< mean of the last <=10 checkpoint scores
@@ -73,18 +83,30 @@ struct TrainResult {
   std::string error;
 };
 
-/// Mean per-chunk QoE of a greedy rollout over every test trace.
-/// `eval_seed` fixes the episode start offsets so successive checkpoint
-/// evaluations are comparable.
-[[nodiscard]] double evaluate_agent(AbrAgent& agent,
+/// Mean per-step reward of a greedy rollout over the eval units in
+/// `indices` (ascending). `eval_seed` fixes the episode start offsets so
+/// successive checkpoint evaluations are comparable.
+[[nodiscard]] double evaluate_agent(PolicyAgent& agent,
+                                    const env::TaskDomain& domain,
+                                    std::span<const std::size_t> indices,
+                                    env::Fidelity fidelity,
+                                    std::uint64_t eval_seed);
+
+/// As above over the domain's whole eval split.
+[[nodiscard]] double evaluate_agent(PolicyAgent& agent,
+                                    const env::TaskDomain& domain,
+                                    env::Fidelity fidelity,
+                                    std::uint64_t eval_seed);
+
+/// ABR convenience: greedy rollout over every trace in `test_traces`.
+[[nodiscard]] double evaluate_agent(PolicyAgent& agent,
                                     std::span<const trace::Trace> test_traces,
                                     const video::Video& video,
                                     env::Fidelity fidelity,
                                     std::uint64_t eval_seed);
 
-/// As above but over the subset `test_traces[i]` for i in `indices`
-/// (ascending); used when TrainConfig::max_eval_traces caps evaluation.
-[[nodiscard]] double evaluate_agent(AbrAgent& agent,
+/// ABR convenience over the subset `test_traces[i]` for i in `indices`.
+[[nodiscard]] double evaluate_agent(PolicyAgent& agent,
                                     std::span<const trace::Trace> test_traces,
                                     std::span<const std::size_t> indices,
                                     const video::Video& video,
@@ -104,10 +126,9 @@ struct TrainResult {
 // paths structurally incapable of drifting apart (their bit-identity is the
 // batched engine's core guarantee).
 
-/// TrainConfig::reward_scale with its 0 = "ladder top bitrate in Mbps"
-/// default resolved.
+/// TrainConfig::reward_scale with its 0 = "domain hint" default resolved.
 [[nodiscard]] double resolve_reward_scale(const TrainConfig& config,
-                                          const video::Video& video);
+                                          const env::TaskDomain& domain);
 
 /// Discounted returns over scaled rewards, newest-to-oldest accumulation.
 [[nodiscard]] std::vector<double> discounted_returns(
@@ -127,6 +148,11 @@ double a2c_step_gradient(const TrainConfig& config, const nn::Vec& probs,
 
 class Trainer {
  public:
+  /// Domain-generic trainer; `domain` must outlive the trainer.
+  Trainer(const env::TaskDomain& domain, TrainConfig config,
+          std::uint64_t seed);
+
+  /// ABR convenience: wraps (dataset, video) in an owned env::AbrDomain.
   Trainer(const trace::Dataset& dataset, const video::Video& video,
           TrainConfig config, std::uint64_t seed);
 
@@ -138,12 +164,17 @@ class Trainer {
                                   const nn::ArchSpec& spec);
 
  private:
-  void run_epoch(AbrAgent& agent, nn::Adam& optimizer, double entropy_weight,
-                 TrainResult& result);
-  [[nodiscard]] double checkpoint_eval(AbrAgent& agent) const;
+  /// All public constructors funnel here; a non-owning aliasing pointer
+  /// carries borrowed domains.
+  Trainer(std::shared_ptr<const env::TaskDomain> domain, TrainConfig config,
+          std::uint64_t seed);
 
-  const trace::Dataset* dataset_;
-  const video::Video* video_;
+  void run_epoch(PolicyAgent& agent, nn::Adam& optimizer,
+                 double entropy_weight, TrainResult& result);
+  [[nodiscard]] double checkpoint_eval(PolicyAgent& agent) const;
+
+  std::shared_ptr<const env::TaskDomain> owned_domain_;
+  const env::TaskDomain* domain_;
   TrainConfig config_;
   std::uint64_t seed_;
   util::Rng rng_;

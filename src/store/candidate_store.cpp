@@ -1,5 +1,6 @@
 #include "store/candidate_store.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -194,6 +195,60 @@ std::size_t CandidateStore::merge_from(const CandidateStore& other) {
     if (put(record)) ++accepted;
   }
   return accepted;
+}
+
+std::size_t CandidateStore::compact() {
+  std::lock_guard lock(mutex_);
+  // Count the live journal's lines (incl. blank/torn/foreign ones) so the
+  // caller learns how much was reclaimed.
+  std::size_t old_lines = 0;
+  if (const auto content = util::read_file_if_exists(path_)) {
+    std::size_t start = 0;
+    while (start < content->size()) {
+      std::size_t end = content->find('\n', start);
+      if (end == std::string::npos) end = content->size();
+      if (!util::trim(content->substr(start, end - start)).empty()) {
+        ++old_lines;
+      }
+      start = end + 1;
+    }
+  }
+
+  const std::string tmp_path = path_ + ".compact.tmp";
+  {
+    std::ofstream tmp(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!tmp) {
+      throw std::runtime_error("CandidateStore::compact: cannot open " +
+                               tmp_path);
+    }
+    for (const auto& record : records_) {
+      tmp << encode_line(record, scope_) << '\n';
+    }
+    tmp.flush();
+    if (!tmp) {
+      throw std::runtime_error("CandidateStore::compact: write to " +
+                               tmp_path + " failed");
+    }
+  }
+
+  // Swap the compacted file in atomically. The append handle must be
+  // re-opened either way: after a rename the old handle points at an
+  // unlinked inode and further puts would checkpoint into the void.
+  out_.close();
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    // Leave the original journal intact; reopen it for appends before
+    // surfacing the failure.
+    out_.open(path_, std::ios::binary | std::ios::app);
+    throw std::runtime_error("CandidateStore::compact: rename " + tmp_path +
+                             " -> " + path_ + " failed");
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("CandidateStore::compact: cannot reopen " +
+                             path_ + " for append");
+  }
+  line_errors_ = 0;
+  return old_lines > records_.size() ? old_lines - records_.size() : 0;
 }
 
 std::string CandidateStore::encode_line(const OutcomeRecord& record,

@@ -108,6 +108,16 @@ class CandidateStore {
   /// throws std::invalid_argument otherwise). Returns records accepted.
   std::size_t merge_from(const CandidateStore& other);
 
+  /// Rewrites the journal to exactly one line per fingerprint — the
+  /// latest-stage record — dropping superseded-stage duplicates, torn
+  /// fragments, and foreign/corrupt lines accumulated across runs.
+  /// Crash-safe: the compacted journal is written to "<path>.compact.tmp",
+  /// flushed, and atomically renamed over the original, so a crash at any
+  /// point leaves either the old journal or the new one, never a mix.
+  /// Returns the number of journal lines dropped. Resets
+  /// recovered_line_errors() to zero (the rewritten file is clean).
+  std::size_t compact();
+
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] const StoreScope& scope() const { return scope_; }
   [[nodiscard]] std::size_t recovered_line_errors() const {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/stats.h"
+#include "util/strings.h"
 
 namespace nada::trace {
 
@@ -153,6 +154,19 @@ Trace from_mahimahi_format(const std::string& name, const std::string& text) {
         {static_cast<double>(s + 1), bytes_per_s[s] * 8.0 / 1000.0});
   }
   return Trace(name, std::move(points));
+}
+
+std::uint64_t traces_digest(const std::vector<Trace>& traces) {
+  const auto fold = [](std::uint64_t h, std::string_view text) {
+    return util::mix64(h ^ util::fnv1a64(text));
+  };
+  std::uint64_t h = traces.size();
+  for (const auto& t : traces) {
+    h = fold(h, t.name());
+    h = util::mix64(h ^ t.size());
+    h = fold(h, util::shortest_double(t.mean_kbps()));
+  }
+  return h;
 }
 
 }  // namespace nada::trace

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,5 +69,12 @@ std::string to_mahimahi_format(const Trace& trace);
 
 /// Parses a Mahimahi schedule back into a per-second bandwidth trace.
 Trace from_mahimahi_format(const std::string& name, const std::string& text);
+
+/// Identity hash of a trace set for store-scope digests: folds each trace's
+/// name, sample count, and mean throughput (plus the set size) through
+/// mix64/fnv1a64. Every TaskDomain's append_scope_spec uses this one
+/// definition, so two domains can never drift in how they fingerprint the
+/// data their cached results depend on.
+[[nodiscard]] std::uint64_t traces_digest(const std::vector<Trace>& traces);
 
 }  // namespace nada::trace

@@ -161,6 +161,42 @@ TEST(Pipeline, RejectsDegenerateConfig) {
                std::invalid_argument);
 }
 
+TEST(Pipeline, ValidatesConfigUpFrontWithDescriptiveErrors) {
+  PipelineFixture fx;
+  auto expect_rejected = [&](PipelineConfig config,
+                             const std::string& needle) {
+    try {
+      Pipeline pipeline(fx.dataset, fx.video, config, 1, nullptr);
+      FAIL() << "config with bad " << needle << " was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  PipelineConfig top_heavy = tiny_config();
+  top_heavy.num_candidates = 4;
+  top_heavy.full_train_top = 5;
+  expect_rejected(top_heavy, "full_train_top");
+
+  PipelineConfig no_seeds = tiny_config();
+  no_seeds.seeds = 0;
+  expect_rejected(no_seeds, "seeds");
+
+  PipelineConfig no_block = tiny_config();
+  no_block.probe_block = 0;
+  expect_rejected(no_block, "probe_block");
+
+  PipelineConfig no_probe = tiny_config();
+  no_probe.early_epochs = 0;
+  expect_rejected(no_probe, "early_epochs");
+
+  // Boundary cases stay legal.
+  PipelineConfig exact = tiny_config();
+  exact.num_candidates = exact.full_train_top = 3;
+  exact.probe_block = 1;
+  EXPECT_NO_THROW(Pipeline(fx.dataset, fx.video, exact, 1, nullptr));
+}
+
 TEST(ScaledConfig, RespectsScaleFactors) {
   util::ScaleConfig scale;
   scale.gen = 0.01;

@@ -8,6 +8,7 @@
 #include "dsl/lexer.h"
 #include "dsl/parser.h"
 #include "dsl/state_program.h"
+#include "env/abr_domain.h"
 #include "util/rng.h"
 
 namespace nada::dsl {
@@ -411,8 +412,8 @@ TEST(Builtins, RegistryExposesSignatures) {
 
 TEST(StateProgram, PensieveCompilesAndMatchesHandComputation) {
   const StateProgram p = StateProgram::compile(pensieve_state_source());
-  const env::Observation obs = canned_observation();
-  const StateMatrix m = p.run(obs);
+  const env::Observation obs = env::canned_observation();
+  const StateMatrix m = p.run(env::bindings_from_observation(obs));
   ASSERT_EQ(m.rows.size(), 6u);
 
   EXPECT_EQ(m.rows[0].name, "last_quality");
@@ -438,7 +439,7 @@ TEST(StateProgram, PensieveCompilesAndMatchesHandComputation) {
 
 TEST(StateProgram, PensieveSignatureShape) {
   const StateProgram p = StateProgram::compile(pensieve_state_source());
-  const StateMatrix m = p.run(canned_observation());
+  const StateMatrix m = p.run(env::abr_catalog().canned());
   EXPECT_EQ(m.row_lengths(), (std::vector<std::size_t>{1, 1, 8, 8, 6, 1}));
 }
 
@@ -455,19 +456,19 @@ TEST(StateProgram, SourcePreserved) {
 TEST(StateProgram, AllInputVariablesBindable) {
   // A program touching every documented input variable must run.
   std::string src;
-  for (const auto& var : input_variables()) {
+  for (const auto& var : env::input_variables()) {
     src += "emit \"" + var.name + "\" = " + var.name +
            (var.is_vector ? " * 0.001;\n" : " * 0.001;\n");
   }
   const StateProgram p = StateProgram::compile(src);
-  const StateMatrix m = p.run(canned_observation());
-  EXPECT_EQ(m.rows.size(), input_variables().size());
+  const StateMatrix m = p.run(env::abr_catalog().canned());
+  EXPECT_EQ(m.rows.size(), env::input_variables().size());
 }
 
 TEST(StateProgram, FuzzObservationWithinDocumentedRanges) {
   util::Rng rng(55);
   for (int i = 0; i < 50; ++i) {
-    const env::Observation obs = fuzz_observation(rng);
+    const env::Observation obs = env::fuzz_observation(rng);
     ASSERT_EQ(obs.throughput_mbps.size(), env::kHistoryLen);
     for (double t : obs.throughput_mbps) {
       EXPECT_GT(t, 0.0);
@@ -482,7 +483,7 @@ TEST(StateProgram, FuzzObservationWithinDocumentedRanges) {
 TEST(StateProgram, MaxAbsComputesLargestMagnitude) {
   const StateProgram p = StateProgram::compile(
       "emit \"a\" = [1, 0 - 9, 3];\nemit \"b\" = 2;\n");
-  const StateMatrix m = p.run(canned_observation());
+  const StateMatrix m = p.run(env::abr_catalog().canned());
   EXPECT_DOUBLE_EQ(m.max_abs(), 9.0);
   EXPECT_TRUE(m.all_finite());
 }

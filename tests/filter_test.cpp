@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "env/abr_domain.h"
 #include "filter/checks.h"
 #include "filter/earlystop.h"
 #include "util/rng.h"
@@ -15,51 +16,51 @@ namespace {
 TEST(CompilationCheck, AcceptsPensieveState) {
   std::optional<dsl::StateProgram> program;
   const auto result =
-      compilation_check(dsl::pensieve_state_source(), &program);
+      compilation_check(dsl::pensieve_state_source(), env::abr_catalog(), &program);
   EXPECT_TRUE(result.passed) << result.reason;
   EXPECT_TRUE(program.has_value());
 }
 
 TEST(CompilationCheck, RejectsSyntaxError) {
-  const auto result = compilation_check("emit \"x\" = 1 +;");
+  const auto result = compilation_check("emit \"x\" = 1 +;", env::abr_catalog());
   EXPECT_FALSE(result.passed);
   EXPECT_FALSE(result.reason.empty());
 }
 
 TEST(CompilationCheck, RejectsUndefinedVariable) {
-  const auto result = compilation_check("emit \"x\" = undefined_thing;");
+  const auto result = compilation_check("emit \"x\" = undefined_thing;", env::abr_catalog());
   EXPECT_FALSE(result.passed);
   EXPECT_NE(result.reason.find("undefined"), std::string::npos);
 }
 
 TEST(CompilationCheck, RejectsRuntimeError) {
-  EXPECT_FALSE(compilation_check("emit \"x\" = throughput_mbps[42];").passed);
-  EXPECT_FALSE(compilation_check("emit \"x\" = 1.0 / 0.0;").passed);
-  EXPECT_FALSE(compilation_check("emit \"x\" = sqrt(0.0 - 1.0);").passed);
+  EXPECT_FALSE(compilation_check("emit \"x\" = throughput_mbps[42];", env::abr_catalog()).passed);
+  EXPECT_FALSE(compilation_check("emit \"x\" = 1.0 / 0.0;", env::abr_catalog()).passed);
+  EXPECT_FALSE(compilation_check("emit \"x\" = sqrt(0.0 - 1.0);", env::abr_catalog()).passed);
 }
 
 TEST(CompilationCheck, NullOutIsAccepted) {
-  EXPECT_TRUE(compilation_check(dsl::pensieve_state_source(), nullptr).passed);
+  EXPECT_TRUE(compilation_check(dsl::pensieve_state_source(), env::abr_catalog(), nullptr).passed);
 }
 
 // ---- normalization check --------------------------------------------------------
 
 dsl::StateProgram compile_or_die(const std::string& source) {
   std::optional<dsl::StateProgram> program;
-  const auto result = compilation_check(source, &program);
+  const auto result = compilation_check(source, env::abr_catalog(), &program);
   if (!result.passed) throw std::runtime_error(result.reason);
   return *std::move(program);
 }
 
 TEST(NormalizationCheck, AcceptsPensieveState) {
   const auto program = compile_or_die(dsl::pensieve_state_source());
-  EXPECT_TRUE(normalization_check(program).passed);
+  EXPECT_TRUE(normalization_check(program, env::abr_catalog()).passed);
 }
 
 TEST(NormalizationCheck, RejectsRawBytes) {
   const auto program =
       compile_or_die("emit \"sizes\" = next_chunk_sizes_bytes;");
-  const auto result = normalization_check(program);
+  const auto result = normalization_check(program, env::abr_catalog());
   EXPECT_FALSE(result.passed);
   EXPECT_NE(result.reason.find("sizes"), std::string::npos);
 }
@@ -67,15 +68,15 @@ TEST(NormalizationCheck, RejectsRawBytes) {
 TEST(NormalizationCheck, RejectsRawKbpsThroughput) {
   const auto program =
       compile_or_die("emit \"tput\" = throughput_mbps * 1000.0;");
-  EXPECT_FALSE(normalization_check(program).passed);
+  EXPECT_FALSE(normalization_check(program, env::abr_catalog()).passed);
 }
 
 TEST(NormalizationCheck, ThresholdIsConfigurable) {
   // Buffer history peaks at 60 s: fails T=30, passes T=100.
   const auto program =
       compile_or_die("emit \"buf\" = buffer_size_s_history;");
-  EXPECT_FALSE(normalization_check(program, 30.0).passed);
-  EXPECT_TRUE(normalization_check(program, 100.0).passed);
+  EXPECT_FALSE(normalization_check(program, env::abr_catalog(), 30.0).passed);
+  EXPECT_TRUE(normalization_check(program, env::abr_catalog(), 100.0).passed);
 }
 
 TEST(NormalizationCheck, CatchesFuzzOnlyRuntimeErrors) {
@@ -91,26 +92,26 @@ TEST(NormalizationCheck, CatchesFuzzOnlyRuntimeErrors) {
   // vmin is tiny (>= 0.05); log of near-zero is large-negative but finite;
   // log of negative throws when vmin < 0.01 — that never happens. So this
   // one passes; assert that, then check a genuinely fragile program.
-  EXPECT_TRUE(normalization_check(program).passed);
+  EXPECT_TRUE(normalization_check(program, env::abr_catalog()).passed);
 
   const auto fragile = compile_or_die(
       "emit \"x\" = log(vmin(throughput_mbps) - 1.0);");
   // Fuzz draws throughput in [0.05, cap]; vmin < 1.0 is common -> throws.
-  const auto result = normalization_check(fragile);
+  const auto result = normalization_check(fragile, env::abr_catalog());
   EXPECT_FALSE(result.passed);
   EXPECT_NE(result.reason.find("raised"), std::string::npos);
 }
 
 TEST(NormalizationCheck, InvalidThresholdFails) {
   const auto program = compile_or_die(dsl::pensieve_state_source());
-  EXPECT_FALSE(normalization_check(program, 0.0).passed);
+  EXPECT_FALSE(normalization_check(program, env::abr_catalog(), 0.0).passed);
 }
 
 TEST(NormalizationCheck, DeterministicForSeed) {
   const auto program =
       compile_or_die("emit \"x\" = throughput_mbps / 3.9;");
-  const auto a = normalization_check(program, 100.0, 16, 9);
-  const auto b = normalization_check(program, 100.0, 16, 9);
+  const auto a = normalization_check(program, env::abr_catalog(), 100.0, 16, 9);
+  const auto b = normalization_check(program, env::abr_catalog(), 100.0, 16, 9);
   EXPECT_EQ(a.passed, b.passed);
 }
 

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "env/abr_domain.h"
 #include "filter/checks.h"
 #include "gen/arch_gen.h"
 #include "gen/profile.h"
@@ -24,10 +25,10 @@ CheckedBatch run_checks(const std::vector<StateCandidate>& batch) {
   out.total = batch.size();
   for (const auto& cand : batch) {
     std::optional<dsl::StateProgram> program;
-    const auto compile = filter::compilation_check(cand.source, &program);
+    const auto compile = filter::compilation_check(cand.source, env::abr_catalog(), &program);
     if (!compile.passed) continue;
     ++out.compiled;
-    if (filter::normalization_check(*program).passed) ++out.normalized;
+    if (filter::normalization_check(*program, env::abr_catalog()).passed) ++out.normalized;
   }
   return out;
 }
@@ -70,7 +71,7 @@ TEST(StateGenerator, PlantedSyntaxFlawsAlwaysFailCompileCheck) {
     const StateCandidate cand = generator.generate();
     if (cand.flaw != InjectedFlaw::kSyntax) continue;
     ++syntax_seen;
-    EXPECT_FALSE(filter::compilation_check(cand.source).passed)
+    EXPECT_FALSE(filter::compilation_check(cand.source, env::abr_catalog()).passed)
         << cand.source;
   }
   EXPECT_GE(syntax_seen, 50u);
@@ -83,7 +84,7 @@ TEST(StateGenerator, PlantedRuntimeFlawsFailTrialRun) {
     const StateCandidate cand = generator.generate();
     if (cand.flaw != InjectedFlaw::kRuntime) continue;
     ++runtime_seen;
-    EXPECT_FALSE(filter::compilation_check(cand.source).passed)
+    EXPECT_FALSE(filter::compilation_check(cand.source, env::abr_catalog()).passed)
         << cand.source;
   }
   EXPECT_GE(runtime_seen, 50u);
@@ -97,9 +98,9 @@ TEST(StateGenerator, PlantedUnnormalizedFlawsFailNormCheckButCompile) {
     if (cand.flaw != InjectedFlaw::kUnnormalized) continue;
     ++seen;
     std::optional<dsl::StateProgram> program;
-    ASSERT_TRUE(filter::compilation_check(cand.source, &program).passed)
+    ASSERT_TRUE(filter::compilation_check(cand.source, env::abr_catalog(), &program).passed)
         << cand.source;
-    EXPECT_FALSE(filter::normalization_check(*program).passed)
+    EXPECT_FALSE(filter::normalization_check(*program, env::abr_catalog()).passed)
         << cand.source;
   }
   EXPECT_GE(seen, 50u);
@@ -114,8 +115,8 @@ TEST(StateGenerator, CleanCandidatesPassBothChecks) {
     if (cand.flaw != InjectedFlaw::kNone) continue;
     ++clean_seen;
     std::optional<dsl::StateProgram> program;
-    if (filter::compilation_check(cand.source, &program).passed &&
-        filter::normalization_check(*program).passed) {
+    if (filter::compilation_check(cand.source, env::abr_catalog(), &program).passed &&
+        filter::normalization_check(*program, env::abr_catalog()).passed) {
       ++clean_passed;
     }
   }

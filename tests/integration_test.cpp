@@ -85,13 +85,13 @@ TEST(Integration, GeneratedWinnerIsARunnableProgram) {
   // The winning source must recompile and pass both checks from scratch.
   std::optional<dsl::StateProgram> program;
   const auto& best = result.outcomes[result.best_index];
-  EXPECT_TRUE(filter::compilation_check(best.source, &program).passed);
-  EXPECT_TRUE(filter::normalization_check(*program).passed);
+  EXPECT_TRUE(filter::compilation_check(best.source, env::abr_catalog(), &program).passed);
+  EXPECT_TRUE(filter::normalization_check(*program, env::abr_catalog()).passed);
   // And it must produce a state consumable by a fresh agent.
   util::Rng rng(1);
   rl::AbrAgent agent(*program, small_config().baseline_arch, 6, rng);
   EXPECT_NO_THROW(
-      agent.decide(dsl::canned_observation(), /*sample=*/false, rng));
+      agent.decide(env::canned_observation(), /*sample=*/false, rng));
 }
 
 TEST(Integration, EmulationScoresShiftButOrderingHolds) {

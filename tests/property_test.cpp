@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "dsl/state_program.h"
+#include "env/abr_domain.h"
 #include "env/abr_env.h"
 #include "filter/checks.h"
 #include "gen/state_gen.h"
@@ -25,7 +26,7 @@ TEST(Property, CompilationCheckIsTotal) {
                                 12345);
   for (int i = 0; i < 2000; ++i) {
     const auto cand = generator.generate();
-    EXPECT_NO_THROW({ (void)filter::compilation_check(cand.source); });
+    EXPECT_NO_THROW({ (void)filter::compilation_check(cand.source, env::abr_catalog()); });
   }
 }
 
@@ -39,8 +40,9 @@ TEST(Property, CompiledProgramsAreDeterministic) {
   for (int i = 0; i < 400 && checked < 60; ++i) {
     const auto cand = generator.generate();
     std::optional<dsl::StateProgram> program;
-    if (!filter::compilation_check(cand.source, &program).passed) continue;
-    const env::Observation obs = dsl::fuzz_observation(rng);
+    if (!filter::compilation_check(cand.source, env::abr_catalog(), &program).passed) continue;
+    const dsl::Bindings obs =
+        env::bindings_from_observation(env::fuzz_observation(rng));
     try {
       const auto a = program->run(obs);
       const auto b = program->run(obs);
@@ -67,11 +69,11 @@ TEST(Property, NormalizationCheckMonotoneInThreshold) {
   for (int i = 0; i < 300 && checked < 50; ++i) {
     const auto cand = generator.generate();
     std::optional<dsl::StateProgram> program;
-    if (!filter::compilation_check(cand.source, &program).passed) continue;
+    if (!filter::compilation_check(cand.source, env::abr_catalog(), &program).passed) continue;
     ++checked;
     bool passed_before = false;
     for (const double t : thresholds) {
-      const bool passes = filter::normalization_check(*program, t).passed;
+      const bool passes = filter::normalization_check(*program, env::abr_catalog(), t).passed;
       if (passed_before) {
         EXPECT_TRUE(passes) << cand.source << " failed at T=" << t
                             << " after passing a smaller threshold";
@@ -93,12 +95,12 @@ TEST(Property, NormalizedProgramsStayBounded) {
   for (int i = 0; i < 400 && checked < 30; ++i) {
     const auto cand = generator.generate();
     std::optional<dsl::StateProgram> program;
-    if (!filter::compilation_check(cand.source, &program).passed) continue;
-    if (!filter::normalization_check(*program).passed) continue;
+    if (!filter::compilation_check(cand.source, env::abr_catalog(), &program).passed) continue;
+    if (!filter::normalization_check(*program, env::abr_catalog()).passed) continue;
     ++checked;
     for (int run = 0; run < 50; ++run) {
       try {
-        const auto matrix = program->run(dsl::fuzz_observation(rng));
+        const auto matrix = program->run(env::bindings_from_observation(env::fuzz_observation(rng)));
         // Allow a small multiple: the 16-draw check is statistical.
         EXPECT_LT(matrix.max_abs(), 100.0 * 4)
             << cand.source;
@@ -287,7 +289,7 @@ TEST(Property, FlawRatesStableAcrossSeeds) {
     std::size_t ok = 0;
     const auto batch = generator.generate_batch(1500);
     for (const auto& cand : batch) {
-      if (filter::compilation_check(cand.source).passed) ++ok;
+      if (filter::compilation_check(cand.source, env::abr_catalog()).passed) ++ok;
     }
     return static_cast<double>(ok) / 1500.0;
   };

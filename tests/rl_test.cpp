@@ -44,7 +44,7 @@ TEST(AbrAgent, DecideReturnsValidDistribution) {
   util::Rng rng(1);
   AbrAgent agent(program, tiny_arch(), 6, rng);
   const auto decision =
-      agent.decide(dsl::canned_observation(), /*sample=*/false, rng);
+      agent.decide(env::canned_observation(), /*sample=*/false, rng);
   ASSERT_EQ(decision.probs.size(), 6u);
   double total = 0.0;
   for (double p : decision.probs) total += p;
@@ -57,7 +57,7 @@ TEST(AbrAgent, GreedyPicksArgmax) {
   util::Rng rng(2);
   AbrAgent agent(program, tiny_arch(), 6, rng);
   const auto decision =
-      agent.decide(dsl::canned_observation(), /*sample=*/false, rng);
+      agent.decide(env::canned_observation(), /*sample=*/false, rng);
   for (double p : decision.probs) {
     EXPECT_LE(p, decision.probs[decision.action] + 1e-12);
   }
@@ -70,7 +70,7 @@ TEST(AbrAgent, SampledActionsVary) {
   std::set<std::size_t> actions;
   for (int i = 0; i < 100; ++i) {
     actions.insert(
-        agent.decide(dsl::canned_observation(), /*sample=*/true, rng).action);
+        agent.decide(env::canned_observation(), /*sample=*/true, rng).action);
   }
   // A freshly initialized policy is near-uniform: sampling covers several
   // actions.
@@ -86,7 +86,7 @@ TEST(AbrAgent, CustomStateShapeBuildsMatchingNet) {
   EXPECT_EQ(agent.signature().row_lengths,
             (std::vector<std::size_t>{1, 8}));
   EXPECT_NO_THROW(
-      agent.decide(dsl::canned_observation(), /*sample=*/false, rng));
+      agent.decide(env::canned_observation(), /*sample=*/false, rng));
 }
 
 // ---- Trainer ----------------------------------------------------------------

@@ -250,6 +250,60 @@ TEST(CandidateStore, RecoversFromTornFinalLine) {
   EXPECT_EQ(reopened.size(), 2u);
 }
 
+TEST(CandidateStore, CompactRewritesUpgradesAndTornTail) {
+  const std::string path = fresh_path("compact");
+  {
+    // A journal full of superseded stages: each record journaled at every
+    // stage it passed through (3 + 2 + 1 = 6 lines for 3 fingerprints).
+    CandidateStore store(path, test_scope());
+    store.put(make_test_record(1, Stage::kChecked));
+    store.put(make_test_record(1, Stage::kProbed));
+    store.put(make_test_record(1, Stage::kTrained));
+    store.put(make_test_record(2, Stage::kChecked));
+    store.put(make_test_record(2, Stage::kProbed));
+    store.put(make_test_record(3, Stage::kChecked));
+  }
+  // Plus a crash's torn tail.
+  {
+    const std::string content = util::read_file(path);
+    util::write_file_atomic(path,
+                            content + "{\"fp\": \"deadbeef\", \"trunc");
+  }
+
+  CandidateStore store(path, test_scope());
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.recovered_line_errors(), 1u);
+  const std::size_t dropped = store.compact();
+  // 7 meaningful lines on disk -> 3 latest-stage records.
+  EXPECT_EQ(dropped, 4u);
+  EXPECT_EQ(store.recovered_line_errors(), 0u);
+
+  // The rewritten journal holds exactly one line per fingerprint, at the
+  // furthest stage, and stays fully usable.
+  {
+    const std::string content = util::read_file(path);
+    std::size_t lines = 0;
+    for (char c : content) lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 3u);
+  }
+  const auto r1 = store.lookup(make_test_record(1, Stage::kChecked).fingerprint);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->stage, Stage::kTrained);
+  EXPECT_TRUE(store.put(make_test_record(4, Stage::kChecked)));
+
+  CandidateStore reopened(path, test_scope());
+  EXPECT_EQ(reopened.size(), 4u);
+  EXPECT_EQ(reopened.recovered_line_errors(), 0u);
+  const auto r1_again =
+      reopened.lookup(make_test_record(1, Stage::kChecked).fingerprint);
+  ASSERT_TRUE(r1_again.has_value());
+  EXPECT_EQ(r1_again->stage, Stage::kTrained);
+  EXPECT_EQ(r1_again->test_score, make_test_record(1, Stage::kTrained).test_score);
+  // Idempotent: a second compaction drops nothing.
+  EXPECT_EQ(reopened.compact(), 0u);
+  EXPECT_EQ(reopened.size(), 4u);
+}
+
 TEST(CandidateStore, ForeignScopeLinesAreSkipped) {
   const std::string path = fresh_path("scope");
   {
