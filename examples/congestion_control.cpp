@@ -16,6 +16,7 @@
 #include "cc/cc_env.h"
 #include "cc/cc_state.h"
 #include "core/pipeline.h"
+#include "examples/example_common.h"
 #include "gen/state_gen.h"
 #include "store/candidate_store.h"
 #include "trace/generator.h"
@@ -44,30 +45,19 @@ int main() {
   const cc::CcDomain domain(dataset, cc_config);
 
   // Funnel budgets (tiny demo scale).
-  core::PipelineConfig config;
-  config.num_candidates = 24;
-  config.early_epochs = 6;
-  config.full_train_top = 3;
-  config.seeds = 2;
-  config.train.epochs = 16;
-  config.train.test_interval = 8;
-  config.train.max_eval_traces = 3;
-  nn::ArchSpec arch = nn::ArchSpec::pensieve();
-  arch.conv_filters = 8;
-  arch.rnn_hidden = 8;
-  arch.scalar_hidden = 8;
-  arch.merge_hidden = 16;
-  config.baseline_arch = arch;
+  core::PipelineConfig config =
+      examples::demo_funnel_config(/*candidates=*/24, /*early_epochs=*/6,
+                                   /*full_train_top=*/3, /*seeds=*/2,
+                                   /*epochs=*/16, /*test_interval=*/8,
+                                   /*max_eval_traces=*/3);
+  config.baseline_arch = examples::small_pensieve_arch(8, 8, 8, 16);
 
   util::ThreadPool pool(4);
   core::Pipeline pipeline(domain, config, 2024, &pool);
 
   // Persistent store: reruns of this example serve cached stages.
-  const auto scope = pipeline.store_scope();
-  store::CandidateStore store(store::default_store_path(scope), scope);
-  pipeline.attach_store(&store);
-  std::cout << "Store: " << store.path() << " (scope " << scope.env
-            << ", " << store.size() << " records on open)\n\n";
+  const auto store = examples::attach_default_store(pipeline);
+  std::cout << "\n";
 
   // CC candidates from the CC design space; the same generator machinery
   // the ABR search uses, pointed at the CC binding vocabulary.

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/pipeline.h"
+#include "examples/example_common.h"
 #include "util/table.h"
 
 int main() {
@@ -22,17 +23,12 @@ int main() {
       video::make_test_video(video::pensieve_ladder(), 11);
   util::ThreadPool pool;
 
-  core::PipelineConfig config;
-  config.num_candidates = 60;
-  config.early_epochs = 80;
-  config.full_train_top = 4;
-  config.seeds = 3;
-  config.train.epochs = 500;
-  config.train.test_interval = 25;
-  nn::ArchSpec arch = nn::ArchSpec::pensieve();
-  arch.conv_filters = arch.rnn_hidden = arch.scalar_hidden =
-      arch.merge_hidden = 32;
-  config.baseline_arch = arch;
+  core::PipelineConfig config =
+      examples::demo_funnel_config(/*candidates=*/60, /*early_epochs=*/80,
+                                   /*full_train_top=*/4, /*seeds=*/3,
+                                   /*epochs=*/500, /*test_interval=*/25,
+                                   /*max_eval_traces=*/0);
+  config.baseline_arch = examples::small_pensieve_arch(32, 32, 32, 32);
 
   std::cout << "Searching " << config.num_candidates
             << " generated state designs on Starlink...\n";

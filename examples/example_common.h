@@ -1,0 +1,88 @@
+// Shared boilerplate for the example binaries: demo-scale funnel configs,
+// the store-dir setup every store-backed example repeats, and the funnel
+// summary printer. Examples stay single-file and readable; this header
+// keeps them from each re-implementing the same setup with drifting
+// details.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "search/types.h"
+#include "store/candidate_store.h"
+
+namespace nada::examples {
+
+/// Pensieve's architecture with demo-scale tower widths. Any width left 0
+/// keeps the paper-scale default.
+inline nn::ArchSpec small_pensieve_arch(std::size_t conv_filters,
+                                        std::size_t rnn_hidden,
+                                        std::size_t scalar_hidden,
+                                        std::size_t merge_hidden) {
+  nn::ArchSpec arch = nn::ArchSpec::pensieve();
+  if (conv_filters != 0) arch.conv_filters = conv_filters;
+  if (rnn_hidden != 0) arch.rnn_hidden = rnn_hidden;
+  if (scalar_hidden != 0) arch.scalar_hidden = scalar_hidden;
+  if (merge_hidden != 0) arch.merge_hidden = merge_hidden;
+  return arch;
+}
+
+/// A demo-scale funnel config (seconds, not hours): `candidates` through a
+/// `early_epochs`-epoch probe, `full_train_top` survivors across `seeds`
+/// seeds of `epochs`-epoch training.
+inline search::SearchConfig demo_funnel_config(
+    std::size_t candidates, std::size_t early_epochs,
+    std::size_t full_train_top, std::size_t seeds, std::size_t epochs,
+    std::size_t test_interval, std::size_t max_eval_traces) {
+  search::SearchConfig config;
+  config.num_candidates = candidates;
+  config.early_epochs = early_epochs;
+  config.full_train_top = full_train_top;
+  config.seeds = seeds;
+  config.train.epochs = epochs;
+  config.train.test_interval = test_interval;
+  config.train.max_eval_traces = max_eval_traces;
+  return config;
+}
+
+/// Opens (creating if absent) the journal for `scope` under
+/// $NADA_STORE_DIR (default ./nada_store) and prints the standard store
+/// banner.
+inline std::unique_ptr<store::CandidateStore> open_default_store(
+    const store::StoreScope& scope, std::ostream& out = std::cout) {
+  auto cache = std::make_unique<store::CandidateStore>(
+      store::default_store_path(scope), scope);
+  out << "store: " << cache->path() << " (" << cache->size()
+      << " records on open, scope " << scope.env << "/"
+      << scope.config_digest.substr(0, 12) << "...)\n";
+  return cache;
+}
+
+/// As above, and attaches the store to the pipeline.
+inline std::unique_ptr<store::CandidateStore> attach_default_store(
+    core::Pipeline& pipeline, std::ostream& out = std::cout) {
+  auto cache = open_default_store(pipeline.store_scope(), out);
+  pipeline.attach_store(cache.get());
+  return cache;
+}
+
+/// The funnel-counts summary every search example prints.
+inline void print_funnel_summary(const search::SearchResult& result,
+                                 std::ostream& out = std::cout) {
+  out << "funnel: " << result.n_total << " candidates, " << result.n_compiled
+      << " compiled, " << result.n_normalized << " well-normalized, "
+      << result.n_early_stopped << " early-stopped, "
+      << result.n_fully_trained << " fully trained\n"
+      << "work:   " << result.n_probes_run << " probes and "
+      << result.n_full_trains_run << " full trainings executed; "
+      << result.cache_hits() << " stage results from cache\n";
+  if (result.has_best()) {
+    out << "best:   " << result.outcomes[result.best_index].id << " score "
+        << result.best_score << " (baseline " << result.original_score
+        << ")\n";
+  }
+}
+
+}  // namespace nada::examples

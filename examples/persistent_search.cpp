@@ -1,19 +1,27 @@
-// Persistent search: the candidate store in front of the NADA funnel.
+// Persistent search through the composable search API.
 //
 //   1. Open (or create) a content-addressed store for this funnel config.
-//   2. Run a state search — every stage checkpoints into the store.
+//   2. Run a state search as a search::SearchJob, stepping stage by stage
+//      with a StreamObserver printing live funnel events.
 //   3. Run it again: everything is served from cache, nothing retrains.
-//   4. Kill-and-resume: resume_states() continues from the journal.
+//   4. Kill-and-resume: SearchJob::resume() continues from the journal.
 //
 // Run it twice to see the cache carry across processes:
 //   ./build/examples/persistent_search
 //   ./build/examples/persistent_search   # all cache hits
 // The journal lands under $NADA_STORE_DIR (default ./nada_store).
+//
+// (core::Pipeline::search_states/resume_states remain as the stable
+// blocking wrappers over exactly this job — see examples/design_search.cpp
+// for that surface.)
 #include <iostream>
+#include <optional>
 
-#include "core/pipeline.h"
+#include "examples/example_common.h"
 #include "gen/state_gen.h"
-#include "store/candidate_store.h"
+#include "search/candidate.h"
+#include "search/observer.h"
+#include "search/search_job.h"
 #include "trace/generator.h"
 #include "util/thread_pool.h"
 #include "video/video.h"
@@ -26,56 +34,49 @@ int main() {
       trace::build_dataset(trace::Environment::k4G, 0.05, 21);
   const video::Video video = video::make_test_video(video::youtube_ladder(),
                                                     42);
+  const env::AbrDomain domain(dataset, video);
   util::ThreadPool pool;
 
-  core::PipelineConfig config;
-  config.num_candidates = 30;
-  config.early_epochs = 8;
-  config.full_train_top = 3;
-  config.seeds = 2;
-  config.train.epochs = 24;
-  config.train.test_interval = 8;
-  config.train.max_eval_traces = 4;
-  nn::ArchSpec arch = nn::ArchSpec::pensieve();
-  arch.conv_filters = 8;
-  arch.scalar_hidden = 8;
-  arch.merge_hidden = 16;
-  config.baseline_arch = arch;
-
-  core::Pipeline pipeline(dataset, video, config, 1234, &pool);
+  search::SearchConfig config =
+      examples::demo_funnel_config(/*candidates=*/30, /*early_epochs=*/8,
+                                   /*full_train_top=*/3, /*seeds=*/2,
+                                   /*epochs=*/24, /*test_interval=*/8,
+                                   /*max_eval_traces=*/4);
+  config.baseline_arch = examples::small_pensieve_arch(8, 0, 8, 16);
 
   // --- 1. the store, scoped to (environment, funnel-config digest) ---------
-  const store::StoreScope scope = pipeline.store_scope();
-  const std::string journal = store::default_store_path(scope);
-  store::CandidateStore cache(journal, scope);
-  pipeline.attach_store(&cache);
-  std::cout << "store: " << journal << " (" << cache.size()
-            << " records on open, scope " << scope.env << "/"
-            << scope.config_digest.substr(0, 12) << "...)\n";
+  const store::StoreScope scope = search::store_scope(domain, config, 1234);
+  const auto cache = examples::open_default_store(scope);
 
-  // --- 2./3. the search; reruns hit the journal ----------------------------
+  // --- 2./3. the search, one observable stage at a time --------------------
   gen::StateGenerator generator(gen::gpt4_profile(), gen::PromptStrategy{},
                                 77);
-  const core::PipelineResult result =
-      pipeline.search_states(generator, config.baseline_arch);
-  std::cout << "funnel: " << result.n_total << " candidates, "
-            << result.n_compiled << " compiled, " << result.n_fully_trained
-            << " fully trained\n"
-            << "work:   " << result.n_probes_run << " probes and "
-            << result.n_full_trains_run << " full trainings executed; "
-            << result.cache_hits() << " stage results from cache\n";
-  if (result.has_best()) {
-    std::cout << "best:   " << result.outcomes[result.best_index].id
-              << " score " << result.best_score << " (baseline "
-              << result.original_score << ")\n";
+  search::StateCandidateSource source(generator);
+  std::optional<rl::SessionResult> baseline;  // trained once, shared below
+  search::JobOptions options;
+  options.store = cache.get();
+  options.pool = &pool;
+  options.baseline_cache = &baseline;
+  search::SearchJob job(domain, config, 1234, source,
+                        search::FixedDesign{nullptr, &config.baseline_arch},
+                        options);
+  search::StreamObserver observer(std::cout, /*candidate_events=*/false);
+  job.add_observer(&observer);
+  while (job.next_stage()) {
+    // next_stage() runs exactly one funnel stage; a service would pump
+    // other work (or report progress) between stages here.
   }
+  const search::SearchResult result = job.result();
+  examples::print_funnel_summary(result);
 
-  // --- 4. resuming an interrupted run is the same call, after reset --------
+  // --- 4. resuming an interrupted run: same stream, fresh job --------------
   // If the previous process died mid-funnel, the journal holds whatever
-  // stages completed; resume_states replays the generator stream and only
+  // stages completed; resume() replays the generator stream and only
   // executes the missing work.
-  const core::PipelineResult resumed =
-      pipeline.resume_states(generator, config.baseline_arch);
+  search::SearchJob resume_job(
+      domain, config, 1234, source,
+      search::FixedDesign{nullptr, &config.baseline_arch}, options);
+  const search::SearchResult resumed = resume_job.resume();
   std::cout << "resume: " << resumed.n_probes_run << " probes and "
             << resumed.n_full_trains_run
             << " full trainings executed (expected 0 and 0: the run above "

@@ -2,192 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
-#include <unordered_map>
-
-#include "rl/batch_probe.h"
-#include "util/stats.h"
-#include "util/strings.h"
+#include <stdexcept>
 
 namespace nada::core {
-namespace {
-
-/// Probe curves are compared via their tail: the mean of the last quarter
-/// of the early-training rewards.
-double probe_score(const std::vector<double>& early_rewards) {
-  if (early_rewards.empty()) return -1e9;
-  const double score = util::tail_mean(
-      early_rewards, std::max<std::size_t>(early_rewards.size() / 4, 4));
-  // A diverged probe can leave NaN in the curve; NaN in the ranking
-  // comparator would break std::sort's strict weak ordering.
-  return std::isnan(score) ? -1e9 : score;
-}
-
-filter::DesignRecord make_record(const CandidateOutcome& outcome,
-                                 double normalizer) {
-  filter::DesignRecord record;
-  record.id = outcome.id;
-  record.source_text = outcome.source;
-  record.early_rewards = outcome.early_rewards;
-  const double denom = std::max(std::abs(normalizer), 0.1);
-  for (double& r : record.early_rewards) r /= denom;
-  record.final_score = probe_score(outcome.early_rewards) / denom;
-  return record;
-}
-
-/// Snapshot of a candidate's work products for the persistent store.
-store::OutcomeRecord to_store_record(const CandidateOutcome& outcome,
-                                     const store::Fingerprint& fp,
-                                     store::Stage stage) {
-  store::OutcomeRecord record;
-  record.fingerprint = fp;
-  record.stage = stage;
-  record.id = outcome.id;
-  record.source = outcome.source;
-  record.arch = outcome.arch;
-  record.compiled = outcome.compiled;
-  record.compile_error = outcome.compile_error;
-  record.normalized = outcome.normalized;
-  record.normalization_error = outcome.normalization_error;
-  record.early_probed = outcome.early_probed;
-  record.early_rewards = outcome.early_rewards;
-  record.fully_trained = outcome.fully_trained;
-  record.test_score = outcome.test_score;
-  record.emulation_score = outcome.emulation_score;
-  record.curve_epochs = outcome.curve_epochs;
-  record.median_curve = outcome.median_curve;
-  return record;
-}
-
-/// Restores the store's work products onto a fresh outcome (everything but
-/// the per-run selection verdict).
-void apply_store_record(const store::OutcomeRecord& record,
-                        CandidateOutcome& outcome) {
-  outcome.compiled = record.compiled;
-  outcome.compile_error = record.compile_error;
-  outcome.normalized = record.normalized;
-  outcome.normalization_error = record.normalization_error;
-  if (record.stage >= store::Stage::kProbed) {
-    outcome.early_probed = record.early_probed;
-    outcome.early_rewards = record.early_rewards;
-  }
-}
-
-/// Single point of truth for the full-training output fields: every path
-/// that produces them (fresh session, store record, in-batch clone) funnels
-/// through here, so a new field cannot be silently dropped on just one.
-void set_full_train_fields(CandidateOutcome& outcome, bool fully_trained,
-                           double test_score, double emulation_score,
-                           std::vector<double> median_curve,
-                           std::vector<double> curve_epochs) {
-  outcome.fully_trained = fully_trained;
-  outcome.test_score = test_score;
-  outcome.emulation_score = emulation_score;
-  outcome.median_curve = std::move(median_curve);
-  outcome.curve_epochs = std::move(curve_epochs);
-}
-
-void apply_full_train_record(const store::OutcomeRecord& record,
-                             CandidateOutcome& outcome) {
-  set_full_train_fields(outcome, record.fully_trained, record.test_score,
-                        record.emulation_score, record.median_curve,
-                        record.curve_epochs);
-}
-
-/// In-batch dedup: index of the first candidate with each fingerprint.
-/// Clones copy their leader's probe/training results instead of re-running
-/// them (content-derived seeds make the results identical anyway).
-std::vector<std::size_t> leaders_by_fingerprint(
-    const std::vector<store::Fingerprint>& fps) {
-  std::unordered_map<std::string, std::size_t> first_seen;
-  std::vector<std::size_t> leader(fps.size());
-  for (std::size_t i = 0; i < fps.size(); ++i) {
-    leader[i] = first_seen.try_emplace(fps[i].hex(), i).first->second;
-  }
-  return leader;
-}
-
-void copy_probe_result(const CandidateOutcome& from, CandidateOutcome& to) {
-  to.early_probed = from.early_probed;
-  to.early_rewards = from.early_rewards;
-  if (!from.early_probed) to.compile_error = from.compile_error;
-}
-
-void copy_full_train_result(const CandidateOutcome& from,
-                            CandidateOutcome& to) {
-  set_full_train_fields(to, from.fully_trained, from.test_score,
-                        from.emulation_score, from.median_curve,
-                        from.curve_epochs);
-}
-
-/// Runs the early-probe stage over `jobs` — batched lockstep blocks or one
-/// serial Trainer per candidate (bit-identical either way) — and hands
-/// each result to `apply(k, result)` with k indexing `jobs`. Shared by the
-/// state and architecture searches so the two dispatches cannot drift.
-void run_probe_stage(
-    const env::TaskDomain& domain, util::ThreadPool* pool,
-    const PipelineConfig& config, const rl::TrainConfig& probe_config,
-    const std::vector<rl::ProbeJob>& jobs,
-    const std::function<void(std::size_t, const rl::TrainResult&)>& apply) {
-  if (config.probe_batch) {
-    const rl::BatchProbeTrainer batch_trainer(
-        domain, rl::BatchProbeConfig{probe_config, config.probe_block});
-    const auto results = batch_trainer.train(jobs, pool);
-    for (std::size_t k = 0; k < jobs.size(); ++k) apply(k, results[k]);
-    return;
-  }
-  auto probe = [&](std::size_t k) {
-    rl::Trainer trainer(domain, probe_config, jobs[k].seed);
-    apply(k, trainer.train(*jobs[k].program, *jobs[k].spec));
-  };
-  if (pool != nullptr && jobs.size() > 1) {
-    pool->parallel_for(jobs.size(), probe);
-  } else {
-    for (std::size_t k = 0; k < jobs.size(); ++k) probe(k);
-  }
-}
-
-}  // namespace
-
-void Pipeline::validate_config(const PipelineConfig& config) {
-  if (config.num_candidates == 0) {
-    throw std::invalid_argument(
-        "PipelineConfig: num_candidates must be >= 1 (got 0)");
-  }
-  if (config.full_train_top == 0) {
-    throw std::invalid_argument(
-        "PipelineConfig: full_train_top must be >= 1 (got 0)");
-  }
-  if (config.full_train_top > config.num_candidates) {
-    throw std::invalid_argument(
-        "PipelineConfig: full_train_top (" +
-        std::to_string(config.full_train_top) +
-        ") exceeds num_candidates (" +
-        std::to_string(config.num_candidates) +
-        "): cannot fully train more designs than the stream holds");
-  }
-  if (config.seeds == 0) {
-    throw std::invalid_argument(
-        "PipelineConfig: seeds must be >= 1 (got 0); the paper's protocol "
-        "trains each survivor across independent seeds");
-  }
-  if (config.probe_block == 0) {
-    throw std::invalid_argument(
-        "PipelineConfig: probe_block must be >= 1 (got 0)");
-  }
-  if (config.early_epochs == 0) {
-    throw std::invalid_argument(
-        "PipelineConfig: early_epochs must be >= 1 (got 0); the probe "
-        "stage needs a non-empty reward window");
-  }
-}
 
 Pipeline::Pipeline(std::shared_ptr<const env::TaskDomain> domain,
                    PipelineConfig config, std::uint64_t seed,
                    util::ThreadPool* pool)
     : owned_domain_(std::move(domain)), domain_(owned_domain_.get()),
       config_(std::move(config)), seed_(seed), pool_(pool) {
-  validate_config(config_);
+  search::validate_config(config_);
 }
 
 Pipeline::Pipeline(const env::TaskDomain& domain, PipelineConfig config,
@@ -204,41 +28,13 @@ Pipeline::Pipeline(const trace::Dataset& dataset, const video::Video& video,
 
 const rl::SessionResult& Pipeline::original_baseline() {
   if (!original_.has_value()) {
-    const dsl::StateProgram original_state =
-        dsl::StateProgram::compile(domain_->baseline_state_source());
-    rl::SessionConfig sc;
-    sc.seeds = config_.seeds;
-    sc.train = config_.train;
-    original_ = rl::run_sessions(*domain_, original_state,
-                                 config_.baseline_arch, sc,
-                                 seed_ ^ 0x0817b05eULL, pool_);
+    original_ = search::train_baseline(*domain_, config_, seed_, pool_);
   }
   return *original_;
 }
 
 store::StoreScope Pipeline::store_scope() const {
-  std::ostringstream spec;
-  // Simulator-semantics revision: bumped whenever a code change alters the
-  // per-candidate results produced for the same (fingerprint, config) —
-  // e.g. rev 2 fixed AbrEnv's constructor RNG draw, the eval-prefix bias,
-  // and the stall-deadline "completed" lie. Journals written under an
-  // older revision are scoped out rather than silently mixed with
-  // incomparable fresh results. Execution-only knobs (probe_batch,
-  // probe_block) never feed the digest: batched and serial runs are
-  // bit-identical and share journals.
-  spec << "sim_rev=2;" << store::canonical_train_config(config_.train)
-       << ";seeds=" << config_.seeds
-       << ";early_epochs=" << config_.early_epochs
-       << ";norm_threshold=" << config_.normalization_threshold
-       << ";norm_fuzz=" << config_.normalization_fuzz_runs
-       << ";pipeline_seed=" << seed_;
-  // The domain appends the identity of its data (traces, video, simulator
-  // parameters): results are only reusable against the same inputs.
-  domain_->append_scope_spec(spec);
-  store::StoreScope scope;
-  scope.env = domain_->scope_env();
-  scope.config_digest = store::fingerprint_text(spec.str()).hex();
-  return scope;
+  return search::store_scope(*domain_, config_, seed_);
 }
 
 void Pipeline::attach_store(store::CandidateStore* store) {
@@ -252,14 +48,44 @@ void Pipeline::attach_store(store::CandidateStore* store) {
   store_ = store;
 }
 
+PipelineResult Pipeline::run_job(search::CandidateSource& source,
+                                 search::FixedDesign fixed,
+                                 const filter::EarlyStopModel* early_stop_model,
+                                 bool resume) {
+  search::SearchJob::Options options;
+  options.early_stop_model = early_stop_model;
+  options.store = store_;
+  options.pool = pool_;
+  options.baseline_cache = &original_;
+  search::SearchJob job(*domain_, config_, seed_, source, fixed, options);
+  return resume ? job.resume() : job.run_to_completion();
+}
+
+PipelineResult Pipeline::search_states(
+    gen::StateGenerator& generator, const nn::ArchSpec& arch,
+    const filter::EarlyStopModel* early_stop_model) {
+  search::StateCandidateSource source(generator);
+  return run_job(source, search::FixedDesign{nullptr, &arch},
+                 early_stop_model, /*resume=*/false);
+}
+
+PipelineResult Pipeline::search_archs(
+    gen::ArchGenerator& generator, const dsl::StateProgram& state,
+    const filter::EarlyStopModel* early_stop_model) {
+  search::ArchCandidateSource source(generator);
+  return run_job(source, search::FixedDesign{&state, nullptr},
+                 early_stop_model, /*resume=*/false);
+}
+
 PipelineResult Pipeline::resume_states(
     gen::StateGenerator& generator, const nn::ArchSpec& arch,
     const filter::EarlyStopModel* early_stop_model) {
   if (store_ == nullptr) {
     throw std::logic_error("Pipeline::resume_states: no store attached");
   }
-  generator.reset();
-  return search_states(generator, arch, early_stop_model);
+  search::StateCandidateSource source(generator);
+  return run_job(source, search::FixedDesign{nullptr, &arch},
+                 early_stop_model, /*resume=*/true);
 }
 
 PipelineResult Pipeline::resume_archs(
@@ -268,390 +94,9 @@ PipelineResult Pipeline::resume_archs(
   if (store_ == nullptr) {
     throw std::logic_error("Pipeline::resume_archs: no store attached");
   }
-  generator.reset();
-  return search_archs(generator, state, early_stop_model);
-}
-
-std::vector<std::size_t> Pipeline::select_survivors(
-    const std::vector<CandidateOutcome>& outcomes,
-    const filter::EarlyStopModel* early_stop_model,
-    std::vector<CandidateOutcome>& all) const {
-  // Candidates eligible for selection: probed ones.
-  std::vector<std::size_t> probed;
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    if (outcomes[i].early_probed) probed.push_back(i);
-  }
-
-  std::vector<std::size_t> kept;
-  if (early_stop_model != nullptr) {
-    const double normalizer =
-        original_.has_value() ? original_->test_score : 1.0;
-    for (std::size_t i : probed) {
-      const auto record = make_record(outcomes[i], normalizer);
-      if (early_stop_model->keep(record)) {
-        kept.push_back(i);
-      } else {
-        all[i].early_stopped = true;
-      }
-    }
-  } else {
-    kept = probed;
-  }
-
-  // Rank the kept probes by tail reward and take the full-training slots.
-  // Ties break by stream position so reruns and resumed runs select
-  // identically even when deduplicated candidates share a reward curve.
-  std::sort(kept.begin(), kept.end(), [&outcomes](std::size_t a,
-                                                  std::size_t b) {
-    const double score_a = probe_score(outcomes[a].early_rewards);
-    const double score_b = probe_score(outcomes[b].early_rewards);
-    if (score_a != score_b) return score_a > score_b;
-    return a < b;
-  });
-  if (kept.size() > config_.full_train_top) {
-    for (std::size_t r = config_.full_train_top; r < kept.size(); ++r) {
-      all[kept[r]].early_stopped = true;
-    }
-    kept.resize(config_.full_train_top);
-  }
-  return kept;
-}
-
-void Pipeline::apply_session_results(
-    std::vector<CandidateOutcome>& outcomes,
-    const std::vector<std::size_t>& selected,
-    const std::vector<rl::SessionResult>& sessions) {
-  for (std::size_t k = 0; k < selected.size(); ++k) {
-    const rl::SessionResult& session = sessions[k];
-    set_full_train_fields(outcomes[selected[k]], !session.failed,
-                          session.test_score, session.emulation_score,
-                          session.median_curve, session.curve_epochs);
-  }
-}
-
-PipelineResult Pipeline::search_states(
-    gen::StateGenerator& generator, const nn::ArchSpec& arch,
-    const filter::EarlyStopModel* early_stop_model) {
-  PipelineResult result;
-  const auto candidates = generator.generate_batch(config_.num_candidates);
-  result.n_total = candidates.size();
-
-  // Baseline first: selection and reporting are relative to it.
-  result.original = original_baseline();
-  result.original_score = result.original.test_score;
-
-  // Content addresses: a candidate is the (state, arch) pair. Per-candidate
-  // training seeds derive from the fingerprint, not the stream position, so
-  // identical content always trains identically — the property that makes
-  // cached results transplantable across runs and shards.
-  const store::Fingerprint arch_fp = store::fingerprint_arch(arch);
-  std::vector<store::Fingerprint> fps(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    fps[i] = store::combine(
-        store::fingerprint_state_source(candidates[i].source), arch_fp);
-  }
-  const std::vector<std::size_t> leader = leaders_by_fingerprint(fps);
-  std::vector<std::optional<store::OutcomeRecord>> cached(candidates.size());
-  if (store_ != nullptr) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      cached[i] = store_->lookup(fps[i]);
-    }
-  }
-
-  // Stage 1+2: pre-checks. Cheap and embarrassingly parallel. Cache hits
-  // serve the recorded verdict; compiled sources are still re-parsed (a
-  // cheap parse) so later stages have the program object.
-  std::vector<CandidateOutcome> outcomes(candidates.size());
-  std::vector<std::optional<dsl::StateProgram>> programs(candidates.size());
-  auto precheck = [&](std::size_t i) {
-    CandidateOutcome& outcome = outcomes[i];
-    outcome.id = candidates[i].id;
-    outcome.source = candidates[i].source;
-    if (cached[i].has_value()) {
-      bool record_usable = true;
-      if (cached[i]->compiled && cached[i]->stage < store::Stage::kTrained) {
-        try {
-          programs[i] = dsl::StateProgram::compile(candidates[i].source);
-        } catch (const dsl::CompileError&) {
-          // The record says this source compiles but it doesn't: a
-          // fingerprint collision (or foreign journal). Fall through to a
-          // genuine miss so the candidate is evaluated on its own merits.
-          record_usable = false;
-        }
-      }
-      if (record_usable) {
-        apply_store_record(*cached[i], outcome);
-        return;
-      }
-      cached[i].reset();
-    }
-    const auto compile = filter::compilation_check(
-        candidates[i].source, domain_->catalog(), &programs[i]);
-    outcome.compiled = compile.passed;
-    outcome.compile_error = compile.reason;
-    if (compile.passed) {
-      const auto norm = filter::normalization_check(
-          *programs[i], domain_->catalog(), config_.normalization_threshold,
-          config_.normalization_fuzz_runs, seed_ ^ (fps[i].lo * 0x9e3779b9ULL));
-      outcome.normalized = norm.passed;
-      outcome.normalization_error = norm.reason;
-    }
-    if (store_ != nullptr) {
-      store_->put(to_store_record(outcome, fps[i], store::Stage::kChecked));
-    }
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(candidates.size(), precheck);
-  } else {
-    for (std::size_t i = 0; i < candidates.size(); ++i) precheck(i);
-  }
-  for (const auto& c : cached) {
-    if (c.has_value()) ++result.n_precheck_cache_hits;
-  }
-
-  // Stage 3: the early "batch training" probe, skipping candidates whose
-  // probe curve the store already holds.
-  std::vector<std::size_t> probe_set;
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    if (outcomes[i].compiled) ++result.n_compiled;
-    if (!outcomes[i].compiled || !outcomes[i].normalized) continue;
-    ++result.n_normalized;
-    if (cached[i].has_value() && cached[i]->stage >= store::Stage::kProbed) {
-      ++result.n_probe_cache_hits;  // probe verdict already applied
-    } else if (leader[i] != i) {
-      // In-batch clone: copies the leader's probe result after the stage.
-    } else if (programs[i].has_value()) {
-      probe_set.push_back(i);
-    }
-  }
-  rl::TrainConfig probe_config = config_.train;
-  probe_config.epochs = config_.early_epochs;
-  probe_config.evaluate_checkpoints = false;
-  std::vector<rl::ProbeJob> probe_jobs;
-  probe_jobs.reserve(probe_set.size());
-  for (std::size_t i : probe_set) {
-    probe_jobs.push_back(rl::ProbeJob{&*programs[i], &arch,
-                                      seed_ ^ (0xb10b << 8) ^ fps[i].lo});
-  }
-  run_probe_stage(
-      *domain_, pool_, config_, probe_config, probe_jobs,
-      [&](std::size_t k, const rl::TrainResult& probe_result) {
-        const std::size_t i = probe_set[k];
-        if (!probe_result.failed) {
-          outcomes[i].early_probed = true;
-          outcomes[i].early_rewards = probe_result.train_rewards;
-        } else {
-          // Blew up only under real training inputs; treat as
-          // compile-stage failure discovered late.
-          outcomes[i].compile_error = probe_result.error;
-        }
-        if (store_ != nullptr) {
-          store_->put(
-              to_store_record(outcomes[i], fps[i], store::Stage::kProbed));
-        }
-      });
-  result.n_probes_run = probe_set.size();
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    if (leader[i] != i && outcomes[i].compiled && outcomes[i].normalized &&
-        !outcomes[i].early_probed) {
-      copy_probe_result(outcomes[leader[i]], outcomes[i]);
-    }
-  }
-
-  // Stage 4: selection (early-stop model or tail-reward ranking).
-  const std::vector<std::size_t> selected =
-      select_survivors(outcomes, early_stop_model, outcomes);
-  for (const auto& outcome : outcomes) {
-    if (outcome.early_stopped) ++result.n_early_stopped;
-  }
-
-  // Stage 5: full-scale training of the survivors, every (design, seed)
-  // pair scheduled independently on the pool. Survivors whose full run is
-  // journaled reuse it outright; a selected clone waits for its leader
-  // (equal probe score + index tie-break guarantee the leader is selected
-  // whenever a clone is).
-  std::vector<std::size_t> to_train;
-  std::vector<std::size_t> clones;
-  for (std::size_t i : selected) {
-    if (cached[i].has_value() && cached[i]->stage >= store::Stage::kTrained) {
-      apply_full_train_record(*cached[i], outcomes[i]);
-      ++result.n_full_cache_hits;
-    } else if (leader[i] != i) {
-      clones.push_back(i);
-    } else if (programs[i].has_value()) {
-      to_train.push_back(i);
-    }
-  }
-  rl::SessionConfig session_config;
-  session_config.seeds = config_.seeds;
-  session_config.train = config_.train;
-  std::vector<rl::SessionJob> jobs;
-  jobs.reserve(to_train.size());
-  for (std::size_t i : to_train) {
-    jobs.push_back(rl::SessionJob{&*programs[i], &arch,
-                                  seed_ ^ (0xf111 << 4) ^ fps[i].lo});
-  }
-  const auto sessions =
-      rl::run_session_batch(*domain_, jobs, session_config, pool_);
-  apply_session_results(outcomes, to_train, sessions);
-  result.n_full_trains_run = to_train.size();
-  for (std::size_t i : clones) {
-    copy_full_train_result(outcomes[leader[i]], outcomes[i]);
-  }
-  if (store_ != nullptr) {
-    for (std::size_t i : to_train) {
-      store_->put(to_store_record(outcomes[i], fps[i], store::Stage::kTrained));
-    }
-  }
-
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    if (!outcomes[i].fully_trained) continue;
-    ++result.n_fully_trained;
-    if (outcomes[i].test_score > result.best_score) {
-      result.best_score = outcomes[i].test_score;
-      result.best_index = i;
-    }
-  }
-  result.outcomes = std::move(outcomes);
-  return result;
-}
-
-PipelineResult Pipeline::search_archs(
-    gen::ArchGenerator& generator, const dsl::StateProgram& state,
-    const filter::EarlyStopModel* early_stop_model) {
-  PipelineResult result;
-  const auto candidates = generator.generate_batch(config_.num_candidates);
-  result.n_total = candidates.size();
-
-  result.original = original_baseline();
-  result.original_score = result.original.test_score;
-
-  const nn::StateSignature signature =
-      rl::derive_signature(state, domain_->catalog());
-
-  const store::Fingerprint state_fp =
-      store::fingerprint_state_source(state.source());
-  std::vector<store::Fingerprint> fps(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    fps[i] = store::combine(store::fingerprint_arch(candidates[i].spec),
-                            state_fp);
-  }
-
-  const std::vector<std::size_t> leader = leaders_by_fingerprint(fps);
-  std::vector<CandidateOutcome> outcomes(candidates.size());
-  std::vector<std::optional<store::OutcomeRecord>> cached(candidates.size());
-  std::vector<std::size_t> probe_set;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    outcomes[i].id = candidates[i].id;
-    outcomes[i].arch = candidates[i].spec;
-    outcomes[i].source = candidates[i].description;
-    if (store_ != nullptr) cached[i] = store_->lookup(fps[i]);
-    if (cached[i].has_value()) {
-      apply_store_record(*cached[i], outcomes[i]);
-      ++result.n_precheck_cache_hits;
-    } else {
-      const auto check = filter::arch_compilation_check(
-          candidates[i].spec, signature, domain_->num_actions());
-      outcomes[i].compiled = check.passed;
-      outcomes[i].compile_error = check.reason;
-      // The normalization check does not apply to architectures (§2.2).
-      outcomes[i].normalized = check.passed;
-      if (store_ != nullptr) {
-        store_->put(
-            to_store_record(outcomes[i], fps[i], store::Stage::kChecked));
-      }
-    }
-    if (!outcomes[i].compiled) continue;
-    ++result.n_compiled;
-    ++result.n_normalized;
-    if (cached[i].has_value() && cached[i]->stage >= store::Stage::kProbed) {
-      ++result.n_probe_cache_hits;
-    } else if (leader[i] == i) {
-      probe_set.push_back(i);
-    }
-  }
-
-  rl::TrainConfig probe_config = config_.train;
-  probe_config.epochs = config_.early_epochs;
-  probe_config.evaluate_checkpoints = false;
-  std::vector<rl::ProbeJob> probe_jobs;
-  probe_jobs.reserve(probe_set.size());
-  for (std::size_t i : probe_set) {
-    probe_jobs.push_back(rl::ProbeJob{&state, &*outcomes[i].arch,
-                                      seed_ ^ (0xa10b << 8) ^ fps[i].lo});
-  }
-  run_probe_stage(
-      *domain_, pool_, config_, probe_config, probe_jobs,
-      [&](std::size_t k, const rl::TrainResult& probe_result) {
-        const std::size_t i = probe_set[k];
-        if (!probe_result.failed) {
-          outcomes[i].early_probed = true;
-          outcomes[i].early_rewards = probe_result.train_rewards;
-        } else {
-          outcomes[i].compile_error = probe_result.error;
-        }
-        if (store_ != nullptr) {
-          store_->put(
-              to_store_record(outcomes[i], fps[i], store::Stage::kProbed));
-        }
-      });
-  result.n_probes_run = probe_set.size();
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    if (leader[i] != i && outcomes[i].compiled && !outcomes[i].early_probed) {
-      copy_probe_result(outcomes[leader[i]], outcomes[i]);
-    }
-  }
-
-  const std::vector<std::size_t> selected =
-      select_survivors(outcomes, early_stop_model, outcomes);
-  for (const auto& outcome : outcomes) {
-    if (outcome.early_stopped) ++result.n_early_stopped;
-  }
-
-  std::vector<std::size_t> to_train;
-  std::vector<std::size_t> clones;
-  for (std::size_t i : selected) {
-    if (cached[i].has_value() && cached[i]->stage >= store::Stage::kTrained) {
-      apply_full_train_record(*cached[i], outcomes[i]);
-      ++result.n_full_cache_hits;
-    } else if (leader[i] != i) {
-      clones.push_back(i);
-    } else {
-      to_train.push_back(i);
-    }
-  }
-  rl::SessionConfig session_config;
-  session_config.seeds = config_.seeds;
-  session_config.train = config_.train;
-  std::vector<rl::SessionJob> jobs;
-  jobs.reserve(to_train.size());
-  for (std::size_t i : to_train) {
-    jobs.push_back(rl::SessionJob{&state, &*outcomes[i].arch,
-                                  seed_ ^ (0xf222 << 4) ^ fps[i].lo});
-  }
-  const auto sessions =
-      rl::run_session_batch(*domain_, jobs, session_config, pool_);
-  apply_session_results(outcomes, to_train, sessions);
-  result.n_full_trains_run = to_train.size();
-  for (std::size_t i : clones) {
-    copy_full_train_result(outcomes[leader[i]], outcomes[i]);
-  }
-  if (store_ != nullptr) {
-    for (std::size_t i : to_train) {
-      store_->put(to_store_record(outcomes[i], fps[i], store::Stage::kTrained));
-    }
-  }
-
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    if (!outcomes[i].fully_trained) continue;
-    ++result.n_fully_trained;
-    if (outcomes[i].test_score > result.best_score) {
-      result.best_score = outcomes[i].test_score;
-      result.best_index = i;
-    }
-  }
-  result.outcomes = std::move(outcomes);
-  return result;
+  search::ArchCandidateSource source(generator);
+  return run_job(source, search::FixedDesign{&state, nullptr},
+                 early_stop_model, /*resume=*/true);
 }
 
 PipelineConfig scaled_pipeline_config(trace::Environment env,

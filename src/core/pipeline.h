@@ -1,31 +1,30 @@
 // The NADA pipeline (Figure 1): generate -> pre-check -> batch-train with
 // early stopping -> full-scale training -> rank.
 //
-// This is the paper's primary contribution: an orchestration loop that
-// turns a stream of LLM-generated candidate code blocks into a ranked set
-// of validated designs while spending as little training compute as
-// possible on the duds.
+// STABLE COMPATIBILITY SURFACE. Since the search-API redesign the funnel
+// itself lives in src/search/ (search::SearchJob: steppable stages,
+// observer event streams, shard workers, unified state/arch candidates);
+// core::Pipeline is a thin wrapper that binds the historical blocking
+// entry points to one SearchJob each. The wrapper is bit-identical to the
+// pre-redesign implementation: same store journals byte for byte, same
+// rankings for the same seeds (pinned by tests/search_test.cpp). Existing
+// callers keep working unchanged; new code that wants progress events,
+// incremental stepping, or sharding should use nada::search directly.
 //
 // The pipeline is domain-generic: it runs over any env::TaskDomain (ABR
-// streaming and congestion control ship in-tree), checking candidates
-// against the domain's binding catalog and training them in the domain's
-// episodes through the identical funnel code path. The historical
+// streaming and congestion control ship in-tree). The historical
 // (dataset, video) constructor is the ABR convenience form.
 //
-// With a store::CandidateStore attached (attach_store), the funnel also
-// never re-spends compute across runs: every stage consults the store
-// first and checkpoints its results into it, so reruns serve cached
-// outcomes and interrupted runs continue via resume_states/resume_archs.
-// store_scope() carries the domain token, so ABR and CC journals coexist
-// in one store directory without aliasing.
+// With a store::CandidateStore attached (attach_store), the funnel never
+// re-spends compute across runs: every stage consults the store first and
+// checkpoints its results into it, so reruns serve cached outcomes and
+// interrupted runs continue via resume_states/resume_archs.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
-#include <vector>
 
 #include "dsl/state_program.h"
 #include "env/abr_domain.h"
@@ -35,9 +34,10 @@
 #include "gen/arch_gen.h"
 #include "gen/state_gen.h"
 #include "rl/session.h"
-#include "rl/trainer.h"
+#include "search/candidate.h"
+#include "search/search_job.h"
+#include "search/types.h"
 #include "store/candidate_store.h"
-#include "store/fingerprint.h"
 #include "trace/generator.h"
 #include "util/scale.h"
 #include "util/thread_pool.h"
@@ -45,93 +45,17 @@
 
 namespace nada::core {
 
-struct PipelineConfig {
-  std::size_t num_candidates = 150;
-  /// Epochs for the early "batch training" probe (the paper's first-K
-  /// reward window).
-  std::size_t early_epochs = 60;
-  /// How many ranked survivors get the full training budget.
-  std::size_t full_train_top = 6;
-  /// Sessions (seeds) for full-scale training.
-  std::size_t seeds = 3;
-  rl::TrainConfig train;  ///< full-scale budget; early probe reuses it with
-                          ///< `early_epochs` epochs
-  /// Architecture used for the baseline and for state-search candidates.
-  nn::ArchSpec baseline_arch = nn::ArchSpec::pensieve();
-  double normalization_threshold = filter::kNormalizationThreshold;
-  std::size_t normalization_fuzz_runs = 16;
-  /// Run the early-probe stage through rl::BatchProbeTrainer: candidates
-  /// train in lockstep blocks with fused matrix-matrix updates instead of
-  /// one serial Trainer each. Bit-identical per-candidate reward curves
-  /// and store records either way (per-candidate seeds are fingerprint-
-  /// derived and unaffected), so this is an execution knob, not a scope
-  /// knob: it does not feed store_scope() and journals are shared freely
-  /// between batched and serial runs of the same code revision.
-  bool probe_batch = true;
-  /// Candidates per lockstep block when probe_batch is on.
-  std::size_t probe_block = 4;
-};
-
-/// Everything that happened to one candidate on its way through the funnel.
-struct CandidateOutcome {
-  std::string id;
-  std::string source;            ///< state candidates only
-  std::optional<nn::ArchSpec> arch;  ///< architecture candidates only
-  bool compiled = false;
-  std::string compile_error;
-  bool normalized = false;       ///< always true for architecture candidates
-  std::string normalization_error;
-  bool early_probed = false;
-  std::vector<double> early_rewards;
-  bool early_stopped = false;    ///< filtered out after the probe
-  bool fully_trained = false;
-  double test_score = -1e9;      ///< paper's test score (median over seeds)
-  double emulation_score = 0.0;  ///< Table-4 style emulation score, if asked
-  std::vector<double> curve_epochs;  ///< checkpoint curve of the full run
-  std::vector<double> median_curve;
-};
-
-struct PipelineResult {
-  std::vector<CandidateOutcome> outcomes;
-  std::size_t n_total = 0;
-  std::size_t n_compiled = 0;
-  std::size_t n_normalized = 0;
-  std::size_t n_early_stopped = 0;
-  std::size_t n_fully_trained = 0;
-  /// Stage results served from the attached candidate store instead of
-  /// recomputed (always 0 without a store).
-  std::size_t n_precheck_cache_hits = 0;
-  std::size_t n_probe_cache_hits = 0;
-  std::size_t n_full_cache_hits = 0;
-  /// Work actually executed by this invocation (cache misses). A rerun
-  /// over an unchanged stream reports n_probes_run == n_full_trains_run
-  /// == 0: every result comes from the store.
-  std::size_t n_probes_run = 0;
-  std::size_t n_full_trains_run = 0;
-
-  [[nodiscard]] std::size_t cache_hits() const {
-    return n_precheck_cache_hits + n_probe_cache_hits + n_full_cache_hits;
-  }
-  /// Baseline: the original design trained with the same protocol.
-  rl::SessionResult original;
-  double original_score = 0.0;
-  /// Index into `outcomes` of the best fully trained candidate, or npos.
-  std::size_t best_index = SIZE_MAX;
-  double best_score = -1e9;
-
-  [[nodiscard]] bool has_best() const { return best_index != SIZE_MAX; }
-  [[nodiscard]] double improvement() const {
-    return original_score != 0.0 && has_best()
-               ? (best_score - original_score) / std::abs(original_score)
-               : 0.0;
-  }
-};
+// The pipeline's value types are the search API's (one definition, two
+// names): core::PipelineConfig et al. remain the stable spellings.
+using PipelineConfig = search::SearchConfig;
+using CandidateOutcome = search::CandidateOutcome;
+using PipelineResult = search::SearchResult;
 
 class Pipeline {
  public:
   /// Domain-generic pipeline; `domain` must outlive it. `pool` may be null
   /// (serial execution). Throws std::invalid_argument on a degenerate
-  /// config (see validate_config).
+  /// config (see search::validate_config).
   Pipeline(const env::TaskDomain& domain, PipelineConfig config,
            std::uint64_t seed, util::ThreadPool* pool = nullptr);
 
@@ -160,14 +84,7 @@ class Pipeline {
   [[nodiscard]] const rl::SessionResult& original_baseline();
 
   /// The (environment, funnel-config digest) scope this pipeline's results
-  /// live under in a candidate store. Everything that changes a stored
-  /// per-candidate result — training protocol, probe budget, seeds,
-  /// normalization check parameters, the pipeline seed, the identity of
-  /// the domain's data (traces, video, simulator parameters), and the
-  /// simulator-semantics revision — feeds the digest; selection-only knobs
-  /// (num_candidates, full_train_top) do not, so the cache survives
-  /// re-ranking with a different top-K. The scope's env field is the
-  /// domain token ("starlink" for ABR, "cc-starlink" for CC).
+  /// live under in a candidate store; see search::store_scope.
   [[nodiscard]] store::StoreScope store_scope() const;
 
   /// Attaches a persistent store: subsequent searches consult it before
@@ -196,19 +113,11 @@ class Pipeline {
   Pipeline(std::shared_ptr<const env::TaskDomain> domain,
            PipelineConfig config, std::uint64_t seed, util::ThreadPool* pool);
 
-  /// Up-front validation with descriptive errors: num_candidates >= 1,
-  /// 1 <= full_train_top <= num_candidates, seeds >= 1, probe_block >= 1,
-  /// early_epochs >= 1.
-  static void validate_config(const PipelineConfig& config);
-
-  static void apply_session_results(
-      std::vector<CandidateOutcome>& outcomes,
-      const std::vector<std::size_t>& selected,
-      const std::vector<rl::SessionResult>& sessions);
-  [[nodiscard]] std::vector<std::size_t> select_survivors(
-      const std::vector<CandidateOutcome>& outcomes,
-      const filter::EarlyStopModel* early_stop_model,
-      std::vector<CandidateOutcome>& all) const;
+  /// All four entry points funnel here: one search::SearchJob per call,
+  /// sharing this pipeline's store and cached baseline.
+  [[nodiscard]] PipelineResult run_job(
+      search::CandidateSource& source, search::FixedDesign fixed,
+      const filter::EarlyStopModel* early_stop_model, bool resume);
 
   std::shared_ptr<const env::TaskDomain> owned_domain_;
   const env::TaskDomain* domain_;

@@ -1,0 +1,152 @@
+// Streaming stage events for the search funnel.
+//
+// A SearchJob fires an event for every stage transition (with wall-clock
+// timing) and for every candidate milestone — entered the stream, served
+// from the store cache, failed a check or blew up in training, probed,
+// early-stopped, fully trained, or skipped as out-of-shard. Observers get
+// live progress where the monolithic Pipeline entry points were silent
+// until the final result: CLIs print funnel lines as they happen, tests
+// assert stage coverage, services will export counters.
+//
+// Threading: candidate events are serialized (the job guards dispatch with
+// a mutex), but when the probe stage runs serial per-candidate trainers on
+// a thread pool (SearchConfig::probe_batch == false) they may arrive on
+// pool threads. Stage start/finish events always fire on the stepping
+// thread.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nada::search {
+
+/// The funnel's stages, in execution order. kGenerate pulls the candidate
+/// stream and computes content fingerprints; kPrecheck runs compile /
+/// normalization trial runs; kProbe early-trains the survivors; kBaseline
+/// trains the domain's original design; kSelect applies early stopping and
+/// takes the full-training slots; kFullTrain trains the selected designs
+/// across seeds; kRank computes the final ordering. kDone is the terminal
+/// marker (never executed).
+enum class StageKind {
+  kGenerate = 0,
+  kPrecheck,
+  kProbe,
+  kBaseline,
+  kSelect,
+  kFullTrain,
+  kRank,
+  kDone,
+};
+
+[[nodiscard]] constexpr const char* stage_label(StageKind stage) {
+  switch (stage) {
+    case StageKind::kGenerate: return "generate";
+    case StageKind::kPrecheck: return "precheck";
+    case StageKind::kProbe: return "probe";
+    case StageKind::kBaseline: return "baseline";
+    case StageKind::kSelect: return "select";
+    case StageKind::kFullTrain: return "full-train";
+    case StageKind::kRank: return "rank";
+    case StageKind::kDone: return "done";
+  }
+  return "?";
+}
+
+enum class CandidateEventType {
+  kEntered,       ///< joined the stream (kGenerate)
+  kOutOfShard,    ///< outside this job's ShardSlice; skipped entirely
+  kCacheHit,      ///< stage result served from the candidate store
+  kFailed,        ///< failed a pre-check, or blew up during the probe
+  kProbed,        ///< early-training probe completed
+  kEarlyStopped,  ///< probed but filtered out before full training
+  kTrained,       ///< full-scale training completed
+};
+
+[[nodiscard]] constexpr const char* event_label(CandidateEventType type) {
+  switch (type) {
+    case CandidateEventType::kEntered: return "entered";
+    case CandidateEventType::kOutOfShard: return "out-of-shard";
+    case CandidateEventType::kCacheHit: return "cache-hit";
+    case CandidateEventType::kFailed: return "failed";
+    case CandidateEventType::kProbed: return "probed";
+    case CandidateEventType::kEarlyStopped: return "early-stopped";
+    case CandidateEventType::kTrained: return "trained";
+  }
+  return "?";
+}
+
+struct CandidateEvent {
+  CandidateEventType type = CandidateEventType::kEntered;
+  StageKind stage = StageKind::kGenerate;  ///< stage that produced the event
+  std::size_t index = 0;                   ///< stream position
+  std::string id;
+  std::string detail;  ///< failure reason / score summary, may be empty
+};
+
+struct StageEvent {
+  StageKind stage = StageKind::kGenerate;
+  double seconds = 0.0;  ///< wall-clock spent in the stage
+};
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void on_stage_start(StageKind /*stage*/) {}
+  virtual void on_stage_finish(const StageEvent& /*event*/) {}
+  virtual void on_candidate(const CandidateEvent& /*event*/) {}
+};
+
+/// Prints one line per event — live funnel progress for CLIs and examples.
+class StreamObserver : public Observer {
+ public:
+  /// `candidate_events` false keeps only the per-stage lines (quiet mode).
+  explicit StreamObserver(std::ostream& out, bool candidate_events = true)
+      : out_(&out), candidate_events_(candidate_events) {}
+
+  void on_stage_start(StageKind stage) override {
+    *out_ << "[search] stage " << stage_label(stage) << "...\n";
+  }
+  void on_stage_finish(const StageEvent& event) override {
+    *out_ << "[search] stage " << stage_label(event.stage) << " done in "
+          << event.seconds << "s\n";
+  }
+  void on_candidate(const CandidateEvent& event) override {
+    if (!candidate_events_) return;
+    *out_ << "[search]   " << event.id << " " << event_label(event.type);
+    if (!event.detail.empty()) *out_ << ": " << event.detail;
+    *out_ << "\n";
+  }
+
+ private:
+  std::ostream* out_;
+  bool candidate_events_;
+};
+
+/// Records every event in order — the coverage-assertion observer the test
+/// suite uses to pin that no stage or candidate milestone goes silent.
+class RecordingObserver : public Observer {
+ public:
+  void on_stage_start(StageKind stage) override { started.push_back(stage); }
+  void on_stage_finish(const StageEvent& event) override {
+    finished.push_back(event);
+  }
+  void on_candidate(const CandidateEvent& event) override {
+    candidates.push_back(event);
+  }
+
+  [[nodiscard]] std::size_t count(CandidateEventType type) const {
+    std::size_t n = 0;
+    for (const auto& e : candidates) {
+      if (e.type == type) ++n;
+    }
+    return n;
+  }
+
+  std::vector<StageKind> started;
+  std::vector<StageEvent> finished;
+  std::vector<CandidateEvent> candidates;
+};
+
+}  // namespace nada::search

@@ -1,0 +1,679 @@
+#include "search/search_job.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "filter/checks.h"
+#include "rl/agent.h"
+#include "rl/batch_probe.h"
+#include "util/stats.h"
+
+namespace nada::search {
+namespace {
+
+/// Probe curves are compared via their tail: the mean of the last quarter
+/// of the early-training rewards.
+double probe_score(const std::vector<double>& early_rewards) {
+  if (early_rewards.empty()) return -1e9;
+  const double score = util::tail_mean(
+      early_rewards, std::max<std::size_t>(early_rewards.size() / 4, 4));
+  // A diverged probe can leave NaN in the curve; NaN in the ranking
+  // comparator would break std::sort's strict weak ordering.
+  return std::isnan(score) ? -1e9 : score;
+}
+
+filter::DesignRecord make_record(const CandidateOutcome& outcome,
+                                 double normalizer) {
+  filter::DesignRecord record;
+  record.id = outcome.id;
+  record.source_text = outcome.source;
+  record.early_rewards = outcome.early_rewards;
+  const double denom = std::max(std::abs(normalizer), 0.1);
+  for (double& r : record.early_rewards) r /= denom;
+  record.final_score = probe_score(outcome.early_rewards) / denom;
+  return record;
+}
+
+/// Snapshot of a candidate's work products for the persistent store.
+store::OutcomeRecord to_store_record(const CandidateOutcome& outcome,
+                                     const store::Fingerprint& fp,
+                                     store::Stage stage) {
+  store::OutcomeRecord record;
+  record.fingerprint = fp;
+  record.stage = stage;
+  record.id = outcome.id;
+  record.source = outcome.source;
+  record.arch = outcome.arch;
+  record.compiled = outcome.compiled;
+  record.compile_error = outcome.compile_error;
+  record.normalized = outcome.normalized;
+  record.normalization_error = outcome.normalization_error;
+  record.early_probed = outcome.early_probed;
+  record.early_rewards = outcome.early_rewards;
+  record.fully_trained = outcome.fully_trained;
+  record.test_score = outcome.test_score;
+  record.emulation_score = outcome.emulation_score;
+  record.curve_epochs = outcome.curve_epochs;
+  record.median_curve = outcome.median_curve;
+  return record;
+}
+
+/// Restores the store's work products onto a fresh outcome (everything but
+/// the per-run selection verdict).
+void apply_store_record(const store::OutcomeRecord& record,
+                        CandidateOutcome& outcome) {
+  outcome.compiled = record.compiled;
+  outcome.compile_error = record.compile_error;
+  outcome.normalized = record.normalized;
+  outcome.normalization_error = record.normalization_error;
+  if (record.stage >= store::Stage::kProbed) {
+    outcome.early_probed = record.early_probed;
+    outcome.early_rewards = record.early_rewards;
+  }
+}
+
+/// Single point of truth for the full-training output fields: every path
+/// that produces them (fresh session, store record, in-batch clone) funnels
+/// through here, so a new field cannot be silently dropped on just one.
+void set_full_train_fields(CandidateOutcome& outcome, bool fully_trained,
+                           double test_score, double emulation_score,
+                           std::vector<double> median_curve,
+                           std::vector<double> curve_epochs) {
+  outcome.fully_trained = fully_trained;
+  outcome.test_score = test_score;
+  outcome.emulation_score = emulation_score;
+  outcome.median_curve = std::move(median_curve);
+  outcome.curve_epochs = std::move(curve_epochs);
+}
+
+void apply_full_train_record(const store::OutcomeRecord& record,
+                             CandidateOutcome& outcome) {
+  set_full_train_fields(outcome, record.fully_trained, record.test_score,
+                        record.emulation_score, record.median_curve,
+                        record.curve_epochs);
+}
+
+/// In-batch dedup: index of the first candidate with each fingerprint.
+/// Clones copy their leader's probe/training results instead of re-running
+/// them (content-derived seeds make the results identical anyway).
+std::vector<std::size_t> leaders_by_fingerprint(
+    const std::vector<store::Fingerprint>& fps) {
+  std::unordered_map<std::string, std::size_t> first_seen;
+  std::vector<std::size_t> leader(fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    leader[i] = first_seen.try_emplace(fps[i].hex(), i).first->second;
+  }
+  return leader;
+}
+
+void copy_probe_result(const CandidateOutcome& from, CandidateOutcome& to) {
+  to.early_probed = from.early_probed;
+  to.early_rewards = from.early_rewards;
+  if (!from.early_probed) to.compile_error = from.compile_error;
+}
+
+void copy_full_train_result(const CandidateOutcome& from,
+                            CandidateOutcome& to) {
+  set_full_train_fields(to, from.fully_trained, from.test_score,
+                        from.emulation_score, from.median_curve,
+                        from.curve_epochs);
+}
+
+/// Runs the early-probe stage over `jobs` — batched lockstep blocks or one
+/// serial Trainer per candidate (bit-identical either way) — and hands
+/// each result to `apply(k, result)` with k indexing `jobs`.
+void run_probe_stage(
+    const env::TaskDomain& domain, util::ThreadPool* pool,
+    const SearchConfig& config, const rl::TrainConfig& probe_config,
+    const std::vector<rl::ProbeJob>& jobs,
+    const std::function<void(std::size_t, const rl::TrainResult&)>& apply) {
+  if (config.probe_batch) {
+    const rl::BatchProbeTrainer batch_trainer(
+        domain, rl::BatchProbeConfig{probe_config, config.probe_block});
+    const auto results = batch_trainer.train(jobs, pool);
+    for (std::size_t k = 0; k < jobs.size(); ++k) apply(k, results[k]);
+    return;
+  }
+  auto probe = [&](std::size_t k) {
+    rl::Trainer trainer(domain, probe_config, jobs[k].seed);
+    apply(k, trainer.train(*jobs[k].program, *jobs[k].spec));
+  };
+  if (pool != nullptr && jobs.size() > 1) {
+    pool->parallel_for(jobs.size(), probe);
+  } else {
+    for (std::size_t k = 0; k < jobs.size(); ++k) probe(k);
+  }
+}
+
+void apply_session_results(std::vector<CandidateOutcome>& outcomes,
+                           const std::vector<std::size_t>& selected,
+                           const std::vector<rl::SessionResult>& sessions) {
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    const rl::SessionResult& session = sessions[k];
+    set_full_train_fields(outcomes[selected[k]], !session.failed,
+                          session.test_score, session.emulation_score,
+                          session.median_curve, session.curve_epochs);
+  }
+}
+
+}  // namespace
+
+store::StoreScope store_scope(const env::TaskDomain& domain,
+                              const SearchConfig& config,
+                              std::uint64_t seed) {
+  std::ostringstream spec;
+  // Simulator-semantics revision: bumped whenever a code change alters the
+  // per-candidate results produced for the same (fingerprint, config) —
+  // e.g. rev 2 fixed AbrEnv's constructor RNG draw, the eval-prefix bias,
+  // and the stall-deadline "completed" lie. Journals written under an
+  // older revision are scoped out rather than silently mixed with
+  // incomparable fresh results. Execution-only knobs (probe_batch,
+  // probe_block) never feed the digest: batched and serial runs are
+  // bit-identical and share journals.
+  spec << "sim_rev=2;" << store::canonical_train_config(config.train)
+       << ";seeds=" << config.seeds
+       << ";early_epochs=" << config.early_epochs
+       << ";norm_threshold=" << config.normalization_threshold
+       << ";norm_fuzz=" << config.normalization_fuzz_runs
+       << ";pipeline_seed=" << seed;
+  // The domain appends the identity of its data (traces, video, simulator
+  // parameters): results are only reusable against the same inputs.
+  domain.append_scope_spec(spec);
+  store::StoreScope scope;
+  scope.env = domain.scope_env();
+  scope.config_digest = store::fingerprint_text(spec.str()).hex();
+  return scope;
+}
+
+rl::SessionResult train_baseline(const env::TaskDomain& domain,
+                                 const SearchConfig& config,
+                                 std::uint64_t seed, util::ThreadPool* pool) {
+  const dsl::StateProgram original_state =
+      dsl::StateProgram::compile(domain.baseline_state_source());
+  rl::SessionConfig sc;
+  sc.seeds = config.seeds;
+  sc.train = config.train;
+  return rl::run_sessions(domain, original_state, config.baseline_arch, sc,
+                          seed ^ 0x0817b05eULL, pool);
+}
+
+SearchJob::SearchJob(const env::TaskDomain& domain, SearchConfig config,
+                     std::uint64_t seed, CandidateSource& source,
+                     FixedDesign fixed, Options options)
+    : domain_(&domain), config_(std::move(config)), seed_(seed),
+      source_(&source), fixed_(fixed), options_(options) {
+  validate_config(config_);
+  if (options_.shard.has_value()) {
+    plan_.emplace(options_.shard->num_shards);
+    if (options_.shard->shard >= options_.shard->num_shards) {
+      throw std::invalid_argument(
+          "SearchJob: shard index " + std::to_string(options_.shard->shard) +
+          " out of range for " + std::to_string(options_.shard->num_shards) +
+          " shards");
+    }
+  }
+  if (options_.store != nullptr &&
+      !(options_.store->scope() == scope())) {
+    throw std::invalid_argument(
+        "SearchJob: store scope (" + options_.store->scope().env + "/" +
+        options_.store->scope().config_digest +
+        ") does not match this job's scope (" + scope().env + "/" +
+        scope().config_digest + ")");
+  }
+}
+
+void SearchJob::add_observer(Observer* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+store::StoreScope SearchJob::scope() const {
+  return store_scope(*domain_, config_, seed_);
+}
+
+const rl::SessionResult& SearchJob::original_baseline() {
+  auto* cache = options_.baseline_cache != nullptr ? options_.baseline_cache
+                                                   : &local_baseline_;
+  if (!cache->has_value()) {
+    *cache = train_baseline(*domain_, config_, seed_, options_.pool);
+  }
+  return **cache;
+}
+
+StageKind SearchJob::next_stage_kind() const { return next_; }
+
+bool SearchJob::done() const { return next_ == StageKind::kDone; }
+
+bool SearchJob::next_stage() {
+  if (done()) return false;
+  const StageKind stage = next_;
+  notify_stage_start(stage);
+  const auto start = std::chrono::steady_clock::now();
+  switch (stage) {
+    case StageKind::kGenerate: stage_generate(); break;
+    case StageKind::kPrecheck: stage_precheck(); break;
+    case StageKind::kProbe: stage_probe(); break;
+    case StageKind::kBaseline: stage_baseline(); break;
+    case StageKind::kSelect: stage_select(); break;
+    case StageKind::kFullTrain: stage_full_train(); break;
+    case StageKind::kRank: stage_rank(); break;
+    case StageKind::kDone: break;  // unreachable
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  next_ = static_cast<StageKind>(static_cast<int>(stage) + 1);
+  notify_stage_finish(StageEvent{stage, seconds});
+  return !done();
+}
+
+const SearchResult& SearchJob::run_until(StageKind stop) {
+  while (!done() && next_ != stop) next_stage();
+  return result_;
+}
+
+SearchResult SearchJob::run_to_completion() {
+  while (next_stage()) {
+  }
+  return std::move(result_);
+}
+
+SearchResult SearchJob::resume() {
+  if (next_ != StageKind::kGenerate) {
+    throw std::logic_error(
+        "SearchJob::resume: job already started; resume() needs a fresh job");
+  }
+  if (options_.store == nullptr) {
+    throw std::logic_error("SearchJob::resume: no store attached");
+  }
+  source_->reset();
+  return run_to_completion();
+}
+
+bool SearchJob::in_shard(std::size_t i) const {
+  return !plan_.has_value() ||
+         plan_->shard_of(fps_[i]) == options_.shard->shard;
+}
+
+bool SearchJob::trainable(std::size_t i) const {
+  return specs_[i].kind == CandidateKind::kArchitecture ||
+         programs_[i].has_value();
+}
+
+void SearchJob::notify_stage_start(StageKind stage) {
+  std::lock_guard lock(notify_mutex_);
+  for (Observer* o : observers_) o->on_stage_start(stage);
+}
+
+void SearchJob::notify_stage_finish(const StageEvent& event) {
+  std::lock_guard lock(notify_mutex_);
+  for (Observer* o : observers_) o->on_stage_finish(event);
+}
+
+void SearchJob::notify_candidate(CandidateEvent event) {
+  std::lock_guard lock(notify_mutex_);
+  for (Observer* o : observers_) o->on_candidate(event);
+}
+
+void SearchJob::journal(std::size_t i, store::Stage stage) {
+  if (options_.store != nullptr) {
+    options_.store->put(to_store_record(outcomes_[i], fps_[i], stage));
+  }
+}
+
+void SearchJob::stage_generate() {
+  specs_ = source_->generate(config_.num_candidates);
+  const std::size_t n = specs_.size();
+  result_.n_total = n;
+  fps_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fps_[i] = fingerprint_of(specs_[i], fixed_);
+  }
+  leader_ = leaders_by_fingerprint(fps_);
+  cached_.resize(n);
+  programs_.resize(n);
+  outcomes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    outcomes_[i].id = specs_[i].id;
+    outcomes_[i].source = specs_[i].source;
+    if (specs_[i].kind == CandidateKind::kArchitecture) {
+      outcomes_[i].arch = specs_[i].arch;
+    }
+    if (!observers_.empty()) {
+      notify_candidate(CandidateEvent{CandidateEventType::kEntered,
+                                      StageKind::kGenerate, i, specs_[i].id,
+                                      ""});
+    }
+    if (!in_shard(i)) {
+      ++result_.n_out_of_shard;
+      if (!observers_.empty()) {
+        notify_candidate(CandidateEvent{CandidateEventType::kOutOfShard,
+                                        StageKind::kGenerate, i, specs_[i].id,
+                                        ""});
+      }
+    }
+  }
+}
+
+void SearchJob::precheck_arch(std::size_t i,
+                              const nn::StateSignature& signature) {
+  CandidateOutcome& outcome = outcomes_[i];
+  if (options_.store != nullptr) cached_[i] = options_.store->lookup(fps_[i]);
+  if (cached_[i].has_value()) {
+    apply_store_record(*cached_[i], outcome);
+    return;
+  }
+  const auto check = filter::arch_compilation_check(*specs_[i].arch, signature,
+                                                    domain_->num_actions());
+  outcome.compiled = check.passed;
+  outcome.compile_error = check.reason;
+  // The normalization check does not apply to architectures (§2.2).
+  outcome.normalized = check.passed;
+  journal(i, store::Stage::kChecked);
+}
+
+void SearchJob::precheck_state(std::size_t i) {
+  // NOTE: runs on pool threads; journaling happens on the stepping thread
+  // afterwards (stage_precheck), in stream order, so the journal line for
+  // a fingerprint shared by in-batch clones always carries the leader's id
+  // regardless of thread timing.
+  CandidateOutcome& outcome = outcomes_[i];
+  if (cached_[i].has_value()) {
+    bool record_usable = true;
+    if (cached_[i]->compiled && cached_[i]->stage < store::Stage::kTrained) {
+      try {
+        programs_[i] = dsl::StateProgram::compile(specs_[i].source);
+      } catch (const dsl::CompileError&) {
+        // The record says this source compiles but it doesn't: a
+        // fingerprint collision (or foreign journal). Fall through to a
+        // genuine miss so the candidate is evaluated on its own merits.
+        record_usable = false;
+      }
+    }
+    if (record_usable) {
+      apply_store_record(*cached_[i], outcome);
+      return;
+    }
+    cached_[i].reset();
+  }
+  const auto compile = filter::compilation_check(
+      specs_[i].source, domain_->catalog(), &programs_[i]);
+  outcome.compiled = compile.passed;
+  outcome.compile_error = compile.reason;
+  if (compile.passed) {
+    const auto norm = filter::normalization_check(
+        *programs_[i], domain_->catalog(), config_.normalization_threshold,
+        config_.normalization_fuzz_runs,
+        seed_ ^ (fps_[i].lo * 0x9e3779b9ULL));
+    outcome.normalized = norm.passed;
+    outcome.normalization_error = norm.reason;
+  }
+}
+
+void SearchJob::stage_precheck() {
+  const std::size_t n = specs_.size();
+  // Architecture candidates check serially in stream order with the store
+  // lookup interleaved — a clone's lookup sees the record its leader just
+  // journaled (the historical arch-path behaviour, preserved for
+  // bit-identical journals and counters). The fixed program's input
+  // signature is derived once, not per candidate.
+  std::optional<nn::StateSignature> signature;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_shard(i) && specs_[i].kind == CandidateKind::kArchitecture) {
+      if (!signature.has_value()) {
+        signature = rl::derive_signature(*fixed_.state, domain_->catalog());
+      }
+      precheck_arch(i, *signature);
+    }
+  }
+  // State-program candidates look up first (all lookups precede any check,
+  // so in-batch clones read as misses and dedup through the leader table),
+  // then compile + fuzz in parallel — cheap and embarrassingly parallel.
+  // Cache hits serve the recorded verdict; compiled sources are still
+  // re-parsed (a cheap parse) so later stages have the program object.
+  std::vector<std::size_t> state_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_shard(i) || specs_[i].kind != CandidateKind::kStateProgram) {
+      continue;
+    }
+    if (options_.store != nullptr) {
+      cached_[i] = options_.store->lookup(fps_[i]);
+    }
+    state_idx.push_back(i);
+  }
+  auto check = [&](std::size_t k) { precheck_state(state_idx[k]); };
+  if (options_.pool != nullptr) {
+    options_.pool->parallel_for(state_idx.size(), check);
+  } else {
+    for (std::size_t k = 0; k < state_idx.size(); ++k) check(k);
+  }
+  // Journal the fresh state-candidate verdicts in stream order from this
+  // thread: deterministic journal bytes whatever the pool's scheduling.
+  for (std::size_t i : state_idx) {
+    if (!cached_[i].has_value()) journal(i, store::Stage::kChecked);
+  }
+  // Accounting and events, on the stepping thread in stream order.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_shard(i)) continue;
+    if (cached_[i].has_value()) {
+      ++result_.n_precheck_cache_hits;
+      if (!observers_.empty()) {
+        notify_candidate(CandidateEvent{
+            CandidateEventType::kCacheHit, StageKind::kPrecheck, i,
+            outcomes_[i].id, store::stage_name(cached_[i]->stage)});
+      }
+    } else if (!outcomes_[i].compiled) {
+      if (!observers_.empty()) {
+        notify_candidate(CandidateEvent{CandidateEventType::kFailed,
+                                        StageKind::kPrecheck, i,
+                                        outcomes_[i].id,
+                                        outcomes_[i].compile_error});
+      }
+    } else if (!outcomes_[i].normalized) {
+      if (!observers_.empty()) {
+        notify_candidate(CandidateEvent{CandidateEventType::kFailed,
+                                        StageKind::kPrecheck, i,
+                                        outcomes_[i].id,
+                                        outcomes_[i].normalization_error});
+      }
+    }
+  }
+}
+
+void SearchJob::stage_probe() {
+  const std::size_t n = outcomes_.size();
+  probe_set_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (outcomes_[i].compiled) ++result_.n_compiled;
+    if (!outcomes_[i].compiled || !outcomes_[i].normalized) continue;
+    ++result_.n_normalized;
+    if (cached_[i].has_value() &&
+        cached_[i]->stage >= store::Stage::kProbed) {
+      ++result_.n_probe_cache_hits;  // probe verdict already applied
+      if (!observers_.empty()) {
+        notify_candidate(CandidateEvent{CandidateEventType::kCacheHit,
+                                        StageKind::kProbe, i, outcomes_[i].id,
+                                        store::stage_name(cached_[i]->stage)});
+      }
+    } else if (leader_[i] != i) {
+      // In-batch clone: copies the leader's probe result after the stage.
+    } else if (trainable(i)) {
+      probe_set_.push_back(i);
+    }
+  }
+  rl::TrainConfig probe_config = config_.train;
+  probe_config.epochs = config_.early_epochs;
+  probe_config.evaluate_checkpoints = false;
+  std::vector<rl::ProbeJob> probe_jobs;
+  probe_jobs.reserve(probe_set_.size());
+  for (std::size_t i : probe_set_) {
+    const bool is_state = specs_[i].kind == CandidateKind::kStateProgram;
+    probe_jobs.push_back(
+        rl::ProbeJob{is_state ? &*programs_[i] : fixed_.state,
+                     is_state ? fixed_.arch : &*outcomes_[i].arch,
+                     probe_seed(specs_[i], seed_, fps_[i])});
+  }
+  run_probe_stage(
+      *domain_, options_.pool, config_, probe_config, probe_jobs,
+      [&](std::size_t k, const rl::TrainResult& probe_result) {
+        const std::size_t i = probe_set_[k];
+        if (!probe_result.failed) {
+          outcomes_[i].early_probed = true;
+          outcomes_[i].early_rewards = probe_result.train_rewards;
+          if (!observers_.empty()) {
+            notify_candidate(CandidateEvent{CandidateEventType::kProbed,
+                                            StageKind::kProbe, i,
+                                            outcomes_[i].id, ""});
+          }
+        } else {
+          // Blew up only under real training inputs; treat as
+          // compile-stage failure discovered late.
+          outcomes_[i].compile_error = probe_result.error;
+          if (!observers_.empty()) {
+            notify_candidate(CandidateEvent{CandidateEventType::kFailed,
+                                            StageKind::kProbe, i,
+                                            outcomes_[i].id,
+                                            probe_result.error});
+          }
+        }
+        journal(i, store::Stage::kProbed);
+      });
+  result_.n_probes_run = probe_set_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader_[i] != i && outcomes_[i].compiled && outcomes_[i].normalized &&
+        !outcomes_[i].early_probed) {
+      copy_probe_result(outcomes_[leader_[i]], outcomes_[i]);
+    }
+  }
+}
+
+void SearchJob::stage_baseline() {
+  result_.original = original_baseline();
+  result_.original_score = result_.original.test_score;
+}
+
+std::vector<std::size_t> SearchJob::select_survivors() {
+  // Candidates eligible for selection: probed ones.
+  std::vector<std::size_t> probed;
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    if (outcomes_[i].early_probed) probed.push_back(i);
+  }
+
+  std::vector<std::size_t> kept;
+  if (options_.early_stop_model != nullptr) {
+    const double normalizer = result_.original_score;
+    for (std::size_t i : probed) {
+      const auto record = make_record(outcomes_[i], normalizer);
+      if (options_.early_stop_model->keep(record)) {
+        kept.push_back(i);
+      } else {
+        outcomes_[i].early_stopped = true;
+      }
+    }
+  } else {
+    kept = probed;
+  }
+
+  // Rank the kept probes by tail reward and take the full-training slots.
+  // Ties break by stream position so reruns and resumed runs select
+  // identically even when deduplicated candidates share a reward curve.
+  const auto& outcomes = outcomes_;
+  std::sort(kept.begin(), kept.end(), [&outcomes](std::size_t a,
+                                                  std::size_t b) {
+    const double score_a = probe_score(outcomes[a].early_rewards);
+    const double score_b = probe_score(outcomes[b].early_rewards);
+    if (score_a != score_b) return score_a > score_b;
+    return a < b;
+  });
+  if (kept.size() > config_.full_train_top) {
+    for (std::size_t r = config_.full_train_top; r < kept.size(); ++r) {
+      outcomes_[kept[r]].early_stopped = true;
+    }
+    kept.resize(config_.full_train_top);
+  }
+  return kept;
+}
+
+void SearchJob::stage_select() {
+  selected_ = select_survivors();
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    if (!outcomes_[i].early_stopped) continue;
+    ++result_.n_early_stopped;
+    if (!observers_.empty()) {
+      notify_candidate(CandidateEvent{CandidateEventType::kEarlyStopped,
+                                      StageKind::kSelect, i, outcomes_[i].id,
+                                      ""});
+    }
+  }
+}
+
+void SearchJob::stage_full_train() {
+  // Survivors whose full run is journaled reuse it outright; a selected
+  // clone waits for its leader (equal probe score + index tie-break
+  // guarantee the leader is selected whenever a clone is).
+  std::vector<std::size_t> to_train;
+  std::vector<std::size_t> clones;
+  for (std::size_t i : selected_) {
+    if (cached_[i].has_value() &&
+        cached_[i]->stage >= store::Stage::kTrained) {
+      apply_full_train_record(*cached_[i], outcomes_[i]);
+      ++result_.n_full_cache_hits;
+      if (!observers_.empty()) {
+        notify_candidate(CandidateEvent{CandidateEventType::kCacheHit,
+                                        StageKind::kFullTrain, i,
+                                        outcomes_[i].id,
+                                        store::stage_name(cached_[i]->stage)});
+      }
+    } else if (leader_[i] != i) {
+      clones.push_back(i);
+    } else if (trainable(i)) {
+      to_train.push_back(i);
+    }
+  }
+  rl::SessionConfig session_config;
+  session_config.seeds = config_.seeds;
+  session_config.train = config_.train;
+  std::vector<rl::SessionJob> jobs;
+  jobs.reserve(to_train.size());
+  for (std::size_t i : to_train) {
+    const bool is_state = specs_[i].kind == CandidateKind::kStateProgram;
+    jobs.push_back(
+        rl::SessionJob{is_state ? &*programs_[i] : fixed_.state,
+                       is_state ? fixed_.arch : &*outcomes_[i].arch,
+                       full_train_seed(specs_[i], seed_, fps_[i])});
+  }
+  const auto sessions =
+      rl::run_session_batch(*domain_, jobs, session_config, options_.pool);
+  apply_session_results(outcomes_, to_train, sessions);
+  result_.n_full_trains_run = to_train.size();
+  for (std::size_t i : clones) {
+    copy_full_train_result(outcomes_[leader_[i]], outcomes_[i]);
+  }
+  for (std::size_t i : to_train) {
+    journal(i, store::Stage::kTrained);
+    if (!observers_.empty()) {
+      notify_candidate(CandidateEvent{
+          CandidateEventType::kTrained, StageKind::kFullTrain, i,
+          outcomes_[i].id,
+          outcomes_[i].fully_trained
+              ? "test_score=" + std::to_string(outcomes_[i].test_score)
+              : "every session failed"});
+    }
+  }
+}
+
+void SearchJob::stage_rank() {
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    if (!outcomes_[i].fully_trained) continue;
+    ++result_.n_fully_trained;
+    if (outcomes_[i].test_score > result_.best_score) {
+      result_.best_score = outcomes_[i].test_score;
+      result_.best_index = i;
+    }
+  }
+  result_.outcomes = std::move(outcomes_);
+}
+
+}  // namespace nada::search

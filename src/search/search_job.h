@@ -1,0 +1,179 @@
+// SearchJob: the NADA funnel (Figure 1) as an incrementally steppable job.
+//
+// One job runs one candidate stream through generate -> pre-check -> probe
+// -> baseline -> select -> full-train -> rank. Unlike the monolithic
+// Pipeline entry points it replaces underneath, a job
+//
+//   * is steppable: next_stage() executes exactly one stage, so callers
+//     interleave their own work, stop early (shard workers run only
+//     through the probe stage), or drive progress UIs,
+//   * streams events: Observers see every stage transition (with timings)
+//     and candidate milestone as it happens,
+//   * is kind-unified: the stream may hold state-program and architecture
+//     candidates in any mix (CandidateSpec), one funnel code path,
+//   * folds resume in: resume() rewinds the source and re-runs against the
+//     attached store, serving every journaled stage from the checkpoint —
+//     the behaviour of the historical resume_states/resume_archs twins.
+//
+// Bit-identity contract: for a homogeneous stream, a job produces
+// byte-identical store journals and identical results to the historical
+// Pipeline::search_states / search_archs code paths (fingerprints, seed
+// salts, stage order over the store, and selection tie-breaks are all
+// preserved). core::Pipeline is now a thin wrapper over this class and
+// tests/search_test.cpp pins the equivalence.
+//
+// A job is single-shot: once done() it cannot be restarted (build a new
+// job for another pass; construction is cheap, the store carries the
+// memory).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "env/domain.h"
+#include "filter/earlystop.h"
+#include "search/candidate.h"
+#include "search/observer.h"
+#include "search/types.h"
+#include "store/candidate_store.h"
+#include "store/shard.h"
+#include "util/thread_pool.h"
+
+namespace nada::search {
+
+/// The (environment, funnel-config digest) scope a search's results live
+/// under in a candidate store. Everything that changes a stored
+/// per-candidate result — training protocol, probe budget, seeds,
+/// normalization check parameters, the job seed, the identity of the
+/// domain's data, and the simulator-semantics revision — feeds the digest;
+/// selection-only knobs (num_candidates, full_train_top) and execution
+/// knobs (probe_batch, probe_block) do not.
+[[nodiscard]] store::StoreScope store_scope(const env::TaskDomain& domain,
+                                            const SearchConfig& config,
+                                            std::uint64_t seed);
+
+/// Trains the domain's original design (state + architecture) under the
+/// funnel's protocol — the comparison baseline.
+[[nodiscard]] rl::SessionResult train_baseline(const env::TaskDomain& domain,
+                                               const SearchConfig& config,
+                                               std::uint64_t seed,
+                                               util::ThreadPool* pool);
+
+/// Cross-cutting knobs of one job. (Namespace-scope rather than nested so
+/// it can default-construct in SearchJob's own signatures.)
+struct JobOptions {
+  /// Probe-based early stopping; null ranks probes by tail reward alone.
+  const filter::EarlyStopModel* early_stop_model = nullptr;
+  /// Persistent checkpoint store. Must match store_scope(domain, config,
+  /// seed) (std::invalid_argument otherwise) and outlive the job.
+  store::CandidateStore* store = nullptr;
+  util::ThreadPool* pool = nullptr;
+  /// Shared baseline slot: lets several jobs (or a wrapping Pipeline)
+  /// train the original design once. Must outlive the job.
+  std::optional<rl::SessionResult>* baseline_cache = nullptr;
+  /// Restrict execution to one shard of the fingerprint space (worker
+  /// mode): candidates outside the slice are skipped and counted in
+  /// SearchResult::n_out_of_shard.
+  std::optional<ShardSlice> shard;
+};
+
+class SearchJob {
+ public:
+  using Options = JobOptions;
+
+  /// `domain`, `source`, `fixed`'s pointees, and everything in `options`
+  /// must outlive the job. Throws std::invalid_argument on a degenerate
+  /// config or a store whose scope does not match.
+  SearchJob(const env::TaskDomain& domain, SearchConfig config,
+            std::uint64_t seed, CandidateSource& source, FixedDesign fixed,
+            Options options = {});
+
+  /// Observers receive events from the stages run after registration.
+  void add_observer(Observer* observer);
+
+  /// The stage the next next_stage() call will execute (kDone when the job
+  /// is complete).
+  [[nodiscard]] StageKind next_stage_kind() const;
+  [[nodiscard]] bool done() const;
+
+  /// Executes exactly one stage. Returns false once the job is complete
+  /// (and on every later call).
+  bool next_stage();
+
+  /// Steps until `stop` would be next (or the job completes). Shard
+  /// workers use run_until(StageKind::kBaseline) to execute only the
+  /// per-candidate stages. Returns the (possibly partial) result.
+  const SearchResult& run_until(StageKind stop);
+
+  /// Steps every remaining stage and moves the final result out. The job
+  /// is spent afterwards.
+  [[nodiscard]] SearchResult run_to_completion();
+
+  /// Continues an interrupted search: rewinds the source to the start of
+  /// its stream and runs the whole funnel against the attached store, so
+  /// every stage journaled before the interruption is served from the
+  /// checkpoint and only the remaining work executes. Requires an attached
+  /// store (std::logic_error otherwise) and a fresh job (std::logic_error
+  /// after stepping began).
+  [[nodiscard]] SearchResult resume();
+
+  /// Result so far: counters and outcomes of completed stages only. The
+  /// full result is moved out by run_to_completion().
+  [[nodiscard]] const SearchResult& result() const { return result_; }
+
+  [[nodiscard]] store::StoreScope scope() const;
+
+  /// The trained baseline (computing it now if the baseline stage has not
+  /// run yet); cached in Options::baseline_cache when provided.
+  const rl::SessionResult& original_baseline();
+
+ private:
+  void stage_generate();
+  void stage_precheck();
+  void stage_probe();
+  void stage_baseline();
+  void stage_select();
+  void stage_full_train();
+  void stage_rank();
+
+  void precheck_state(std::size_t i);
+  void precheck_arch(std::size_t i, const nn::StateSignature& signature);
+  [[nodiscard]] bool in_shard(std::size_t i) const;
+  /// Candidate i's program half is available for training (state-kind:
+  /// parsed program; arch-kind: always, the fixed program serves).
+  [[nodiscard]] bool trainable(std::size_t i) const;
+  [[nodiscard]] std::vector<std::size_t> select_survivors();
+  void notify_stage_start(StageKind stage);
+  void notify_stage_finish(const StageEvent& event);
+  void notify_candidate(CandidateEvent event);
+  void journal(std::size_t i, store::Stage stage);
+
+  const env::TaskDomain* domain_;
+  SearchConfig config_;
+  std::uint64_t seed_;
+  CandidateSource* source_;
+  FixedDesign fixed_;
+  Options options_;
+  std::optional<store::ShardPlan> plan_;
+  std::vector<Observer*> observers_;
+  std::mutex notify_mutex_;
+
+  StageKind next_ = StageKind::kGenerate;
+  SearchResult result_;
+  std::optional<rl::SessionResult> local_baseline_;
+
+  // Per-candidate working state, indexed by stream position.
+  std::vector<CandidateSpec> specs_;
+  std::vector<store::Fingerprint> fps_;
+  std::vector<std::size_t> leader_;
+  std::vector<std::optional<store::OutcomeRecord>> cached_;
+  std::vector<std::optional<dsl::StateProgram>> programs_;
+  std::vector<CandidateOutcome> outcomes_;
+  std::vector<std::size_t> probe_set_;
+  std::vector<std::size_t> selected_;
+};
+
+}  // namespace nada::search

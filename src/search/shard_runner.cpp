@@ -1,0 +1,82 @@
+#include "search/shard_runner.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "store/shard.h"
+#include "util/fs.h"
+
+namespace nada::search {
+
+ShardRunner::ShardRunner(const env::TaskDomain& domain, SearchConfig config,
+                         std::uint64_t seed, ShardRunnerConfig shards,
+                         util::ThreadPool* pool)
+    : domain_(&domain), config_(std::move(config)), seed_(seed),
+      shards_(std::move(shards)), pool_(pool),
+      scope_(store_scope(domain, config_, seed)) {
+  validate_config(config_);
+  if (shards_.num_shards == 0) {
+    throw std::invalid_argument("ShardRunner: zero shards");
+  }
+}
+
+std::string ShardRunner::shard_store_path(std::size_t shard) const {
+  if (shard >= shards_.num_shards) {
+    throw std::out_of_range("ShardRunner::shard_store_path: shard " +
+                            std::to_string(shard) + " out of range");
+  }
+  return shards_.store_dir + "/" + scope_.env + "-" +
+         scope_.config_digest.substr(0, 12) + "-shard-" +
+         std::to_string(shard) + "-of-" +
+         std::to_string(shards_.num_shards) + ".jsonl";
+}
+
+std::string ShardRunner::merged_store_path() const {
+  return shards_.store_dir + "/" + scope_.env + "-" +
+         scope_.config_digest.substr(0, 12) + "-merged-" +
+         std::to_string(shards_.num_shards) + ".jsonl";
+}
+
+SearchResult ShardRunner::run_worker(std::size_t shard,
+                                     CandidateSource& source,
+                                     const FixedDesign& fixed,
+                                     Observer* observer) {
+  util::ensure_directories(shards_.store_dir);
+  // Every worker replays the same stream from the start; rewinding here
+  // lets one in-process generator drive several shards in a loop.
+  source.reset();
+  store::CandidateStore store(shard_store_path(shard), scope_);
+  SearchJob::Options options;
+  options.store = &store;
+  options.pool = pool_;
+  options.shard = ShardSlice{shards_.num_shards, shard};
+  SearchJob job(*domain_, config_, seed_, source, fixed, options);
+  job.add_observer(observer);
+  // Per-candidate stages only: the baseline and everything after it need
+  // the whole cohort, which is the driver's job.
+  return job.run_until(StageKind::kBaseline);
+}
+
+SearchResult ShardRunner::merge_and_rank(CandidateSource& source,
+                                         const FixedDesign& fixed,
+                                         const filter::EarlyStopModel* early_stop,
+                                         Observer* observer) {
+  util::ensure_directories(shards_.store_dir);
+  source.reset();
+  store::CandidateStore merged(merged_store_path(), scope_);
+  std::vector<std::string> paths;
+  paths.reserve(shards_.num_shards);
+  for (std::size_t shard = 0; shard < shards_.num_shards; ++shard) {
+    paths.push_back(shard_store_path(shard));
+  }
+  store::merge_shard_files(paths, merged);
+  SearchJob::Options options;
+  options.store = &merged;
+  options.pool = pool_;
+  options.early_stop_model = early_stop;
+  SearchJob job(*domain_, config_, seed_, source, fixed, options);
+  job.add_observer(observer);
+  return job.run_to_completion();
+}
+
+}  // namespace nada::search

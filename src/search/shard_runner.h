@@ -1,0 +1,81 @@
+// ShardRunner: the multi-worker driver over the sharded candidate store.
+//
+// A sharded search splits the per-candidate work (pre-checks + probes — the
+// wide part of the funnel) across N workers, each owning one contiguous
+// store::ShardPlan range of the fingerprint space:
+//
+//   worker i:  replay the SAME generator stream, execute only the
+//              candidates whose fingerprint lands in range i, journal
+//              into shard store i          (run_worker / shard_worker CLI)
+//   driver:    merge_shard_files all N shard journals into one store,
+//              then run the full funnel against it — every pre-check and
+//              probe is served from the merged checkpoint, selection is
+//              GLOBAL, and only the selected top-K full trainings execute
+//                                          (merge_and_rank)
+//
+// Because shard assignment is by content hash and per-candidate seeds are
+// fingerprint-derived, the merged run is bit-identical to a single-process
+// run of the same stream: same rankings, same journal records
+// (tests/search_test.cpp pins a 4-shard vs single-process run). Workers
+// are plain processes — run them on one machine or many, the journals are
+// the only coupling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/domain.h"
+#include "filter/earlystop.h"
+#include "search/search_job.h"
+#include "util/thread_pool.h"
+
+namespace nada::search {
+
+struct ShardRunnerConfig {
+  std::size_t num_shards = 1;
+  /// Directory holding the per-shard and merged journals.
+  std::string store_dir = "nada_store";
+};
+
+class ShardRunner {
+ public:
+  /// Throws std::invalid_argument on zero shards or a degenerate config.
+  ShardRunner(const env::TaskDomain& domain, SearchConfig config,
+              std::uint64_t seed, ShardRunnerConfig shards,
+              util::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const store::StoreScope& scope() const { return scope_; }
+  [[nodiscard]] std::size_t num_shards() const { return shards_.num_shards; }
+
+  /// Journal paths, derived from the scope so concurrent searches with
+  /// different protocols never collide in one directory.
+  [[nodiscard]] std::string shard_store_path(std::size_t shard) const;
+  [[nodiscard]] std::string merged_store_path() const;
+
+  /// One worker's pass: pre-checks and probes the candidates of `shard`,
+  /// journaling into shard_store_path(shard). Stops before the baseline /
+  /// selection stages (those need global state). Safe to run concurrently
+  /// with other shards' workers in other processes or threads.
+  SearchResult run_worker(std::size_t shard, CandidateSource& source,
+                          const FixedDesign& fixed,
+                          Observer* observer = nullptr);
+
+  /// The driver's pass: merges every shard journal (throws
+  /// std::runtime_error when a worker never reported, i.e. its journal is
+  /// missing) into merged_store_path(), then runs the full funnel against
+  /// the merged store — global selection, full training, final ranking.
+  SearchResult merge_and_rank(CandidateSource& source,
+                              const FixedDesign& fixed,
+                              const filter::EarlyStopModel* early_stop = nullptr,
+                              Observer* observer = nullptr);
+
+ private:
+  const env::TaskDomain* domain_;
+  SearchConfig config_;
+  std::uint64_t seed_;
+  ShardRunnerConfig shards_;
+  util::ThreadPool* pool_;
+  store::StoreScope scope_;
+};
+
+}  // namespace nada::search

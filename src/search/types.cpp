@@ -1,0 +1,40 @@
+#include "search/types.h"
+
+#include <stdexcept>
+
+namespace nada::search {
+
+void validate_config(const SearchConfig& config) {
+  if (config.num_candidates == 0) {
+    throw std::invalid_argument(
+        "SearchConfig: num_candidates must be >= 1 (got 0)");
+  }
+  if (config.full_train_top == 0) {
+    throw std::invalid_argument(
+        "SearchConfig: full_train_top must be >= 1 (got 0)");
+  }
+  if (config.full_train_top > config.num_candidates) {
+    throw std::invalid_argument(
+        "SearchConfig: full_train_top (" +
+        std::to_string(config.full_train_top) +
+        ") exceeds num_candidates (" +
+        std::to_string(config.num_candidates) +
+        "): cannot fully train more designs than the stream holds");
+  }
+  if (config.seeds == 0) {
+    throw std::invalid_argument(
+        "SearchConfig: seeds must be >= 1 (got 0); the paper's protocol "
+        "trains each survivor across independent seeds");
+  }
+  if (config.probe_block == 0) {
+    throw std::invalid_argument(
+        "SearchConfig: probe_block must be >= 1 (got 0)");
+  }
+  if (config.early_epochs == 0) {
+    throw std::invalid_argument(
+        "SearchConfig: early_epochs must be >= 1 (got 0); the probe "
+        "stage needs a non-empty reward window");
+  }
+}
+
+}  // namespace nada::search

@@ -1,0 +1,128 @@
+// Shared value types of the search API: the funnel configuration, the
+// per-candidate outcome, and the ranked result.
+//
+// These are the types the historical core::Pipeline surface exposed as
+// PipelineConfig / CandidateOutcome / PipelineResult; core/pipeline.h
+// aliases them, so the two surfaces cannot drift. New code should name
+// them through nada::search.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "filter/checks.h"
+#include "nn/arch.h"
+#include "rl/session.h"
+#include "rl/trainer.h"
+
+namespace nada::search {
+
+struct SearchConfig {
+  std::size_t num_candidates = 150;
+  /// Epochs for the early "batch training" probe (the paper's first-K
+  /// reward window).
+  std::size_t early_epochs = 60;
+  /// How many ranked survivors get the full training budget.
+  std::size_t full_train_top = 6;
+  /// Sessions (seeds) for full-scale training.
+  std::size_t seeds = 3;
+  rl::TrainConfig train;  ///< full-scale budget; early probe reuses it with
+                          ///< `early_epochs` epochs
+  /// Architecture used for the baseline and for state-search candidates.
+  nn::ArchSpec baseline_arch = nn::ArchSpec::pensieve();
+  double normalization_threshold = filter::kNormalizationThreshold;
+  std::size_t normalization_fuzz_runs = 16;
+  /// Run the early-probe stage through rl::BatchProbeTrainer: candidates
+  /// train in lockstep blocks with fused matrix-matrix updates instead of
+  /// one serial Trainer each. Bit-identical per-candidate reward curves
+  /// and store records either way (per-candidate seeds are fingerprint-
+  /// derived and unaffected), so this is an execution knob, not a scope
+  /// knob: it does not feed store_scope() and journals are shared freely
+  /// between batched and serial runs of the same code revision.
+  bool probe_batch = true;
+  /// Candidates per lockstep block when probe_batch is on.
+  std::size_t probe_block = 4;
+};
+
+/// Up-front validation with descriptive errors: num_candidates >= 1,
+/// 1 <= full_train_top <= num_candidates, seeds >= 1, probe_block >= 1,
+/// early_epochs >= 1. Throws std::invalid_argument.
+void validate_config(const SearchConfig& config);
+
+/// One worker's slice of a sharded search: the job executes (and journals)
+/// only the candidates store::ShardPlan(num_shards) assigns to `shard`;
+/// the rest of the stream is counted but skipped.
+struct ShardSlice {
+  std::size_t num_shards = 1;
+  std::size_t shard = 0;
+};
+
+/// Everything that happened to one candidate on its way through the funnel.
+struct CandidateOutcome {
+  std::string id;
+  std::string source;            ///< state candidates only
+  std::optional<nn::ArchSpec> arch;  ///< architecture candidates only
+  bool compiled = false;
+  std::string compile_error;
+  bool normalized = false;       ///< always true for architecture candidates
+  std::string normalization_error;
+  bool early_probed = false;
+  std::vector<double> early_rewards;
+  bool early_stopped = false;    ///< filtered out after the probe
+  bool fully_trained = false;
+  double test_score = -1e9;      ///< paper's test score (median over seeds)
+  double emulation_score = 0.0;  ///< Table-4 style emulation score, if asked
+  std::vector<double> curve_epochs;  ///< checkpoint curve of the full run
+  std::vector<double> median_curve;
+};
+
+struct SearchResult {
+  std::vector<CandidateOutcome> outcomes;
+  std::size_t n_total = 0;
+  std::size_t n_compiled = 0;
+  std::size_t n_normalized = 0;
+  std::size_t n_early_stopped = 0;
+  std::size_t n_fully_trained = 0;
+  /// Candidates outside this job's ShardSlice (always 0 unsharded).
+  std::size_t n_out_of_shard = 0;
+  /// Stage results served from the attached candidate store instead of
+  /// recomputed (always 0 without a store).
+  std::size_t n_precheck_cache_hits = 0;
+  std::size_t n_probe_cache_hits = 0;
+  std::size_t n_full_cache_hits = 0;
+  /// Work actually executed by this invocation (cache misses). A rerun
+  /// over an unchanged stream reports n_probes_run == n_full_trains_run
+  /// == 0: every result comes from the store.
+  std::size_t n_probes_run = 0;
+  std::size_t n_full_trains_run = 0;
+
+  [[nodiscard]] std::size_t cache_hits() const {
+    return n_precheck_cache_hits + n_probe_cache_hits + n_full_cache_hits;
+  }
+  /// Baseline: the original design trained with the same protocol.
+  rl::SessionResult original;
+  double original_score = 0.0;
+  /// Index into `outcomes` of the best fully trained candidate, or npos.
+  std::size_t best_index = SIZE_MAX;
+  double best_score = -1e9;
+
+  [[nodiscard]] bool has_best() const { return best_index != SIZE_MAX; }
+  /// Relative improvement of the best candidate over the trained baseline:
+  /// (best - original) / |original|. Degenerate baseline semantics: when
+  /// original_score is exactly 0.0 the relative form is undefined (division
+  /// by zero), so the method falls back to the absolute delta
+  /// best_score - original_score == best_score — a valid best never reports
+  /// zero improvement just because the baseline landed on 0. Without a best
+  /// (has_best() == false) the improvement is 0.
+  [[nodiscard]] double improvement() const {
+    if (!has_best()) return 0.0;
+    if (original_score == 0.0) return best_score - original_score;
+    return (best_score - original_score) / std::abs(original_score);
+  }
+};
+
+}  // namespace nada::search

@@ -426,6 +426,60 @@ TEST(ShardPlan, MergeShardFilesUnionsWorkerStores) {
                std::runtime_error);
 }
 
+TEST(ShardPlan, MergeShardFilesFiltersMixedDomainJournals) {
+  // One shard set serving two domains at once: every shard journal holds
+  // ABR-scope and CC-scope lines interleaved (workers for both searches
+  // sharing a store directory and shard files). A merge must accept
+  // exactly the destination's scope and skip the other domain's records —
+  // never alias them together.
+  const StoreScope abr_scope{"4G", "abr-digest"};
+  const StoreScope cc_scope{"cc-4G", "cc-digest"};
+  const std::vector<std::uint64_t> salts = {0, 1, 2, 3, 4,
+                                            10, 11, 12, 13, 14};
+  std::vector<std::string> paths;
+  for (std::size_t s = 0; s < 2; ++s) {
+    const std::string path = fresh_path("mixed_shard" + std::to_string(s));
+    std::string content;
+    for (std::size_t k = 5 * s; k < 5 * s + 5; ++k) {
+      content += CandidateStore::encode_line(
+                     make_test_record(salts[k], Stage::kProbed), abr_scope) +
+                 "\n";
+      content += CandidateStore::encode_line(
+                     make_test_record(100 + salts[k], Stage::kTrained),
+                     cc_scope) +
+                 "\n";
+    }
+    util::write_file_atomic(path, content);
+    paths.push_back(path);
+  }
+
+  CandidateStore abr_merged(fresh_path("mixed_abr"), abr_scope);
+  EXPECT_EQ(merge_shard_files(paths, abr_merged), 10u);
+  EXPECT_EQ(abr_merged.size(), 10u);
+  for (std::uint64_t salt : salts) {
+    const auto record = abr_merged.lookup(
+        make_test_record(salt, Stage::kProbed).fingerprint);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->stage, Stage::kProbed);
+    // The CC records with shifted salts never leaked in.
+    EXPECT_FALSE(abr_merged
+                     .lookup(make_test_record(100 + salt, Stage::kTrained)
+                                 .fingerprint)
+                     .has_value());
+  }
+
+  CandidateStore cc_merged(fresh_path("mixed_cc"), cc_scope);
+  EXPECT_EQ(merge_shard_files(paths, cc_merged), 10u);
+  EXPECT_EQ(cc_merged.size(), 10u);
+  for (std::uint64_t salt : salts) {
+    const auto record = cc_merged.lookup(
+        make_test_record(100 + salt, Stage::kTrained).fingerprint);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->stage, Stage::kTrained);
+    EXPECT_TRUE(record->fully_trained);
+  }
+}
+
 // ---- generator replay ------------------------------------------------------
 
 TEST(GeneratorReplay, ResetReplaysTheExactStream) {

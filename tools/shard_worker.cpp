@@ -1,0 +1,256 @@
+// shard_worker: the multi-process sharded-search CLI.
+//
+// One search, N worker processes, one driver. Every process replays the
+// same candidate stream; a worker executes only its ShardPlan range of
+// the fingerprint space and journals into its own shard store; the driver
+// merges the shard journals, selects globally, runs the top-K full
+// trainings, and prints the ranking. `single` mode runs the identical
+// search in one process — its ranking and journal records must match the
+// sharded run exactly (CI diffs them; tests/search_test.cpp pins the same
+// property in-process).
+//
+//   # four workers (any order, any machines sharing the store dir), then
+//   # the driver:
+//   for i in 0 1 2 3; do
+//     shard_worker --mode worker --shard $i --shards 4 --store-dir /tmp/s &
+//   done; wait
+//   shard_worker --mode merge --shards 4 --store-dir /tmp/s
+//
+//   # the same search, one process:
+//   shard_worker --mode single --store-dir /tmp/single
+//
+// Ranking lines are printed as `RANK,<position>,<id>,<fingerprint>,<score>`
+// so two runs diff with grep + diff. Flags: --domain abr|cc,
+// --search state|arch, --candidates N, --seed S, --gen-seed G,
+// --threads T (0 = serial), --quiet (suppress per-candidate events).
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/cc_domain.h"
+#include "env/abr_domain.h"
+#include "examples/example_common.h"
+#include "gen/arch_gen.h"
+#include "gen/state_gen.h"
+#include "search/candidate.h"
+#include "search/observer.h"
+#include "search/shard_runner.h"
+#include "search/search_job.h"
+#include "store/candidate_store.h"
+#include "trace/generator.h"
+#include "util/fs.h"
+#include "util/thread_pool.h"
+#include "video/video.h"
+
+namespace {
+
+using namespace nada;
+
+struct Args {
+  std::string mode = "single";  // worker | merge | single
+  std::string domain = "abr";   // abr | cc
+  std::string search = "state";  // state | arch
+  std::string store_dir = "nada_store";
+  std::size_t shards = 1;
+  std::size_t shard = 0;
+  std::size_t candidates = 24;
+  std::uint64_t seed = 1234;
+  std::uint64_t gen_seed = 77;
+  std::size_t threads = 0;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "shard_worker: " << error << "\n"
+            << "usage: shard_worker --mode worker|merge|single"
+            << " [--shard I] [--shards N] [--store-dir DIR]"
+            << " [--domain abr|cc] [--search state|arch] [--candidates N]"
+            << " [--seed S] [--gen-seed G] [--threads T] [--quiet]\n";
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--mode") args.mode = value(i);
+    else if (flag == "--domain") args.domain = value(i);
+    else if (flag == "--search") args.search = value(i);
+    else if (flag == "--store-dir") args.store_dir = value(i);
+    else if (flag == "--shards") args.shards = std::stoul(value(i));
+    else if (flag == "--shard") args.shard = std::stoul(value(i));
+    else if (flag == "--candidates") args.candidates = std::stoul(value(i));
+    else if (flag == "--seed") args.seed = std::stoull(value(i));
+    else if (flag == "--gen-seed") args.gen_seed = std::stoull(value(i));
+    else if (flag == "--threads") args.threads = std::stoul(value(i));
+    else if (flag == "--quiet") args.quiet = true;
+    else usage("unknown flag " + flag);
+  }
+  if (args.mode != "worker" && args.mode != "merge" && args.mode != "single") {
+    usage("bad --mode " + args.mode);
+  }
+  if (args.domain != "abr" && args.domain != "cc") {
+    usage("bad --domain " + args.domain);
+  }
+  if (args.search != "state" && args.search != "arch") {
+    usage("bad --search " + args.search);
+  }
+  if (args.shards == 0) usage("--shards must be >= 1");
+  if (args.mode == "worker" && args.shard >= args.shards) {
+    usage("--shard out of range");
+  }
+  return args;
+}
+
+/// The demo-scale funnel config every mode shares (the search must be
+/// identical across worker, merge, and single runs for the diff to mean
+/// anything).
+search::SearchConfig demo_config(std::size_t candidates) {
+  search::SearchConfig config = examples::demo_funnel_config(
+      candidates, /*early_epochs=*/8, /*full_train_top=*/3, /*seeds=*/2,
+      /*epochs=*/24, /*test_interval=*/8, /*max_eval_traces=*/4);
+  config.baseline_arch = examples::small_pensieve_arch(8, 8, 8, 16);
+  return config;
+}
+
+void print_ranking(const search::SearchResult& result,
+                   const search::FixedDesign& fixed,
+                   const std::vector<search::CandidateSpec>& specs) {
+  // Fully trained outcomes, best first; ties by stream position (the
+  // funnel's own tie-break), so the listing is deterministic.
+  std::vector<std::size_t> ranked;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    if (result.outcomes[i].fully_trained) ranked.push_back(i);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+    if (result.outcomes[a].test_score != result.outcomes[b].test_score) {
+      return result.outcomes[a].test_score > result.outcomes[b].test_score;
+    }
+    return a < b;
+  });
+  std::cout << "baseline score: " << result.original_score << "\n";
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    const auto& outcome = result.outcomes[ranked[r]];
+    std::cout << "RANK," << r + 1 << "," << outcome.id << ","
+              << search::fingerprint_of(specs[ranked[r]], fixed).hex() << ","
+              << outcome.test_score << "\n";
+  }
+}
+
+int run(const Args& args) {
+  // Build the domain. The (dataset seed, cc parameters) here are fixed:
+  // every process of one sharded search must score candidates on the same
+  // data or the merged journals would not be comparable.
+  std::unique_ptr<env::TaskDomain> domain;
+  trace::Dataset dataset;
+  std::optional<video::Video> video;
+  cc::CcConfig cc_config;
+  if (args.domain == "abr") {
+    dataset = trace::build_dataset(trace::Environment::k4G, 0.05, 21);
+    video = video::make_test_video(video::youtube_ladder(), 42);
+    domain = std::make_unique<env::AbrDomain>(dataset, *video);
+  } else {
+    dataset = trace::build_dataset(trace::Environment::k4G, 0.2, 7);
+    cc_config.init_rate_mbps = 2.0;
+    cc_config.steps_per_episode = 60;
+    domain = std::make_unique<cc::CcDomain>(dataset, cc_config);
+  }
+
+  const search::SearchConfig config = demo_config(args.candidates);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (args.threads > 0) pool = std::make_unique<util::ThreadPool>(args.threads);
+
+  // Candidate stream + the fixed design half.
+  std::unique_ptr<gen::StateGenerator> state_gen;
+  std::unique_ptr<gen::ArchGenerator> arch_gen;
+  std::unique_ptr<search::CandidateSource> source;
+  std::optional<dsl::StateProgram> fixed_state;
+  search::FixedDesign fixed;
+  if (args.search == "state") {
+    state_gen = std::make_unique<gen::StateGenerator>(
+        args.domain == "cc" ? gen::cc_state_space() : gen::abr_state_space(),
+        gen::gpt4_profile(), gen::PromptStrategy{}, args.gen_seed);
+    source = std::make_unique<search::StateCandidateSource>(*state_gen);
+    fixed.arch = &config.baseline_arch;
+  } else {
+    arch_gen = std::make_unique<gen::ArchGenerator>(
+        gen::gpt4_profile(), gen::PromptStrategy{}, args.gen_seed, 0.25);
+    source = std::make_unique<search::ArchCandidateSource>(*arch_gen);
+    fixed_state = dsl::StateProgram::compile(domain->baseline_state_source());
+    fixed.state = &*fixed_state;
+  }
+
+  search::StreamObserver observer(std::cout, !args.quiet);
+  search::ShardRunnerConfig shard_config;
+  shard_config.num_shards = args.shards;
+  shard_config.store_dir = args.store_dir;
+  search::ShardRunner runner(*domain, config, args.seed, shard_config,
+                             pool.get());
+
+  if (args.mode == "worker") {
+    const auto result =
+        runner.run_worker(args.shard, *source, fixed, &observer);
+    std::cout << "worker " << args.shard << "/" << args.shards << ": "
+              << result.n_total - result.n_out_of_shard << " of "
+              << result.n_total << " candidates in shard, "
+              << result.n_probes_run << " probes run, "
+              << result.cache_hits() << " cache hits\n"
+              << "journal: " << runner.shard_store_path(args.shard) << "\n";
+    return 0;
+  }
+
+  if (args.mode == "merge") {
+    source->reset();
+    const auto specs = source->generate(config.num_candidates);
+    source->reset();
+    const auto result = runner.merge_and_rank(*source, fixed, nullptr,
+                                              &observer);
+    std::cout << "driver: merged " << args.shards << " shard journals, "
+              << result.cache_hits() << " stage results from shards, "
+              << result.n_probes_run << " probes and "
+              << result.n_full_trains_run
+              << " full trainings executed by the driver\n"
+              << "journal: " << runner.merged_store_path() << "\n";
+    print_ranking(result, fixed, specs);
+    return 0;
+  }
+
+  // single: the whole funnel in this process, its own journal.
+  util::ensure_directories(args.store_dir);
+  const auto scope = runner.scope();
+  store::CandidateStore store(args.store_dir + "/" + scope.env + "-" +
+                                  scope.config_digest.substr(0, 12) +
+                                  "-single.jsonl",
+                              scope);
+  search::JobOptions options;
+  options.store = &store;
+  options.pool = pool.get();
+  const auto specs = source->generate(config.num_candidates);
+  source->reset();
+  search::SearchJob job(*domain, config, args.seed, *source, fixed, options);
+  job.add_observer(&observer);  // --quiet already trims candidate events
+  const auto result = job.run_to_completion();
+  std::cout << "single: " << result.n_probes_run << " probes and "
+            << result.n_full_trains_run << " full trainings executed\n"
+            << "journal: " << store.path() << "\n";
+  print_ranking(result, fixed, specs);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "shard_worker: " << e.what() << "\n";
+    return 1;
+  }
+}
