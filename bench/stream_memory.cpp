@@ -1,0 +1,184 @@
+// stream_memory: the constant-memory claim of the rolling-window funnel.
+//
+// Runs the same seeded congestion-control state search at 1k/5k/20k
+// candidates in batch mode (window_size = 0, the whole stream materialized)
+// and in streaming mode (rolling windows of 64), and records each run's
+// peak RSS and candidates/sec. Every measurement runs in a forked child so
+// ru_maxrss is per-run, not the monotone process-lifetime max. Expected
+// shape: the batch path's peak RSS grows linearly with the candidate count
+// (specs, parsed programs, and outcomes all live until rank); the streaming
+// path stays flat — its 20k run should sit within ~2x of its 1k run.
+//
+// The probe budget is deliberately tiny (short CC episodes, 2-epoch
+// probes): the bench measures the funnel's memory mechanics, not training
+// throughput. No store is attached — a store would add its own O(n)
+// in-memory index to both modes (see docs/STORE_FORMAT.md).
+//
+// Writes bench_results/stream_memory.csv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cc/cc_domain.h"
+#include "gen/state_gen.h"
+#include "search/candidate.h"
+#include "search/search_job.h"
+#include "trace/generator.h"
+#include "util/table.h"
+
+#if defined(_WIN32)
+int main() {
+  std::cout << "stream_memory: per-run peak-RSS accounting needs "
+               "fork()/wait4(); bench skipped on this platform\n";
+  return 0;
+}
+#else
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+using namespace nada;
+
+struct RunStats {
+  std::size_t n_total = 0;
+  std::size_t probes = 0;
+  double seconds = 0.0;
+  double best = 0.0;
+  double peak_rss_mb = 0.0;
+};
+
+search::SearchConfig bench_config(std::size_t candidates,
+                                  std::size_t window) {
+  search::SearchConfig config;
+  config.num_candidates = candidates;
+  config.early_epochs = 2;
+  config.full_train_top = 2;
+  config.seeds = 1;
+  config.train.epochs = 4;
+  config.train.test_interval = 2;
+  config.train.max_eval_traces = 2;
+  config.window_size = window;
+  nn::ArchSpec arch = nn::ArchSpec::pensieve();
+  arch.conv_filters = 8;
+  arch.rnn_hidden = 8;
+  arch.scalar_hidden = 8;
+  arch.merge_hidden = 16;
+  config.baseline_arch = arch;
+  return config;
+}
+
+/// The measured workload, executed inside the forked child: build the
+/// domain, stream the candidates through the funnel, report counters.
+RunStats run_search(std::size_t candidates, std::size_t window) {
+  const trace::Dataset dataset =
+      trace::build_dataset(trace::Environment::k4G, 0.05, 21);
+  cc::CcConfig cc_config;
+  cc_config.init_rate_mbps = 2.0;
+  cc_config.steps_per_episode = 8;
+  const cc::CcDomain domain(dataset, cc_config);
+  const search::SearchConfig config = bench_config(candidates, window);
+  gen::StateGenerator generator(gen::cc_state_space(), gen::gpt4_profile(),
+                                gen::PromptStrategy{}, 77);
+  search::StateCandidateSource source(generator);
+  search::SearchJob job(domain, config, 1234, source,
+                        search::FixedDesign{nullptr, &config.baseline_arch});
+  const bench::Stopwatch watch;
+  const auto result = job.run_to_completion();
+  RunStats stats;
+  stats.n_total = result.n_total;
+  stats.probes = result.n_probes_run;
+  stats.seconds = watch.seconds();
+  stats.best = result.best_score;
+  return stats;
+}
+
+/// Forks, runs the search in the child, and collects the child's counters
+/// (over a pipe) plus its peak RSS (via wait4's rusage).
+RunStats measure(std::size_t candidates, std::size_t window) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("stream_memory: pipe");
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("stream_memory: fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const RunStats stats = run_search(candidates, window);
+    FILE* out = fdopen(fds[1], "w");
+    std::fprintf(out, "%zu %zu %.9f %.9f\n", stats.n_total, stats.probes,
+                 stats.seconds, stats.best);
+    std::fclose(out);
+    _exit(0);
+  }
+  close(fds[1]);
+  RunStats stats;
+  FILE* in = fdopen(fds[0], "r");
+  if (std::fscanf(in, "%zu %zu %lf %lf", &stats.n_total, &stats.probes,
+                  &stats.seconds, &stats.best) != 4) {
+    std::cerr << "stream_memory: child reported no stats\n";
+    std::exit(1);
+  }
+  std::fclose(in);
+  int status = 0;
+  struct rusage usage{};
+  if (wait4(pid, &status, 0, &usage) != pid || status != 0) {
+    std::cerr << "stream_memory: child failed (status " << status << ")\n";
+    std::exit(1);
+  }
+  // Linux reports ru_maxrss in KiB.
+  stats.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const util::ScaleConfig scale = util::ScaleConfig::from_env();
+  bench::banner("stream_memory: batch vs rolling-window funnel memory",
+                scale);
+
+  const std::vector<std::size_t> counts = {
+      scale.gen_count(1000), scale.gen_count(5000), scale.gen_count(20000)};
+  const std::size_t kWindow = 64;
+
+  util::TextTable table("stream_memory (CC domain, window " +
+                        std::to_string(kWindow) + " vs batch)");
+  table.set_header({"mode", "candidates", "peak RSS MB", "seconds",
+                    "cand/s", "RSS vs smallest"});
+  double base_rss[2] = {0.0, 0.0};  // [batch, stream] smallest-count RSS
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    for (const bool streaming : {false, true}) {
+      const RunStats stats = measure(counts[c], streaming ? kWindow : 0);
+      if (c == 0) base_rss[streaming ? 1 : 0] = stats.peak_rss_mb;
+      const double ratio =
+          stats.peak_rss_mb / std::max(base_rss[streaming ? 1 : 0], 1e-9);
+      table.add_row({streaming ? "stream" : "batch",
+                     std::to_string(stats.n_total),
+                     util::format_double(stats.peak_rss_mb, 1),
+                     util::format_double(stats.seconds, 2),
+                     util::format_double(
+                         static_cast<double>(stats.n_total) / stats.seconds,
+                         1),
+                     util::format_double(ratio, 2) + "x"});
+      std::cout << (streaming ? "stream" : "batch ") << " " << stats.n_total
+                << " candidates: " << util::format_double(stats.peak_rss_mb, 1)
+                << " MB peak, " << stats.probes << " probes, "
+                << util::format_double(stats.seconds, 2) << "s\n";
+    }
+  }
+  table.print(std::cout);
+  bench::save_csv("stream_memory.csv", table);
+  return 0;
+}
+#endif

@@ -3,13 +3,14 @@
 //
 // STABLE COMPATIBILITY SURFACE. Since the search-API redesign the funnel
 // itself lives in src/search/ (search::SearchJob: steppable stages,
-// observer event streams, shard workers, unified state/arch candidates);
-// core::Pipeline is a thin wrapper that binds the historical blocking
-// entry points to one SearchJob each. The wrapper is bit-identical to the
-// pre-redesign implementation: same store journals byte for byte, same
-// rankings for the same seeds (pinned by tests/search_test.cpp). Existing
-// callers keep working unchanged; new code that wants progress events,
-// incremental stepping, or sharding should use nada::search directly.
+// observer event streams, rolling-window streaming, shard workers, unified
+// state/arch candidates); core::Pipeline is a thin wrapper that binds the
+// historical blocking entry points to one SearchJob each. The wrapper is
+// bit-identical to the pre-redesign implementation: same store journals
+// byte for byte, same rankings for the same seeds (pinned by
+// tests/search_test.cpp). Existing callers keep working unchanged; new
+// code that wants progress events, incremental stepping, streaming, or
+// sharding should use nada::search directly.
 //
 // The pipeline is domain-generic: it runs over any env::TaskDomain (ABR
 // streaming and congestion control ship in-tree). The historical
@@ -18,7 +19,16 @@
 // With a store::CandidateStore attached (attach_store), the funnel never
 // re-spends compute across runs: every stage consults the store first and
 // checkpoints its results into it, so reruns serve cached outcomes and
-// interrupted runs continue via resume_states/resume_archs.
+// interrupted runs continue. Resuming is SearchJob::resume() underneath;
+// the resume_states/resume_archs members here are the historical
+// spellings of the same thing, kept for existing callers.
+//
+// Candidates stream through the wrapped job exactly as SearchConfig
+// (alias: PipelineConfig) dictates: window_size == 0 is the historical
+// materialize-everything batch mode and the default;  window_size >= 1
+// runs the funnel in constant-memory rolling windows — identical rankings
+// and journal records, but PipelineResult::outcomes then holds only the
+// retained (fully-trained) candidates. See search/search_job.h.
 #pragma once
 
 #include <cstdint>
@@ -95,16 +105,19 @@ class Pipeline {
   /// store must outlive the pipeline.
   void attach_store(store::CandidateStore* store);
 
-  /// Continues an interrupted state search: rewinds the generator to the
-  /// start of its stream and re-runs the funnel against the attached
-  /// store, so every stage journaled before the interruption is served
-  /// from the checkpoint and only the remaining work executes. Requires an
-  /// attached store (std::logic_error otherwise).
+  /// Continues an interrupted state search — the historical spelling of
+  /// search::SearchJob::resume(): rewinds the generator to the start of
+  /// its stream and re-runs the funnel against the attached store, so
+  /// every stage journaled before the interruption is served from the
+  /// checkpoint and only the remaining work executes. Requires an attached
+  /// store (std::logic_error otherwise). New code should build a SearchJob
+  /// and call resume() on it (works for any candidate kind or mix).
   [[nodiscard]] PipelineResult resume_states(
       gen::StateGenerator& generator, const nn::ArchSpec& arch,
       const filter::EarlyStopModel* early_stop_model = nullptr);
 
-  /// Architecture-search twin of resume_states.
+  /// Architecture-search twin of resume_states (same SearchJob::resume()
+  /// underneath).
   [[nodiscard]] PipelineResult resume_archs(
       gen::ArchGenerator& generator, const dsl::StateProgram& state,
       const filter::EarlyStopModel* early_stop_model = nullptr);

@@ -36,11 +36,17 @@ class ArchGenerator {
                 std::uint64_t seed, double width_scale = 1.0);
 
   [[nodiscard]] ArchCandidate generate();
+  /// Pulls the next n candidates; window-size invariant like
+  /// StateGenerator::generate_batch (chunked pulls replay the one-call
+  /// stream exactly).
   [[nodiscard]] std::vector<ArchCandidate> generate_batch(std::size_t n);
 
   /// Rewinds the candidate stream to its start (exact replay of ids and
   /// specs); see StateGenerator::reset.
   void reset();
+
+  /// Stream position of the next candidate; see StateGenerator::position.
+  [[nodiscard]] std::uint64_t position() const { return counter_; }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 

@@ -91,6 +91,12 @@ class StateGenerator {
                  std::uint64_t seed);
 
   [[nodiscard]] StateCandidate generate();
+  /// Pulls the next n candidates of the stream. The stream is windowed:
+  /// consecutive calls continue where the last left off, and pulling it
+  /// in any window sizes yields the identical candidate sequence — five
+  /// generate_batch(7) calls produce byte-for-byte the ids and sources of
+  /// one generate_batch(35) (tests/gen_test.cpp pins this; the streaming
+  /// funnel's rolling windows rely on it).
   [[nodiscard]] std::vector<StateCandidate> generate_batch(std::size_t n);
 
   /// Rewinds the candidate stream to its start: after reset() the
@@ -98,6 +104,11 @@ class StateGenerator {
   /// construction. Resumed runs use this to re-derive the stream whose
   /// fingerprints the candidate store already journaled.
   void reset();
+
+  /// Candidates generated since construction/reset() — the stream
+  /// position of the next candidate (streaming jobs report window
+  /// progress with it).
+  [[nodiscard]] std::uint64_t position() const { return counter_; }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nada::search {
@@ -90,12 +91,28 @@ struct StageEvent {
   double seconds = 0.0;  ///< wall-clock spent in the stage
 };
 
+/// One rolling window's trip through generate -> precheck -> probe -> fold
+/// (streaming jobs only; batch jobs never fire window events). `retained`
+/// is the running-selection size after the fold — how many candidates
+/// survive in memory across windows.
+struct WindowEvent {
+  std::size_t index = 0;     ///< 0-based window number
+  std::size_t first = 0;     ///< stream position of the window's first candidate
+  std::size_t size = 0;      ///< candidates pulled into the window
+  std::size_t retained = 0;  ///< running-selection size after the fold
+  double seconds = 0.0;      ///< wall-clock from window generate to fold
+};
+
 class Observer {
  public:
   virtual ~Observer() = default;
   virtual void on_stage_start(StageKind /*stage*/) {}
   virtual void on_stage_finish(const StageEvent& /*event*/) {}
   virtual void on_candidate(const CandidateEvent& /*event*/) {}
+  /// Streaming jobs only: fired when a window's first candidate is about
+  /// to be pulled / after the window's state has been folded and retired.
+  virtual void on_window_start(std::size_t /*index*/, std::size_t /*first*/) {}
+  virtual void on_window_finish(const WindowEvent& /*event*/) {}
 };
 
 /// Prints one line per event — live funnel progress for CLIs and examples.
@@ -118,6 +135,15 @@ class StreamObserver : public Observer {
     if (!event.detail.empty()) *out_ << ": " << event.detail;
     *out_ << "\n";
   }
+  void on_window_start(std::size_t index, std::size_t first) override {
+    *out_ << "[search] window " << index << " (from candidate " << first
+          << ")...\n";
+  }
+  void on_window_finish(const WindowEvent& event) override {
+    *out_ << "[search] window " << event.index << " done: " << event.size
+          << " candidates in " << event.seconds << "s, " << event.retained
+          << " retained\n";
+  }
 
  private:
   std::ostream* out_;
@@ -135,6 +161,12 @@ class RecordingObserver : public Observer {
   void on_candidate(const CandidateEvent& event) override {
     candidates.push_back(event);
   }
+  void on_window_start(std::size_t index, std::size_t first) override {
+    window_starts.push_back({index, first});
+  }
+  void on_window_finish(const WindowEvent& event) override {
+    windows.push_back(event);
+  }
 
   [[nodiscard]] std::size_t count(CandidateEventType type) const {
     std::size_t n = 0;
@@ -147,6 +179,8 @@ class RecordingObserver : public Observer {
   std::vector<StageKind> started;
   std::vector<StageEvent> finished;
   std::vector<CandidateEvent> candidates;
+  std::vector<std::pair<std::size_t, std::size_t>> window_starts;
+  std::vector<WindowEvent> windows;
 };
 
 }  // namespace nada::search

@@ -249,6 +249,10 @@ bool SearchJob::done() const { return next_ == StageKind::kDone; }
 bool SearchJob::next_stage() {
   if (done()) return false;
   const StageKind stage = next_;
+  if (config_.streaming() && stage == StageKind::kGenerate) {
+    window_start_time_ = std::chrono::steady_clock::now();
+    notify_window_start(window_index_, generated_total_);
+  }
   notify_stage_start(stage);
   const auto start = std::chrono::steady_clock::now();
   switch (stage) {
@@ -264,9 +268,24 @@ bool SearchJob::next_stage() {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  next_ = static_cast<StageKind>(static_cast<int>(stage) + 1);
+  next_ = stage_after(stage);
   notify_stage_finish(StageEvent{stage, seconds});
   return !done();
+}
+
+StageKind SearchJob::stage_after(StageKind stage) const {
+  if (config_.streaming()) {
+    if (stage == StageKind::kGenerate && specs_.empty()) {
+      // The source ran dry at a window boundary: no per-candidate work
+      // left, move straight to the cohort-global stages.
+      return StageKind::kBaseline;
+    }
+    if (stage == StageKind::kProbe && !stream_exhausted_ &&
+        generated_total_ < config_.num_candidates) {
+      return StageKind::kGenerate;  // next rolling window
+    }
+  }
+  return static_cast<StageKind>(static_cast<int>(stage) + 1);
 }
 
 const SearchResult& SearchJob::run_until(StageKind stop) {
@@ -317,6 +336,16 @@ void SearchJob::notify_candidate(CandidateEvent event) {
   for (Observer* o : observers_) o->on_candidate(event);
 }
 
+void SearchJob::notify_window_start(std::size_t index, std::size_t first) {
+  std::lock_guard lock(notify_mutex_);
+  for (Observer* o : observers_) o->on_window_start(index, first);
+}
+
+void SearchJob::notify_window_finish(const WindowEvent& event) {
+  std::lock_guard lock(notify_mutex_);
+  for (Observer* o : observers_) o->on_window_finish(event);
+}
+
 void SearchJob::journal(std::size_t i, store::Stage stage) {
   if (options_.store != nullptr) {
     options_.store->put(to_store_record(outcomes_[i], fps_[i], stage));
@@ -324,34 +353,63 @@ void SearchJob::journal(std::size_t i, store::Stage stage) {
 }
 
 void SearchJob::stage_generate() {
-  specs_ = source_->generate(config_.num_candidates);
+  // Pull the next window from the source: the whole stream in batch mode,
+  // window_size candidates in streaming mode. A short pull marks the
+  // stream exhausted.
+  window_base_ = generated_total_;
+  const std::size_t ask =
+      config_.streaming()
+          ? std::min(config_.window_size,
+                     config_.num_candidates - generated_total_)
+          : config_.num_candidates;
+  specs_ = source_->generate(ask);
+  if (specs_.size() < ask) stream_exhausted_ = true;
+  generated_total_ += specs_.size();
   const std::size_t n = specs_.size();
-  result_.n_total = n;
+  result_.n_total += n;
+  if (config_.streaming() && n == 0) {
+    // Empty window (the source ran dry exactly at a boundary): nothing to
+    // check or probe — close the window here; stage_after() skips ahead.
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      window_start_time_)
+            .count();
+    notify_window_finish(WindowEvent{window_index_, window_base_, 0,
+                                     retained_.size(), seconds});
+    ++window_index_;
+    return;
+  }
   fps_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     fps_[i] = fingerprint_of(specs_[i], fixed_);
   }
   leader_ = leaders_by_fingerprint(fps_);
+  // clear-then-resize (not assign): resets the slots left from the
+  // previous window without copying, which the move-only programs forbid.
+  cached_.clear();
   cached_.resize(n);
+  programs_.clear();
   programs_.resize(n);
+  outcomes_.clear();
   outcomes_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     outcomes_[i].id = specs_[i].id;
+    outcomes_[i].stream_index = window_base_ + i;
     outcomes_[i].source = specs_[i].source;
     if (specs_[i].kind == CandidateKind::kArchitecture) {
       outcomes_[i].arch = specs_[i].arch;
     }
     if (!observers_.empty()) {
       notify_candidate(CandidateEvent{CandidateEventType::kEntered,
-                                      StageKind::kGenerate, i, specs_[i].id,
-                                      ""});
+                                      StageKind::kGenerate, outcomes_[i].stream_index,
+                                      specs_[i].id, ""});
     }
     if (!in_shard(i)) {
       ++result_.n_out_of_shard;
       if (!observers_.empty()) {
         notify_candidate(CandidateEvent{CandidateEventType::kOutOfShard,
-                                        StageKind::kGenerate, i, specs_[i].id,
-                                        ""});
+                                        StageKind::kGenerate, outcomes_[i].stream_index,
+                                        specs_[i].id, ""});
       }
     }
   }
@@ -461,20 +519,21 @@ void SearchJob::stage_precheck() {
       ++result_.n_precheck_cache_hits;
       if (!observers_.empty()) {
         notify_candidate(CandidateEvent{
-            CandidateEventType::kCacheHit, StageKind::kPrecheck, i,
-            outcomes_[i].id, store::stage_name(cached_[i]->stage)});
+            CandidateEventType::kCacheHit, StageKind::kPrecheck,
+            outcomes_[i].stream_index, outcomes_[i].id,
+            store::stage_name(cached_[i]->stage)});
       }
     } else if (!outcomes_[i].compiled) {
       if (!observers_.empty()) {
         notify_candidate(CandidateEvent{CandidateEventType::kFailed,
-                                        StageKind::kPrecheck, i,
+                                        StageKind::kPrecheck, outcomes_[i].stream_index,
                                         outcomes_[i].id,
                                         outcomes_[i].compile_error});
       }
     } else if (!outcomes_[i].normalized) {
       if (!observers_.empty()) {
         notify_candidate(CandidateEvent{CandidateEventType::kFailed,
-                                        StageKind::kPrecheck, i,
+                                        StageKind::kPrecheck, outcomes_[i].stream_index,
                                         outcomes_[i].id,
                                         outcomes_[i].normalization_error});
       }
@@ -494,7 +553,8 @@ void SearchJob::stage_probe() {
       ++result_.n_probe_cache_hits;  // probe verdict already applied
       if (!observers_.empty()) {
         notify_candidate(CandidateEvent{CandidateEventType::kCacheHit,
-                                        StageKind::kProbe, i, outcomes_[i].id,
+                                        StageKind::kProbe, outcomes_[i].stream_index,
+                                        outcomes_[i].id,
                                         store::stage_name(cached_[i]->stage)});
       }
     } else if (leader_[i] != i) {
@@ -524,7 +584,8 @@ void SearchJob::stage_probe() {
           outcomes_[i].early_rewards = probe_result.train_rewards;
           if (!observers_.empty()) {
             notify_candidate(CandidateEvent{CandidateEventType::kProbed,
-                                            StageKind::kProbe, i,
+                                            StageKind::kProbe,
+                                            outcomes_[i].stream_index,
                                             outcomes_[i].id, ""});
           }
         } else {
@@ -533,20 +594,123 @@ void SearchJob::stage_probe() {
           outcomes_[i].compile_error = probe_result.error;
           if (!observers_.empty()) {
             notify_candidate(CandidateEvent{CandidateEventType::kFailed,
-                                            StageKind::kProbe, i,
+                                            StageKind::kProbe,
+                                            outcomes_[i].stream_index,
                                             outcomes_[i].id,
                                             probe_result.error});
           }
         }
         journal(i, store::Stage::kProbed);
       });
-  result_.n_probes_run = probe_set_.size();
+  result_.n_probes_run += probe_set_.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (leader_[i] != i && outcomes_[i].compiled && outcomes_[i].normalized &&
         !outcomes_[i].early_probed) {
       copy_probe_result(outcomes_[leader_[i]], outcomes_[i]);
     }
   }
+  if (config_.streaming()) fold_window();
+}
+
+void SearchJob::fold_window() {
+  // Streaming end-of-window fold: this window's probes meet the running
+  // selection, then every per-candidate array is retired. Selection here
+  // is element-for-element what batch mode's select stage computes over
+  // the whole cohort — insert by (probe score desc, stream position asc),
+  // evict past full_train_top — so the final retained set is the batch
+  // top-K exactly.
+  const std::size_t n = specs_.size();
+  const auto by_rank = [](const RetainedCandidate& a,
+                          const RetainedCandidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.outcome.stream_index < b.outcome.stream_index;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!outcomes_[i].early_probed) continue;
+    bool keep = true;
+    if (options_.early_stop_model != nullptr) {
+      // The model normalizes probe curves by the baseline score, so the
+      // baseline trains lazily at the first fold that needs it. Its seed
+      // stream is independent of the candidates', so training it before
+      // the kBaseline stage cannot change any result.
+      const double normalizer = original_baseline().test_score;
+      keep = options_.early_stop_model->keep(
+          make_record(outcomes_[i], normalizer));
+    }
+    if (!keep) {
+      ++result_.n_early_stopped;
+      if (!observers_.empty()) {
+        notify_candidate(CandidateEvent{CandidateEventType::kEarlyStopped,
+                                        StageKind::kProbe, outcomes_[i].stream_index,
+                                        outcomes_[i].id, ""});
+      }
+      continue;
+    }
+    RetainedCandidate cand;
+    cand.spec = std::move(specs_[i]);
+    cand.fp = fps_[i];
+    cand.cached = std::move(cached_[i]);
+    cand.program = std::move(programs_[i]);
+    cand.outcome = std::move(outcomes_[i]);
+    cand.score = probe_score(cand.outcome.early_rewards);
+    retained_.insert(
+        std::upper_bound(retained_.begin(), retained_.end(), cand, by_rank),
+        std::move(cand));
+    if (retained_.size() > config_.full_train_top) {
+      const RetainedCandidate evicted = std::move(retained_.back());
+      retained_.pop_back();
+      ++result_.n_early_stopped;
+      if (!observers_.empty()) {
+        notify_candidate(CandidateEvent{
+            CandidateEventType::kEarlyStopped, StageKind::kProbe,
+            evicted.outcome.stream_index, evicted.outcome.id, ""});
+      }
+    }
+  }
+  // Retire the window. clear() keeps the capacity, so the arrays are
+  // allocated once and reused: peak memory stays O(window_size).
+  specs_.clear();
+  fps_.clear();
+  leader_.clear();
+  cached_.clear();
+  programs_.clear();
+  outcomes_.clear();
+  probe_set_.clear();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    window_start_time_)
+          .count();
+  notify_window_finish(
+      WindowEvent{window_index_, window_base_, n, retained_.size(), seconds});
+  ++window_index_;
+}
+
+void SearchJob::adopt_retained() {
+  // Rebuild the per-candidate arrays from the running selection (already
+  // in selection order) so the batch full-train and rank stages run on
+  // them unchanged. Clone leaders recompute from the adopted fingerprints:
+  // a retained clone always sorts after its leader (equal score, larger
+  // stream position), so leaders precede clones here just as in a batch
+  // cohort.
+  const std::size_t k = retained_.size();
+  specs_.clear();
+  fps_.clear();
+  cached_.clear();
+  programs_.clear();
+  outcomes_.clear();
+  selected_.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    RetainedCandidate& cand = retained_[i];
+    specs_.push_back(std::move(cand.spec));
+    fps_.push_back(cand.fp);
+    cached_.push_back(std::move(cand.cached));
+    programs_.push_back(std::move(cand.program));
+    outcomes_.push_back(std::move(cand.outcome));
+    selected_.push_back(i);
+  }
+  leader_ = leaders_by_fingerprint(fps_);
+  retained_.clear();
+  retained_.shrink_to_fit();
 }
 
 void SearchJob::stage_baseline() {
@@ -597,6 +761,13 @@ std::vector<std::size_t> SearchJob::select_survivors() {
 }
 
 void SearchJob::stage_select() {
+  if (config_.streaming()) {
+    // Selection already happened incrementally, window fold by window
+    // fold; what is left is exactly the full-training cohort. Early-stop
+    // verdicts and events fired at fold time (stage kProbe).
+    adopt_retained();
+    return;
+  }
   selected_ = select_survivors();
   for (std::size_t i = 0; i < outcomes_.size(); ++i) {
     if (!outcomes_[i].early_stopped) continue;
@@ -622,8 +793,8 @@ void SearchJob::stage_full_train() {
       ++result_.n_full_cache_hits;
       if (!observers_.empty()) {
         notify_candidate(CandidateEvent{CandidateEventType::kCacheHit,
-                                        StageKind::kFullTrain, i,
-                                        outcomes_[i].id,
+                                        StageKind::kFullTrain,
+                                        outcomes_[i].stream_index, outcomes_[i].id,
                                         store::stage_name(cached_[i]->stage)});
       }
     } else if (leader_[i] != i) {
@@ -655,8 +826,8 @@ void SearchJob::stage_full_train() {
     journal(i, store::Stage::kTrained);
     if (!observers_.empty()) {
       notify_candidate(CandidateEvent{
-          CandidateEventType::kTrained, StageKind::kFullTrain, i,
-          outcomes_[i].id,
+          CandidateEventType::kTrained, StageKind::kFullTrain,
+          outcomes_[i].stream_index, outcomes_[i].id,
           outcomes_[i].fully_trained
               ? "test_score=" + std::to_string(outcomes_[i].test_score)
               : "every session failed"});
@@ -665,12 +836,21 @@ void SearchJob::stage_full_train() {
 }
 
 void SearchJob::stage_rank() {
+  // The best-candidate tie-break is by stream position, explicitly: in
+  // batch mode the scan order makes the explicit clause a no-op, but in
+  // streaming mode outcomes_ is in selection (probe-score) order, so the
+  // clause is what keeps both modes picking the identical winner.
+  std::size_t best_stream = SIZE_MAX;
   for (std::size_t i = 0; i < outcomes_.size(); ++i) {
     if (!outcomes_[i].fully_trained) continue;
     ++result_.n_fully_trained;
-    if (outcomes_[i].test_score > result_.best_score) {
+    const bool tie_earlier = result_.has_best() &&
+                             outcomes_[i].test_score == result_.best_score &&
+                             outcomes_[i].stream_index < best_stream;
+    if (outcomes_[i].test_score > result_.best_score || tie_earlier) {
       result_.best_score = outcomes_[i].test_score;
       result_.best_index = i;
+      best_stream = outcomes_[i].stream_index;
     }
   }
   result_.outcomes = std::move(outcomes_);

@@ -1,32 +1,60 @@
 // SearchJob: the NADA funnel (Figure 1) as an incrementally steppable job.
 //
-// One job runs one candidate stream through generate -> pre-check -> probe
-// -> baseline -> select -> full-train -> rank. Unlike the monolithic
+// One job pulls one candidate stream through generate -> pre-check ->
+// probe -> baseline -> select -> full-train -> rank. Unlike the monolithic
 // Pipeline entry points it replaces underneath, a job
 //
 //   * is steppable: next_stage() executes exactly one stage, so callers
 //     interleave their own work, stop early (shard workers run only
 //     through the probe stage), or drive progress UIs,
-//   * streams events: Observers see every stage transition (with timings)
-//     and candidate milestone as it happens,
+//   * streams events: Observers see every stage transition (with timings),
+//     every candidate milestone, and — in streaming mode — every rolling
+//     window as it happens,
 //   * is kind-unified: the stream may hold state-program and architecture
 //     candidates in any mix (CandidateSpec), one funnel code path,
 //   * folds resume in: resume() rewinds the source and re-runs against the
-//     attached store, serving every journaled stage from the checkpoint —
-//     the behaviour of the historical resume_states/resume_archs twins.
+//     attached store, serving every journaled stage from the checkpoint.
 //
-// Bit-identity contract: for a homogeneous stream, a job produces
-// byte-identical store journals and identical results to the historical
-// Pipeline::search_states / search_archs code paths (fingerprints, seed
-// salts, stage order over the store, and selection tie-breaks are all
-// preserved). core::Pipeline is now a thin wrapper over this class and
-// tests/search_test.cpp pins the equivalence.
+// Candidates are PULLED from the CandidateSource, not materialized up
+// front. SearchConfig::window_size picks between two execution modes:
+//
+//   batch (window_size == 0, the default): one window spans the whole
+//   stream. Every candidate's outcome is kept and returned —
+//   SearchResult::outcomes[i] is stream position i. Peak memory is
+//   O(num_candidates). This mode is byte-for-byte the historical
+//   generate_batch behaviour.
+//
+//   streaming (window_size >= 1): the per-candidate stages repeat in
+//   rolling windows — the job pulls window_size candidates, pre-checks and
+//   probes them, folds the window into a running selection (top
+//   full_train_top probes by tail reward, candidate events and journal
+//   writes included), and retires the window's specs, programs, and reward
+//   curves before pulling the next. The stage sequence cycles
+//   generate -> precheck -> probe until the stream is spent, then runs the
+//   cohort-global stages once. Peak memory is O(window_size +
+//   full_train_top); SearchResult::outcomes holds only the retained
+//   candidates (stream positions travel in CandidateOutcome::stream_index).
+//
+// Bit-identity contract: batch mode matches the historical
+// Pipeline::search_states / search_archs code paths exactly (fingerprints,
+// seed salts, stage order over the store, and selection tie-breaks are all
+// preserved; tests/search_test.cpp pins it). Streaming mode produces the
+// same rankings and the same store journal records as batch mode for the
+// same seeds — per-candidate seeds are fingerprint-derived, so where the
+// work runs cannot change what it computes; only the journal's line ORDER
+// differs (windows interleave check/probe records). tests/stream_test.cpp
+// pins batch-vs-streaming equivalence for ABR and CC, serial and sharded.
+// One caveat: without an attached store, a candidate whose duplicate
+// appeared in an earlier (already retired) window is re-probed rather than
+// copied — the results are identical either way, only n_probes_run grows;
+// with a store the duplicate is served from the journal like any warm hit.
 //
 // A job is single-shot: once done() it cannot be restarted (build a new
 // job for another pass; construction is cheap, the store carries the
 // memory).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -95,7 +123,8 @@ class SearchJob {
   void add_observer(Observer* observer);
 
   /// The stage the next next_stage() call will execute (kDone when the job
-  /// is complete).
+  /// is complete). In streaming mode the per-candidate stages cycle:
+  /// after kProbe this is kGenerate again until the stream is spent.
   [[nodiscard]] StageKind next_stage_kind() const;
   [[nodiscard]] bool done() const;
 
@@ -105,7 +134,8 @@ class SearchJob {
 
   /// Steps until `stop` would be next (or the job completes). Shard
   /// workers use run_until(StageKind::kBaseline) to execute only the
-  /// per-candidate stages. Returns the (possibly partial) result.
+  /// per-candidate stages — in streaming mode that is every remaining
+  /// window. Returns the (possibly partial) result.
   const SearchResult& run_until(StageKind stop);
 
   /// Steps every remaining stage and moves the final result out. The job
@@ -131,6 +161,18 @@ class SearchJob {
   const rl::SessionResult& original_baseline();
 
  private:
+  /// One candidate carried across window boundaries by the streaming
+  /// running selection: everything full training and ranking need once the
+  /// window that produced it has been retired.
+  struct RetainedCandidate {
+    CandidateSpec spec;
+    store::Fingerprint fp;
+    std::optional<store::OutcomeRecord> cached;
+    std::optional<dsl::StateProgram> program;
+    CandidateOutcome outcome;
+    double score = 0.0;  ///< probe tail score (the selection key)
+  };
+
   void stage_generate();
   void stage_precheck();
   void stage_probe();
@@ -138,6 +180,19 @@ class SearchJob {
   void stage_select();
   void stage_full_train();
   void stage_rank();
+
+  /// Streaming only: end-of-window fold. Applies the early-stop verdicts
+  /// to the window's probes, merges the keepers into the running
+  /// top-full_train_top selection (evictions become early-stopped), and
+  /// retires the window's per-candidate arrays.
+  void fold_window();
+  /// Streaming only (select stage): rebuilds the per-candidate arrays from
+  /// the retained selection so the batch full-train/rank code runs on them
+  /// unchanged.
+  void adopt_retained();
+  /// The stage following `stage`: linear in batch mode; in streaming mode
+  /// kProbe loops back to kGenerate while the stream has candidates left.
+  [[nodiscard]] StageKind stage_after(StageKind stage) const;
 
   void precheck_state(std::size_t i);
   void precheck_arch(std::size_t i, const nn::StateSignature& signature);
@@ -149,6 +204,8 @@ class SearchJob {
   void notify_stage_start(StageKind stage);
   void notify_stage_finish(const StageEvent& event);
   void notify_candidate(CandidateEvent event);
+  void notify_window_start(std::size_t index, std::size_t first);
+  void notify_window_finish(const WindowEvent& event);
   void journal(std::size_t i, store::Stage stage);
 
   const env::TaskDomain* domain_;
@@ -165,7 +222,10 @@ class SearchJob {
   SearchResult result_;
   std::optional<rl::SessionResult> local_baseline_;
 
-  // Per-candidate working state, indexed by stream position.
+  // Per-candidate working state of the CURRENT window, indexed by window
+  // position (batch mode: one window spanning the whole stream, so window
+  // position == stream position). A window candidate's stream position
+  // lives in outcomes_[i].stream_index.
   std::vector<CandidateSpec> specs_;
   std::vector<store::Fingerprint> fps_;
   std::vector<std::size_t> leader_;
@@ -174,6 +234,16 @@ class SearchJob {
   std::vector<CandidateOutcome> outcomes_;
   std::vector<std::size_t> probe_set_;
   std::vector<std::size_t> selected_;
+
+  // Streaming state: stream/window progress and the running selection
+  // (sorted by score desc, stream position asc; never larger than
+  // full_train_top).
+  std::size_t generated_total_ = 0;
+  bool stream_exhausted_ = false;
+  std::size_t window_index_ = 0;
+  std::size_t window_base_ = 0;
+  std::chrono::steady_clock::time_point window_start_time_{};
+  std::vector<RetainedCandidate> retained_;
 };
 
 }  // namespace nada::search

@@ -46,6 +46,21 @@ struct SearchConfig {
   bool probe_batch = true;
   /// Candidates per lockstep block when probe_batch is on.
   std::size_t probe_block = 4;
+  /// Rolling-window streaming. 0 (the default) materializes the whole
+  /// candidate stream up front — the historical batch mode, byte-for-byte.
+  /// >= 1 pulls, pre-checks, and probes the stream in windows of this many
+  /// candidates, retiring each window's per-candidate state (specs,
+  /// programs, reward curves — journaled to the store first when one is
+  /// attached) before the next window is generated: peak memory is
+  /// O(window_size + full_train_top) instead of O(num_candidates). The
+  /// running selection keeps only the top full_train_top probes across
+  /// windows, so SearchResult::outcomes holds just the retained candidates
+  /// (see SearchResult). Rankings, journal records, and store keys are
+  /// identical to batch mode for the same seeds; like probe_batch this is
+  /// an execution knob and never feeds store_scope().
+  std::size_t window_size = 0;
+
+  [[nodiscard]] bool streaming() const { return window_size > 0; }
 };
 
 /// Up-front validation with descriptive errors: num_candidates >= 1,
@@ -64,6 +79,11 @@ struct ShardSlice {
 /// Everything that happened to one candidate on its way through the funnel.
 struct CandidateOutcome {
   std::string id;
+  /// Position in the candidate stream. In batch mode this equals the
+  /// outcome's index in SearchResult::outcomes; in streaming mode the
+  /// result holds only the retained candidates, so the stream position
+  /// must travel with the outcome.
+  std::size_t stream_index = 0;
   std::string source;            ///< state candidates only
   std::optional<nn::ArchSpec> arch;  ///< architecture candidates only
   bool compiled = false;
@@ -81,6 +101,12 @@ struct CandidateOutcome {
 };
 
 struct SearchResult {
+  /// Batch mode: one outcome per stream position (outcomes[i].stream_index
+  /// == i). Streaming mode: only the candidates the running selection
+  /// retained — the full-training cohort, in selection order (probe score
+  /// desc, stream position asc); everything else was journaled (when a
+  /// store is attached) and retired window by window. The funnel counters
+  /// below always cover the whole stream in both modes.
   std::vector<CandidateOutcome> outcomes;
   std::size_t n_total = 0;
   std::size_t n_compiled = 0;

@@ -2,7 +2,9 @@
 // flaw-detection ground truth, diversity, and prompt-strategy ablations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "env/abr_domain.h"
 #include "filter/checks.h"
@@ -10,6 +12,7 @@
 #include "gen/profile.h"
 #include "gen/state_gen.h"
 #include "rl/agent.h"
+#include "store/fingerprint.h"
 
 namespace nada::gen {
 namespace {
@@ -162,6 +165,77 @@ TEST(StateGenerator, DeterministicForSeed) {
   }
 }
 
+// ---- windowed replay (the streaming funnel's contract) -------------------------
+
+TEST(StateGenerator, WindowedBatchesReplayTheOneShotStream) {
+  // The streaming funnel pulls the stream in rolling windows; the ids and
+  // sources must be byte-for-byte the ones a single materializing pull
+  // produces, whatever the window size.
+  StateGenerator one_shot(gpt4_profile(), PromptStrategy{}, 314);
+  const auto whole = one_shot.generate_batch(35);
+  for (const std::size_t window : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{16}}) {
+    StateGenerator windowed(gpt4_profile(), PromptStrategy{}, 314);
+    std::vector<StateCandidate> chunked;
+    while (chunked.size() < whole.size()) {
+      const std::size_t ask = std::min(window, whole.size() - chunked.size());
+      for (auto& cand : windowed.generate_batch(ask)) {
+        chunked.push_back(std::move(cand));
+      }
+    }
+    EXPECT_EQ(windowed.position(), whole.size());
+    ASSERT_EQ(chunked.size(), whole.size());
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(chunked[i].id, whole[i].id) << "window " << window;
+      EXPECT_EQ(chunked[i].source, whole[i].source) << "window " << window;
+      EXPECT_EQ(chunked[i].flaw, whole[i].flaw) << "window " << window;
+    }
+  }
+}
+
+TEST(StateGenerator, ResetReplaysAcrossWindowBoundaries) {
+  // A resumed streaming run rewinds the generator and re-pulls in windows
+  // that need not match the original run's: the historical id/source
+  // stream must reproduce exactly across the new boundaries.
+  StateGenerator generator(gpt4_profile(), PromptStrategy{}, 2718);
+  const auto history = generator.generate_batch(10);
+  generator.reset();
+  EXPECT_EQ(generator.position(), 0u);
+  std::vector<StateCandidate> replay;
+  for (const std::size_t pull : {std::size_t{3}, std::size_t{3},
+                                 std::size_t{3}, std::size_t{1}}) {
+    for (auto& cand : generator.generate_batch(pull)) {
+      replay.push_back(std::move(cand));
+    }
+  }
+  ASSERT_EQ(replay.size(), history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(replay[i].id, history[i].id);
+    EXPECT_EQ(replay[i].source, history[i].source);
+  }
+}
+
+TEST(StateGenerator, CcSpaceWindowedReplayMatches) {
+  // The windowed-replay contract is space-independent: the CC design
+  // space streams through the same generator machinery.
+  StateGenerator one_shot(cc_state_space(), gpt4_profile(), PromptStrategy{},
+                          99);
+  const auto whole = one_shot.generate_batch(12);
+  StateGenerator windowed(cc_state_space(), gpt4_profile(), PromptStrategy{},
+                          99);
+  std::vector<StateCandidate> chunked;
+  for (int pull = 0; pull < 3; ++pull) {
+    for (auto& cand : windowed.generate_batch(4)) {
+      chunked.push_back(std::move(cand));
+    }
+  }
+  ASSERT_EQ(chunked.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(chunked[i].id, whole[i].id);
+    EXPECT_EQ(chunked[i].source, whole[i].source);
+  }
+}
+
 TEST(StateGenerator, IdsAreUniqueAndPrefixed) {
   StateGenerator generator(gpt35_profile(), PromptStrategy{}, 13);
   std::set<std::string> ids;
@@ -262,6 +336,37 @@ TEST(ArchGenerator, ValidSpecsInstantiate) {
         << cand.description;
   }
   EXPECT_GE(valid_seen, 50u);
+}
+
+TEST(ArchGenerator, WindowedBatchesReplayTheOneShotStream) {
+  ArchGenerator one_shot(gpt4_profile(), PromptStrategy{}, 55, 0.25);
+  const auto whole = one_shot.generate_batch(20);
+  ArchGenerator windowed(gpt4_profile(), PromptStrategy{}, 55, 0.25);
+  std::vector<ArchCandidate> chunked;
+  for (int pull = 0; pull < 4; ++pull) {
+    for (auto& cand : windowed.generate_batch(5)) {
+      chunked.push_back(std::move(cand));
+    }
+  }
+  EXPECT_EQ(windowed.position(), 20u);
+  ASSERT_EQ(chunked.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(chunked[i].id, whole[i].id);
+    EXPECT_EQ(chunked[i].description, whole[i].description);
+    // Specs compare through their canonical content hash (ArchSpec has no
+    // operator==): identical fingerprints mean identical store keys.
+    EXPECT_EQ(store::fingerprint_arch(chunked[i].spec).hex(),
+              store::fingerprint_arch(whole[i].spec).hex());
+  }
+  // reset() rewinds across window boundaries, like the state generator.
+  windowed.reset();
+  const auto replay = windowed.generate_batch(20);
+  ASSERT_EQ(replay.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(replay[i].id, whole[i].id);
+    EXPECT_EQ(store::fingerprint_arch(replay[i].spec).hex(),
+              store::fingerprint_arch(whole[i].spec).hex());
+  }
 }
 
 TEST(ArchGenerator, CoversPaperVariants) {

@@ -22,11 +22,16 @@
 // Ranking lines are printed as `RANK,<position>,<id>,<fingerprint>,<score>`
 // so two runs diff with grep + diff. Flags: --domain abr|cc,
 // --search state|arch, --candidates N, --seed S, --gen-seed G,
-// --threads T (0 = serial), --quiet (suppress per-candidate events).
+// --threads T (0 = serial), --window W (0 = batch mode; >= 1 streams the
+// funnel in rolling windows of W candidates — same rankings and journal
+// records, constant memory; the stream-equivalence-smoke CI job diffs the
+// two), --quiet (suppress per-candidate events).
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -60,6 +65,7 @@ struct Args {
   std::uint64_t seed = 1234;
   std::uint64_t gen_seed = 77;
   std::size_t threads = 0;
+  std::size_t window = 0;
   bool quiet = false;
 };
 
@@ -68,7 +74,8 @@ struct Args {
             << "usage: shard_worker --mode worker|merge|single"
             << " [--shard I] [--shards N] [--store-dir DIR]"
             << " [--domain abr|cc] [--search state|arch] [--candidates N]"
-            << " [--seed S] [--gen-seed G] [--threads T] [--quiet]\n";
+            << " [--seed S] [--gen-seed G] [--threads T] [--window W]"
+            << " [--quiet]\n";
   std::exit(2);
 }
 
@@ -90,6 +97,7 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--seed") args.seed = std::stoull(value(i));
     else if (flag == "--gen-seed") args.gen_seed = std::stoull(value(i));
     else if (flag == "--threads") args.threads = std::stoul(value(i));
+    else if (flag == "--window") args.window = std::stoul(value(i));
     else if (flag == "--quiet") args.quiet = true;
     else usage("unknown flag " + flag);
   }
@@ -120,11 +128,41 @@ search::SearchConfig demo_config(std::size_t candidates) {
   return config;
 }
 
+/// Fingerprints of the ranked outcomes only, pulled by replaying the
+/// stream in small windows and keeping just the wanted positions — the
+/// ranking printout must not hold O(num_candidates) specs when the search
+/// itself ran at O(window) memory.
+std::map<std::size_t, std::string> ranked_fingerprints(
+    search::CandidateSource& source, const search::FixedDesign& fixed,
+    const search::SearchResult& result, std::size_t num_candidates) {
+  std::set<std::size_t> wanted;
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.fully_trained) wanted.insert(outcome.stream_index);
+  }
+  std::map<std::size_t, std::string> out;
+  source.reset();
+  std::size_t position = 0;
+  while (!wanted.empty() && position < num_candidates) {
+    const auto window = source.generate(
+        std::min<std::size_t>(64, num_candidates - position));
+    if (window.empty()) break;
+    for (const auto& spec : window) {
+      if (wanted.erase(position) > 0) {
+        out[position] = search::fingerprint_of(spec, fixed).hex();
+      }
+      ++position;
+    }
+  }
+  return out;
+}
+
 void print_ranking(const search::SearchResult& result,
-                   const search::FixedDesign& fixed,
-                   const std::vector<search::CandidateSpec>& specs) {
+                   const std::map<std::size_t, std::string>& fingerprints) {
   // Fully trained outcomes, best first; ties by stream position (the
-  // funnel's own tie-break), so the listing is deterministic.
+  // funnel's own tie-break), so the listing is deterministic. Outcomes are
+  // addressed through stream_index rather than their result position: in
+  // streaming mode the result holds only the retained candidates, and the
+  // ranking must still diff cleanly against a batch run.
   std::vector<std::size_t> ranked;
   for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
     if (result.outcomes[i].fully_trained) ranked.push_back(i);
@@ -133,13 +171,13 @@ void print_ranking(const search::SearchResult& result,
     if (result.outcomes[a].test_score != result.outcomes[b].test_score) {
       return result.outcomes[a].test_score > result.outcomes[b].test_score;
     }
-    return a < b;
+    return result.outcomes[a].stream_index < result.outcomes[b].stream_index;
   });
   std::cout << "baseline score: " << result.original_score << "\n";
   for (std::size_t r = 0; r < ranked.size(); ++r) {
     const auto& outcome = result.outcomes[ranked[r]];
     std::cout << "RANK," << r + 1 << "," << outcome.id << ","
-              << search::fingerprint_of(specs[ranked[r]], fixed).hex() << ","
+              << fingerprints.at(outcome.stream_index) << ","
               << outcome.test_score << "\n";
   }
 }
@@ -163,7 +201,10 @@ int run(const Args& args) {
     domain = std::make_unique<cc::CcDomain>(dataset, cc_config);
   }
 
-  const search::SearchConfig config = demo_config(args.candidates);
+  search::SearchConfig config = demo_config(args.candidates);
+  // Execution knob only: batch (--window 0) and streaming runs share one
+  // store scope, so their journals are directly comparable.
+  config.window_size = args.window;
   std::unique_ptr<util::ThreadPool> pool;
   if (args.threads > 0) pool = std::make_unique<util::ThreadPool>(args.threads);
 
@@ -207,9 +248,6 @@ int run(const Args& args) {
   }
 
   if (args.mode == "merge") {
-    source->reset();
-    const auto specs = source->generate(config.num_candidates);
-    source->reset();
     const auto result = runner.merge_and_rank(*source, fixed, nullptr,
                                               &observer);
     std::cout << "driver: merged " << args.shards << " shard journals, "
@@ -218,7 +256,8 @@ int run(const Args& args) {
               << result.n_full_trains_run
               << " full trainings executed by the driver\n"
               << "journal: " << runner.merged_store_path() << "\n";
-    print_ranking(result, fixed, specs);
+    print_ranking(result, ranked_fingerprints(*source, fixed, result,
+                                              config.num_candidates));
     return 0;
   }
 
@@ -232,15 +271,14 @@ int run(const Args& args) {
   search::JobOptions options;
   options.store = &store;
   options.pool = pool.get();
-  const auto specs = source->generate(config.num_candidates);
-  source->reset();
   search::SearchJob job(*domain, config, args.seed, *source, fixed, options);
   job.add_observer(&observer);  // --quiet already trims candidate events
   const auto result = job.run_to_completion();
   std::cout << "single: " << result.n_probes_run << " probes and "
             << result.n_full_trains_run << " full trainings executed\n"
             << "journal: " << store.path() << "\n";
-  print_ranking(result, fixed, specs);
+  print_ranking(result, ranked_fingerprints(*source, fixed, result,
+                                            config.num_candidates));
   return 0;
 }
 
