@@ -4,9 +4,12 @@
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "obs/metrics.h"
+#include "util/fs.h"
 #include "util/scale.h"
 #include "util/table.h"
 
@@ -32,6 +35,39 @@ inline void save_csv(const std::string& filename,
   const std::string path = results_path(filename);
   util::write_file(path, table.to_csv());
   std::cout << "[csv] wrote " << path << "\n";
+}
+
+/// Opt-in bench profiling: when NADA_BENCH_METRICS is a non-empty path,
+/// returns a registry for the bench to wire into its jobs (JobOptions /
+/// ShardRunnerConfig metrics). Pure readout — a bench's measured numbers
+/// and CSVs are unaffected; only the snapshot file appears.
+inline obs::MetricsRegistry* bench_metrics() {
+  const char* path = std::getenv("NADA_BENCH_METRICS");
+  if (path == nullptr || *path == '\0') return nullptr;
+  static obs::MetricsRegistry registry;
+  return &registry;
+}
+
+/// Dumps the bench_metrics() snapshot to $NADA_BENCH_METRICS (suffixing
+/// `tag` before the extension when given, so multi-phase benches can emit
+/// one file per phase). No-op when the knob is unset.
+inline void dump_bench_metrics(const std::string& tag = "") {
+  obs::MetricsRegistry* registry = bench_metrics();
+  if (registry == nullptr) return;
+  std::string path = std::getenv("NADA_BENCH_METRICS");
+  if (!tag.empty()) {
+    const std::size_t dot = path.rfind('.');
+    const std::size_t slash = path.rfind('/');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+      path.insert(dot, "-" + tag);
+    } else {
+      path += "-" + tag;
+    }
+  }
+  util::ensure_directories(util::parent_directory(path));
+  util::write_file_atomic(path, registry->snapshot().dump() + "\n");
+  std::cout << "[metrics] wrote " << path << "\n";
 }
 
 class Stopwatch {

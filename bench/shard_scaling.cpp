@@ -68,6 +68,7 @@ int main() {
     auto source = make_source(generator);
     search::JobOptions options;
     options.store = &store;
+    options.metrics = bench::bench_metrics();  // NADA_BENCH_METRICS opt-in
     search::SearchJob job(domain, config, seed, *source,
                           search::FixedDesign{nullptr, &config.baseline_arch},
                           options);
@@ -96,6 +97,7 @@ int main() {
     search::ShardRunnerConfig shard_config;
     shard_config.num_shards = shards;
     shard_config.store_dir = dir;
+    shard_config.metrics = bench::bench_metrics();
     search::ShardRunner runner(domain, config, seed, shard_config);
     for (std::size_t s = 0; s < shards; ++s) {
       util::ensure_directories(dir);
@@ -145,5 +147,6 @@ int main() {
   }
   table.print(std::cout);
   bench::save_csv("shard_scaling.csv", table);
+  bench::dump_bench_metrics();
   return 0;
 }

@@ -87,8 +87,11 @@ RunStats run_search(std::size_t candidates, std::size_t window) {
   gen::StateGenerator generator(gen::cc_state_space(), gen::gpt4_profile(),
                                 gen::PromptStrategy{}, 77);
   search::StateCandidateSource source(generator);
+  search::JobOptions options;
+  options.metrics = bench::bench_metrics();  // NADA_BENCH_METRICS opt-in
   search::SearchJob job(domain, config, 1234, source,
-                        search::FixedDesign{nullptr, &config.baseline_arch});
+                        search::FixedDesign{nullptr, &config.baseline_arch},
+                        options);
   const bench::Stopwatch watch;
   const auto result = job.run_to_completion();
   RunStats stats;
@@ -96,6 +99,10 @@ RunStats run_search(std::size_t candidates, std::size_t window) {
   stats.probes = result.n_probes_run;
   stats.seconds = watch.seconds();
   stats.best = result.best_score;
+  // Each measurement is its own forked child, so the dump happens here
+  // (one snapshot file per run, tagged by mode and count).
+  bench::dump_bench_metrics((window == 0 ? "batch-" : "stream-") +
+                            std::to_string(candidates));
   return stats;
 }
 

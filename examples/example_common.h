@@ -5,13 +5,20 @@
 // details.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/metrics_observer.h"
+#include "obs/status.h"
+#include "obs/trace_sink.h"
+#include "search/search_job.h"
 #include "search/types.h"
 #include "store/candidate_store.h"
+#include "util/fs.h"
 
 namespace nada::examples {
 
@@ -66,6 +73,70 @@ inline std::unique_ptr<store::CandidateStore> attach_default_store(
   auto cache = open_default_store(pipeline.store_scope(), out);
   pipeline.attach_store(cache.get());
   return cache;
+}
+
+/// Environment-variable-driven observability sinks for the example
+/// binaries (no flag parsing in the examples):
+///
+///   NADA_METRICS_OUT=metrics.json  final registry snapshot on finish()
+///   NADA_TRACE_OUT=trace.jsonl     every search event, one JSONL line
+///   NADA_STATUS_OUT=status.json    live atomic status snapshot
+///
+/// Unset variables cost nothing. All sinks are pure readout — results are
+/// bit-identical with and without them (see docs/OBSERVABILITY.md).
+struct EnvSinks {
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::MetricsObserver> metrics;
+  std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::StatusWriter> status;
+  std::string metrics_path;
+
+  /// Registers the active sinks on a job. Pair with
+  /// `options.metrics = sinks.registry.get()` before constructing the job
+  /// to also capture the hot-path profiling histograms.
+  void attach(search::SearchJob& job) {
+    if (metrics != nullptr) job.add_observer(metrics.get());
+    if (trace != nullptr) job.add_observer(trace.get());
+    if (status != nullptr) job.add_observer(status.get());
+  }
+
+  /// Terminal status snapshot + the metrics dump. Call once, after the
+  /// last attached job completes.
+  void finish(std::ostream& out = std::cout) {
+    if (status != nullptr) status->finish();
+    if (registry != nullptr) {
+      util::ensure_directories(util::parent_directory(metrics_path));
+      util::write_file_atomic(metrics_path,
+                              registry->snapshot().dump() + "\n");
+      out << "metrics: " << metrics_path << "\n";
+    }
+  }
+};
+
+/// Builds the sinks selected by the NADA_*_OUT environment variables.
+/// `label` and `total_candidates` feed the status snapshot.
+inline EnvSinks env_sinks(const std::string& label,
+                          std::size_t total_candidates) {
+  const auto env_path = [](const char* name) {
+    const char* value = std::getenv(name);
+    return std::string(value != nullptr ? value : "");
+  };
+  EnvSinks sinks;
+  if (const std::string path = env_path("NADA_METRICS_OUT"); !path.empty()) {
+    sinks.registry = std::make_unique<obs::MetricsRegistry>();
+    sinks.metrics = std::make_unique<obs::MetricsObserver>(*sinks.registry);
+    sinks.metrics_path = path;
+  }
+  if (const std::string path = env_path("NADA_TRACE_OUT"); !path.empty()) {
+    util::ensure_directories(util::parent_directory(path));
+    sinks.trace = std::make_unique<obs::TraceSink>(path);
+  }
+  if (const std::string path = env_path("NADA_STATUS_OUT"); !path.empty()) {
+    util::ensure_directories(util::parent_directory(path));
+    sinks.status = std::make_unique<obs::StatusWriter>(
+        obs::StatusConfig{path, label, total_candidates});
+  }
+  return sinks;
 }
 
 /// The funnel-counts summary every search example prints.

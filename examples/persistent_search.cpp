@@ -53,15 +53,20 @@ int main() {
                                 77);
   search::StateCandidateSource source(generator);
   std::optional<rl::SessionResult> baseline;  // trained once, shared below
+  // Optional sinks via NADA_METRICS_OUT / NADA_TRACE_OUT / NADA_STATUS_OUT
+  // (pure readout — attach them all and the results stay bit-identical).
+  auto sinks = examples::env_sinks("persistent_search", config.num_candidates);
   search::JobOptions options;
   options.store = cache.get();
   options.pool = &pool;
   options.baseline_cache = &baseline;
+  options.metrics = sinks.registry.get();
   search::SearchJob job(domain, config, 1234, source,
                         search::FixedDesign{nullptr, &config.baseline_arch},
                         options);
   search::StreamObserver observer(std::cout, /*candidate_events=*/false);
   job.add_observer(&observer);
+  sinks.attach(job);
   while (job.next_stage()) {
     // next_stage() runs exactly one funnel stage; a service would pump
     // other work (or report progress) between stages here.
@@ -81,5 +86,6 @@ int main() {
             << resumed.n_full_trains_run
             << " full trainings executed (expected 0 and 0: the run above "
                "checkpointed every stage)\n";
+  sinks.finish();
   return 0;
 }

@@ -1,0 +1,136 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace nada::obs {
+namespace {
+
+/// Relaxed CAS fold for the min/max atomics; `better` picks the winner.
+template <typename Better>
+void fold_atomic(std::atomic<double>& slot, double value, Better better) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double value) {
+  if (std::isnan(value)) return;  // a NaN duration carries no information
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  fold_atomic(min_, value, std::less<>{});
+  fold_atomic(max_, value, std::greater<>{});
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::span<const double> duration_bounds() {
+  static constexpr std::array<double, 14> kBounds = {
+      0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1,
+      0.3,    1.0,    3.0,   10.0,  30.0, 60.0, 300.0};
+  return kBounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+util::JsonValue MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  util::JsonValue counters = util::JsonValue::object();
+  for (const auto& [name, counter] : counters_) {
+    counters.set(name, util::JsonValue::number(
+                           static_cast<double>(counter->value())));
+  }
+  util::JsonValue gauges = util::JsonValue::object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.set(name, util::JsonValue::number(gauge->value()));
+  }
+  util::JsonValue histograms = util::JsonValue::object();
+  for (const auto& [name, hist] : histograms_) {
+    util::JsonValue entry = util::JsonValue::object();
+    const std::uint64_t count = hist->count();
+    entry.set("count", util::JsonValue::number(static_cast<double>(count)));
+    entry.set("sum", util::JsonValue::number(hist->sum()));
+    if (count > 0) {
+      entry.set("min", util::JsonValue::number(hist->min()));
+      entry.set("max", util::JsonValue::number(hist->max()));
+    }
+    util::JsonValue buckets = util::JsonValue::array();
+    const auto counts = hist->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      util::JsonValue bucket = util::JsonValue::object();
+      if (i < hist->bounds().size()) {
+        bucket.set("le", util::JsonValue::number(hist->bounds()[i]));
+      } else {
+        bucket.set("le", util::JsonValue::string("inf"));
+      }
+      bucket.set("count",
+                 util::JsonValue::number(static_cast<double>(counts[i])));
+      buckets.push_back(std::move(bucket));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(entry));
+  }
+  util::JsonValue out = util::JsonValue::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace nada::obs

@@ -1,0 +1,118 @@
+#include "obs/metrics_observer.h"
+
+#include <algorithm>
+#include <string>
+
+namespace nada::obs {
+namespace {
+
+std::string stage_metric(search::StageKind stage, const char* suffix) {
+  return std::string("search.stage.") + search::stage_label(stage) + suffix;
+}
+
+const char* candidate_metric(search::CandidateEventType type) {
+  switch (type) {
+    case search::CandidateEventType::kEntered:
+      return "search.candidates.entered";
+    case search::CandidateEventType::kOutOfShard:
+      return "search.candidates.out_of_shard";
+    case search::CandidateEventType::kCacheHit:
+      return "search.candidates.cache_hits";
+    case search::CandidateEventType::kFailed:
+      return "search.candidates.failed";
+    case search::CandidateEventType::kProbed:
+      return "search.candidates.probed";
+    case search::CandidateEventType::kEarlyStopped:
+      return "search.candidates.early_stopped";
+    case search::CandidateEventType::kTrained:
+      return "search.candidates.trained";
+  }
+  return "search.candidates.unknown";
+}
+
+}  // namespace
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry)
+    : registry_(&registry), start_(std::chrono::steady_clock::now()) {}
+
+void MetricsObserver::on_stage_start(search::StageKind stage) {
+  registry_->counter(stage_metric(stage, ".runs")).add();
+}
+
+void MetricsObserver::on_stage_finish(const search::StageEvent& event) {
+  registry_->histogram(stage_metric(event.stage, ".seconds"))
+      .observe(event.seconds);
+}
+
+void MetricsObserver::on_candidate(const search::CandidateEvent& event) {
+  registry_->counter(candidate_metric(event.type)).add();
+  switch (event.type) {
+    case search::CandidateEventType::kEntered: {
+      entered_.fetch_add(1, std::memory_order_relaxed);
+      // Stream position is 0-based; +1 makes the gauge "candidates pulled".
+      std::uint64_t seen = max_stream_position_.load(std::memory_order_relaxed);
+      const std::uint64_t position = event.index + 1;
+      while (position > seen && !max_stream_position_.compare_exchange_weak(
+                                    seen, position, std::memory_order_relaxed)) {
+      }
+      registry_->gauge("search.progress.stream_position")
+          .set(static_cast<double>(
+              max_stream_position_.load(std::memory_order_relaxed)));
+      break;
+    }
+    case search::CandidateEventType::kOutOfShard:
+      out_of_shard_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case search::CandidateEventType::kCacheHit:
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case search::CandidateEventType::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case search::CandidateEventType::kEarlyStopped:
+      early_stopped_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case search::CandidateEventType::kProbed:
+    case search::CandidateEventType::kTrained:
+      break;
+  }
+  update_rates();
+}
+
+void MetricsObserver::on_window_start(std::size_t /*index*/,
+                                      std::size_t /*first*/) {
+  registry_->counter("search.windows.started").add();
+}
+
+void MetricsObserver::on_window_finish(const search::WindowEvent& event) {
+  registry_->counter("search.windows.completed").add();
+  registry_->counter("search.windows.candidates").add(event.size);
+  registry_->histogram("search.window.seconds").observe(event.seconds);
+}
+
+void MetricsObserver::update_rates() {
+  const double entered =
+      static_cast<double>(entered_.load(std::memory_order_relaxed));
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  registry_->gauge("search.throughput.candidates_per_sec")
+      .set(elapsed > 0 ? entered / elapsed : 0.0);
+  const double in_shard =
+      entered -
+      static_cast<double>(out_of_shard_.load(std::memory_order_relaxed));
+  if (in_shard > 0) {
+    registry_->gauge("search.rate.cache_hit")
+        .set(static_cast<double>(cache_hits_.load(std::memory_order_relaxed)) /
+             in_shard);
+    registry_->gauge("search.rate.failed")
+        .set(static_cast<double>(failed_.load(std::memory_order_relaxed)) /
+             in_shard);
+    registry_->gauge("search.rate.early_stopped")
+        .set(static_cast<double>(
+                 early_stopped_.load(std::memory_order_relaxed)) /
+             in_shard);
+  }
+}
+
+}  // namespace nada::obs

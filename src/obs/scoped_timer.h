@@ -1,0 +1,51 @@
+// ScopedTimer: RAII wall-clock profiling into a Histogram.
+//
+// The hooks for hot paths the search::Observer event stream cannot see
+// from outside — probe-block training, store lookup/append, candidate
+// generation and fingerprinting. Construction with a null histogram is the
+// "metrics off" mode and costs one branch; with a histogram attached the
+// destructor observes the elapsed seconds.
+//
+//   obs::ScopedTimer timer(obs::maybe_histogram(metrics, "store.lookup.seconds"));
+//
+// Timing is steady_clock; the timer never allocates and never throws.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace nada::obs {
+
+class ScopedTimer {
+ public:
+  /// No-op when `histogram` is null.
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_(histogram != nullptr ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{}) {
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Records the elapsed time now instead of at destruction; idempotent.
+  /// Returns the observed seconds (0 when metrics are off).
+  double stop() {
+    if (histogram_ == nullptr) return 0.0;
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    histogram_->observe(seconds);
+    histogram_ = nullptr;
+    return seconds;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nada::obs

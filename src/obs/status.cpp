@@ -1,0 +1,239 @@
+#include "obs/status.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace nada::obs {
+namespace {
+
+const char* counter_key(search::CandidateEventType type) {
+  switch (type) {
+    case search::CandidateEventType::kEntered: return "entered";
+    case search::CandidateEventType::kOutOfShard: return "out_of_shard";
+    case search::CandidateEventType::kCacheHit: return "cache_hits";
+    case search::CandidateEventType::kFailed: return "failed";
+    case search::CandidateEventType::kProbed: return "probed";
+    case search::CandidateEventType::kEarlyStopped: return "early_stopped";
+    case search::CandidateEventType::kTrained: return "trained";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+double unix_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+StatusWriter::StatusWriter(StatusConfig config)
+    : config_(std::move(config)),
+      start_(std::chrono::steady_clock::now()),
+      started_unix_(unix_now()) {
+  std::lock_guard lock(mutex_);
+  write_locked(/*force=*/true);
+}
+
+StatusWriter::~StatusWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // A failing final snapshot must not terminate (destructor context);
+    // the periodic snapshots already on disk remain valid.
+  }
+}
+
+std::uint64_t StatusWriter::writes() const {
+  std::lock_guard lock(mutex_);
+  return writes_;
+}
+
+void StatusWriter::finish() {
+  std::lock_guard lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  state_ = "done";
+  write_locked(/*force=*/true);
+}
+
+void StatusWriter::on_stage_start(search::StageKind stage) {
+  std::lock_guard lock(mutex_);
+  stage_ = search::stage_label(stage);
+  ++stages_[stage_].runs;
+  write_locked(/*force=*/true);
+}
+
+void StatusWriter::on_stage_finish(const search::StageEvent& event) {
+  std::lock_guard lock(mutex_);
+  stages_[search::stage_label(event.stage)].seconds += event.seconds;
+  write_locked(/*force=*/true);
+}
+
+void StatusWriter::on_candidate(const search::CandidateEvent& event) {
+  std::lock_guard lock(mutex_);
+  ++counters_[counter_key(event.type)];
+  if (event.type == search::CandidateEventType::kEntered) {
+    stream_position_ = std::max(stream_position_, event.index + 1);
+  }
+  write_locked(/*force=*/false);
+}
+
+void StatusWriter::on_window_start(std::size_t index, std::size_t /*first*/) {
+  std::lock_guard lock(mutex_);
+  window_ = index;
+  write_locked(/*force=*/true);
+}
+
+void StatusWriter::on_window_finish(const search::WindowEvent& event) {
+  std::lock_guard lock(mutex_);
+  window_ = event.index;
+  ++counters_["windows"];
+  write_locked(/*force=*/true);
+}
+
+void StatusWriter::write_locked(bool force) {
+  const auto now = std::chrono::steady_clock::now();
+  if (!force &&
+      std::chrono::duration<double>(now - last_write_).count() <
+          config_.min_interval_seconds) {
+    return;
+  }
+  last_write_ = now;
+  ++writes_;
+  util::write_file_atomic(config_.path, snapshot_locked().dump() + "\n");
+}
+
+util::JsonValue StatusWriter::snapshot_locked() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("label", util::JsonValue::string(config_.label));
+  doc.set("pid", util::JsonValue::number(static_cast<double>(::getpid())));
+  doc.set("state", util::JsonValue::string(state_));
+  doc.set("stage", util::JsonValue::string(stage_));
+  doc.set("window", util::JsonValue::number(static_cast<double>(window_)));
+  doc.set("stream_position",
+          util::JsonValue::number(static_cast<double>(stream_position_)));
+  doc.set("total_candidates",
+          util::JsonValue::number(static_cast<double>(config_.total_candidates)));
+  doc.set("started_unix", util::JsonValue::number(started_unix_));
+  doc.set("heartbeat_unix", util::JsonValue::number(unix_now()));
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  doc.set("elapsed_seconds", util::JsonValue::number(elapsed));
+  doc.set("elapsed", util::JsonValue::string(util::format_duration(elapsed)));
+  if (config_.total_candidates > 0 && stream_position_ > 0 &&
+      state_ != "done") {
+    const double remaining = static_cast<double>(config_.total_candidates) -
+                             static_cast<double>(stream_position_);
+    const double eta =
+        elapsed * remaining / static_cast<double>(stream_position_);
+    doc.set("eta_seconds", util::JsonValue::number(eta));
+    doc.set("eta", util::JsonValue::string(util::format_duration(eta)));
+  }
+  util::JsonValue counters = util::JsonValue::object();
+  for (const auto& [key, value] : counters_) {
+    counters.set(key, util::JsonValue::number(static_cast<double>(value)));
+  }
+  doc.set("counters", std::move(counters));
+  util::JsonValue stage_seconds = util::JsonValue::object();
+  util::JsonValue stage_runs = util::JsonValue::object();
+  for (const auto& [label, totals] : stages_) {
+    stage_seconds.set(label, util::JsonValue::number(totals.seconds));
+    stage_runs.set(label,
+                   util::JsonValue::number(static_cast<double>(totals.runs)));
+  }
+  doc.set("stage_seconds", std::move(stage_seconds));
+  doc.set("stage_runs", std::move(stage_runs));
+  return doc;
+}
+
+StatusSnapshot decode_status(util::JsonValue document) {
+  StatusSnapshot snapshot;
+  snapshot.label = document.get("label").as_string();
+  snapshot.state = document.get("state").as_string();
+  snapshot.stage = document.get("stage").as_string();
+  snapshot.window =
+      static_cast<std::size_t>(document.get("window").as_number());
+  snapshot.stream_position =
+      static_cast<std::size_t>(document.get("stream_position").as_number());
+  snapshot.total_candidates =
+      static_cast<std::size_t>(document.get("total_candidates").as_number());
+  snapshot.elapsed_seconds = document.get("elapsed_seconds").as_number();
+  snapshot.started_unix = document.get("started_unix").as_number();
+  snapshot.heartbeat_unix = document.get("heartbeat_unix").as_number();
+  const util::JsonValue& counters = document.get("counters");
+  if (counters.type() == util::JsonValue::Type::kObject) {
+    for (const char* key : {"entered", "out_of_shard", "cache_hits", "failed",
+                            "probed", "early_stopped", "trained", "windows"}) {
+      if (counters.has(key)) {
+        snapshot.counters[key] =
+            static_cast<std::uint64_t>(counters.get(key).as_number());
+      }
+    }
+  }
+  snapshot.raw = std::move(document);
+  return snapshot;
+}
+
+std::optional<StatusSnapshot> read_status(const std::string& path) {
+  const auto content = util::read_file_if_exists(path);
+  if (!content.has_value()) return std::nullopt;
+  try {
+    return decode_status(util::JsonValue::parse(*content));
+  } catch (const std::exception&) {
+    return std::nullopt;  // torn or foreign file: treat as not reporting
+  }
+}
+
+util::JsonValue aggregate_status(
+    const std::vector<std::optional<StatusSnapshot>>& workers,
+    double now_unix) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("kind", util::JsonValue::string("aggregate"));
+  doc.set("generated_unix", util::JsonValue::number(now_unix));
+  doc.set("n_workers",
+          util::JsonValue::number(static_cast<double>(workers.size())));
+  std::size_t reporting = 0;
+  std::size_t done = 0;
+  std::size_t stream_total = 0;
+  double heartbeat_age_max = 0.0;
+  std::map<std::string, std::uint64_t> summed;
+  util::JsonValue list = util::JsonValue::array();
+  for (const auto& worker : workers) {
+    if (!worker.has_value()) {
+      list.push_back(util::JsonValue::null());
+      continue;
+    }
+    ++reporting;
+    if (worker->done()) ++done;
+    stream_total += worker->stream_position;
+    heartbeat_age_max =
+        std::max(heartbeat_age_max, now_unix - worker->heartbeat_unix);
+    for (const auto& [key, value] : worker->counters) summed[key] += value;
+    list.push_back(worker->raw);
+  }
+  doc.set("n_reporting",
+          util::JsonValue::number(static_cast<double>(reporting)));
+  doc.set("n_done", util::JsonValue::number(static_cast<double>(done)));
+  doc.set("stream_position_total",
+          util::JsonValue::number(static_cast<double>(stream_total)));
+  if (reporting > 0) {
+    doc.set("heartbeat_age_max_seconds",
+            util::JsonValue::number(heartbeat_age_max));
+  }
+  util::JsonValue counters = util::JsonValue::object();
+  for (const auto& [key, value] : summed) {
+    counters.set(key, util::JsonValue::number(static_cast<double>(value)));
+  }
+  doc.set("counters", std::move(counters));
+  doc.set("workers", std::move(list));
+  return doc;
+}
+
+}  // namespace nada::obs

@@ -1,0 +1,90 @@
+#include "obs/trace_sink.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace nada::obs {
+namespace {
+
+double now_unix() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+util::JsonValue event_line(const char* event) {
+  util::JsonValue line = util::JsonValue::object();
+  line.set("event", util::JsonValue::string(event));
+  return line;
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::string path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("TraceSink: cannot open " + path_);
+  }
+}
+
+std::uint64_t TraceSink::lines_written() const {
+  std::lock_guard lock(mutex_);
+  return seq_;
+}
+
+void TraceSink::append(util::JsonValue line) {
+  std::lock_guard lock(mutex_);
+  line.set("seq", util::JsonValue::number(static_cast<double>(seq_++)));
+  line.set("ts_unix", util::JsonValue::number(now_unix()));
+  out_ << line.dump() << '\n';
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("TraceSink: write failed for " + path_);
+  }
+}
+
+void TraceSink::on_stage_start(search::StageKind stage) {
+  util::JsonValue line = event_line("stage_start");
+  line.set("stage", util::JsonValue::string(search::stage_label(stage)));
+  append(std::move(line));
+}
+
+void TraceSink::on_stage_finish(const search::StageEvent& event) {
+  util::JsonValue line = event_line("stage");
+  line.set("stage", util::JsonValue::string(search::stage_label(event.stage)));
+  line.set("seconds", util::JsonValue::number(event.seconds));
+  append(std::move(line));
+}
+
+void TraceSink::on_candidate(const search::CandidateEvent& event) {
+  util::JsonValue line = event_line("candidate");
+  line.set("type", util::JsonValue::string(search::event_label(event.type)));
+  line.set("stage", util::JsonValue::string(search::stage_label(event.stage)));
+  line.set("index", util::JsonValue::number(static_cast<double>(event.index)));
+  line.set("id", util::JsonValue::string(event.id));
+  if (!event.detail.empty()) {
+    line.set("detail", util::JsonValue::string(event.detail));
+  }
+  append(std::move(line));
+}
+
+void TraceSink::on_window_start(std::size_t index, std::size_t first) {
+  util::JsonValue line = event_line("window_start");
+  line.set("window", util::JsonValue::number(static_cast<double>(index)));
+  line.set("first", util::JsonValue::number(static_cast<double>(first)));
+  append(std::move(line));
+}
+
+void TraceSink::on_window_finish(const search::WindowEvent& event) {
+  util::JsonValue line = event_line("window");
+  line.set("window", util::JsonValue::number(static_cast<double>(event.index)));
+  line.set("first", util::JsonValue::number(static_cast<double>(event.first)));
+  line.set("size", util::JsonValue::number(static_cast<double>(event.size)));
+  line.set("retained",
+           util::JsonValue::number(static_cast<double>(event.retained)));
+  line.set("seconds", util::JsonValue::number(event.seconds));
+  append(std::move(line));
+}
+
+}  // namespace nada::obs

@@ -1,0 +1,65 @@
+// TraceSink: the structured run record — every search event as one JSONL
+// line.
+//
+// Where the candidate store journals a search's RESULTS, the trace journals
+// its EXECUTION: one line per stage transition, candidate milestone, and
+// window boundary, in dispatch order, each stamped with a monotone sequence
+// number and a wall-clock timestamp. The file is a replayable record of
+// what a run did and when — feed it to an analysis script, diff two runs'
+// event shapes, or reconstruct where a crashed run was.
+//
+// Line schema (every line has "event", "seq", "ts_unix"):
+//
+//   {"event":"stage_start","stage":"probe",...}
+//   {"event":"stage","stage":"probe","seconds":1.53,...}
+//   {"event":"candidate","type":"probed","stage":"probe","index":12,
+//    "id":"gpt4-state-12","detail":"",...}
+//   {"event":"window_start","window":3,"first":15,...}
+//   {"event":"window","window":3,"first":15,"size":5,"retained":3,
+//    "seconds":2.1,...}
+//
+// Each line is appended and flushed before the event dispatch returns, so
+// a crash loses at most the line being written — the same torn-tail
+// tolerance the store journal has. Pure readout: attaching a trace changes
+// no search result. Thread-safe (candidate events may arrive on pool
+// threads when the job's own serialization is not in front of this sink).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "search/observer.h"
+#include "util/json.h"
+
+namespace nada::obs {
+
+class TraceSink : public search::Observer {
+ public:
+  /// Opens `path` for append (creating directories is the caller's job);
+  /// throws std::runtime_error when the file cannot be opened.
+  explicit TraceSink(std::string path);
+
+  void on_stage_start(search::StageKind stage) override;
+  void on_stage_finish(const search::StageEvent& event) override;
+  void on_candidate(const search::CandidateEvent& event) override;
+  void on_window_start(std::size_t index, std::size_t first) override;
+  void on_window_finish(const search::WindowEvent& event) override;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Lines written by this sink (not lines pre-existing in the file).
+  [[nodiscard]] std::uint64_t lines_written() const;
+
+ private:
+  /// Stamps seq/ts and appends one line under the mutex.
+  void append(util::JsonValue line);
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace nada::obs

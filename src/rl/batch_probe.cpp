@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "nn/optimizer.h"
+#include "obs/scoped_timer.h"
 #include "util/stats.h"
 
 namespace nada::rl {
@@ -191,6 +192,12 @@ void BatchProbeTrainer::finalize_candidate(Candidate& c) const {
 
 void BatchProbeTrainer::train_block(std::span<const ProbeJob> jobs,
                                     std::span<TrainResult> results) const {
+  obs::ScopedTimer timer(
+      obs::maybe_histogram(config_.metrics, "rl.probe_block.seconds"));
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("rl.probe_blocks").add();
+    config_.metrics->counter("rl.probe_block_candidates").add(jobs.size());
+  }
   const auto& train = config_.train;
   std::vector<Candidate> block;
   block.reserve(jobs.size());

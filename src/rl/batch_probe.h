@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "env/domain.h"
+#include "obs/metrics.h"
 #include "rl/trainer.h"
 #include "util/thread_pool.h"
 
@@ -52,6 +53,10 @@ struct BatchProbeConfig {
   /// the lockstep structure (shared scheduling, shared trace table walk)
   /// while staying cache-resident on small cores.
   std::size_t block_size = 4;
+  /// Optional profiling registry (pure readout): per-block wall clock in
+  /// rl.probe_block.seconds, volumes in rl.probe_blocks /
+  /// rl.probe_block_candidates. Must outlive the trainer.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Trains each job exactly as `Trainer(domain, config.train,

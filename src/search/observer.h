@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/strings.h"
+
 namespace nada::search {
 
 /// The funnel's stages, in execution order. kGenerate pulls the candidate
@@ -126,8 +128,11 @@ class StreamObserver : public Observer {
     *out_ << "[search] stage " << stage_label(stage) << "...\n";
   }
   void on_stage_finish(const StageEvent& event) override {
+    // util::format_duration, not raw doubles: a fast stage used to print
+    // as "done in 1.2e-05s". The same formatter feeds the obs layer's
+    // status snapshots, so every human-read duration matches.
     *out_ << "[search] stage " << stage_label(event.stage) << " done in "
-          << event.seconds << "s\n";
+          << util::format_duration(event.seconds) << "\n";
   }
   void on_candidate(const CandidateEvent& event) override {
     if (!candidate_events_) return;
@@ -141,8 +146,8 @@ class StreamObserver : public Observer {
   }
   void on_window_finish(const WindowEvent& event) override {
     *out_ << "[search] window " << event.index << " done: " << event.size
-          << " candidates in " << event.seconds << "s, " << event.retained
-          << " retained\n";
+          << " candidates in " << util::format_duration(event.seconds) << ", "
+          << event.retained << " retained\n";
   }
 
  private:

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "filter/checks.h"
+#include "obs/scoped_timer.h"
 #include "rl/agent.h"
 #include "rl/batch_probe.h"
 #include "util/stats.h"
@@ -129,10 +130,12 @@ void run_probe_stage(
     const env::TaskDomain& domain, util::ThreadPool* pool,
     const SearchConfig& config, const rl::TrainConfig& probe_config,
     const std::vector<rl::ProbeJob>& jobs,
+    obs::MetricsRegistry* metrics,
     const std::function<void(std::size_t, const rl::TrainResult&)>& apply) {
   if (config.probe_batch) {
     const rl::BatchProbeTrainer batch_trainer(
-        domain, rl::BatchProbeConfig{probe_config, config.probe_block});
+        domain,
+        rl::BatchProbeConfig{probe_config, config.probe_block, metrics});
     const auto results = batch_trainer.train(jobs, pool);
     for (std::size_t k = 0; k < jobs.size(); ++k) apply(k, results[k]);
     return;
@@ -222,6 +225,12 @@ SearchJob::SearchJob(const env::TaskDomain& domain, SearchConfig config,
         options_.store->scope().config_digest +
         ") does not match this job's scope (" + scope().env + "/" +
         scope().config_digest + ")");
+  }
+  // One registry covers the whole stack: wiring it into the attached store
+  // here means callers pass JobOptions::metrics once and the store's
+  // lookup/append timings land in the same snapshot.
+  if (options_.metrics != nullptr && options_.store != nullptr) {
+    options_.store->set_metrics(options_.metrics);
   }
 }
 
@@ -362,7 +371,11 @@ void SearchJob::stage_generate() {
           ? std::min(config_.window_size,
                      config_.num_candidates - generated_total_)
           : config_.num_candidates;
-  specs_ = source_->generate(ask);
+  {
+    obs::ScopedTimer timer(
+        obs::maybe_histogram(options_.metrics, "search.generate.pull_seconds"));
+    specs_ = source_->generate(ask);
+  }
   if (specs_.size() < ask) stream_exhausted_ = true;
   generated_total_ += specs_.size();
   const std::size_t n = specs_.size();
@@ -380,8 +393,12 @@ void SearchJob::stage_generate() {
     return;
   }
   fps_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    fps_[i] = fingerprint_of(specs_[i], fixed_);
+  {
+    obs::ScopedTimer timer(obs::maybe_histogram(
+        options_.metrics, "search.generate.fingerprint_seconds"));
+    for (std::size_t i = 0; i < n; ++i) {
+      fps_[i] = fingerprint_of(specs_[i], fixed_);
+    }
   }
   leader_ = leaders_by_fingerprint(fps_);
   // clear-then-resize (not assign): resets the slots left from the
@@ -577,6 +594,7 @@ void SearchJob::stage_probe() {
   }
   run_probe_stage(
       *domain_, options_.pool, config_, probe_config, probe_jobs,
+      options_.metrics,
       [&](std::size_t k, const rl::TrainResult& probe_result) {
         const std::size_t i = probe_set_[k];
         if (!probe_result.failed) {

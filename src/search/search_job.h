@@ -63,6 +63,7 @@
 
 #include "env/domain.h"
 #include "filter/earlystop.h"
+#include "obs/metrics.h"
 #include "search/candidate.h"
 #include "search/observer.h"
 #include "search/types.h"
@@ -106,6 +107,17 @@ struct JobOptions {
   /// mode): candidates outside the slice are skipped and counted in
   /// SearchResult::n_out_of_shard.
   std::optional<ShardSlice> shard;
+  /// Profiling registry for the hot paths the Observer event stream cannot
+  /// see from outside: candidate generation pulls and fingerprinting
+  /// (search.generate.pull_seconds / search.generate.fingerprint_seconds),
+  /// probe-block training (rl.probe_block.seconds), and — when a store is
+  /// attached — store lookup/append (store.*; the job wires the registry
+  /// into the store on construction). Pure readout: attaching a registry
+  /// never changes rankings or journal bytes. Pair it with an
+  /// obs::MetricsObserver on the same registry for the event-stream
+  /// counters. Must outlive the job (and the store, which keeps the
+  /// pointer).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class SearchJob {

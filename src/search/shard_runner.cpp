@@ -1,5 +1,6 @@
 #include "search/shard_runner.h"
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -37,10 +38,22 @@ std::string ShardRunner::merged_store_path() const {
          std::to_string(shards_.num_shards) + ".jsonl";
 }
 
+std::string ShardRunner::worker_status_path(std::size_t shard) const {
+  return shard_store_path(shard) + ".status.json";
+}
+
+std::string ShardRunner::merged_status_path() const {
+  return merged_store_path() + ".status.json";
+}
+
+std::string ShardRunner::aggregate_status_path() const {
+  return merged_store_path() + ".cluster.json";
+}
+
 SearchResult ShardRunner::run_worker(std::size_t shard,
                                      CandidateSource& source,
                                      const FixedDesign& fixed,
-                                     Observer* observer) {
+                                     const std::vector<Observer*>& observers) {
   util::ensure_directories(shards_.store_dir);
   // Every worker replays the same stream from the start; rewinding here
   // lets one in-process generator drive several shards in a loop.
@@ -50,17 +63,29 @@ SearchResult ShardRunner::run_worker(std::size_t shard,
   options.store = &store;
   options.pool = pool_;
   options.shard = ShardSlice{shards_.num_shards, shard};
+  options.metrics = shards_.metrics;
   SearchJob job(*domain_, config_, seed_, source, fixed, options);
-  job.add_observer(observer);
+  std::unique_ptr<obs::StatusWriter> status;
+  if (shards_.worker_status) {
+    status = std::make_unique<obs::StatusWriter>(obs::StatusConfig{
+        worker_status_path(shard),
+        "worker-" + std::to_string(shard) + "/" +
+            std::to_string(shards_.num_shards),
+        config_.num_candidates});
+    job.add_observer(status.get());
+  }
+  for (Observer* observer : observers) job.add_observer(observer);
   // Per-candidate stages only: the baseline and everything after it need
   // the whole cohort, which is the driver's job.
-  return job.run_until(StageKind::kBaseline);
+  SearchResult result = job.run_until(StageKind::kBaseline);
+  if (status != nullptr) status->finish();
+  return result;
 }
 
 SearchResult ShardRunner::merge_and_rank(CandidateSource& source,
                                          const FixedDesign& fixed,
                                          const filter::EarlyStopModel* early_stop,
-                                         Observer* observer) {
+                                         const std::vector<Observer*>& observers) {
   util::ensure_directories(shards_.store_dir);
   source.reset();
   store::CandidateStore merged(merged_store_path(), scope_);
@@ -74,9 +99,36 @@ SearchResult ShardRunner::merge_and_rank(CandidateSource& source,
   options.store = &merged;
   options.pool = pool_;
   options.early_stop_model = early_stop;
+  options.metrics = shards_.metrics;
   SearchJob job(*domain_, config_, seed_, source, fixed, options);
-  job.add_observer(observer);
-  return job.run_to_completion();
+  std::unique_ptr<obs::StatusWriter> status;
+  if (shards_.worker_status) {
+    status = std::make_unique<obs::StatusWriter>(obs::StatusConfig{
+        merged_status_path(), "driver", config_.num_candidates});
+    job.add_observer(status.get());
+  }
+  for (Observer* observer : observers) job.add_observer(observer);
+  SearchResult result = job.run_to_completion();
+  if (status != nullptr) status->finish();
+  return result;
+}
+
+std::vector<std::optional<obs::StatusSnapshot>> ShardRunner::worker_statuses()
+    const {
+  std::vector<std::optional<obs::StatusSnapshot>> statuses;
+  statuses.reserve(shards_.num_shards);
+  for (std::size_t shard = 0; shard < shards_.num_shards; ++shard) {
+    statuses.push_back(obs::read_status(worker_status_path(shard)));
+  }
+  return statuses;
+}
+
+util::JsonValue ShardRunner::write_merged_status() const {
+  util::ensure_directories(shards_.store_dir);
+  util::JsonValue doc =
+      obs::aggregate_status(worker_statuses(), obs::unix_now());
+  util::write_file_atomic(aggregate_status_path(), doc.dump() + "\n");
+  return doc;
 }
 
 }  // namespace nada::search

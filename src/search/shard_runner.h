@@ -22,19 +22,34 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "env/domain.h"
 #include "filter/earlystop.h"
+#include "obs/status.h"
 #include "search/search_job.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace nada::search {
 
 struct ShardRunnerConfig {
   std::size_t num_shards = 1;
-  /// Directory holding the per-shard and merged journals.
+  /// Directory holding the per-shard and merged journals (and, when
+  /// `worker_status` is on, the status snapshots).
   std::string store_dir = "nada_store";
+  /// Maintain a live obs::StatusWriter snapshot per worker (and one for
+  /// the driver's merge pass) at worker_status_path(shard) /
+  /// merged_status_path(). On by default: the snapshots are tiny,
+  /// atomically replaced, and give every sharded run heartbeat files the
+  /// driver can aggregate. Pure readout — results are unaffected.
+  bool worker_status = true;
+  /// Optional profiling registry shared by every job this runner builds
+  /// (wired into JobOptions::metrics, and from there into the stores and
+  /// probe blocks). Must outlive the runner's calls.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ShardRunner {
@@ -52,13 +67,21 @@ class ShardRunner {
   [[nodiscard]] std::string shard_store_path(std::size_t shard) const;
   [[nodiscard]] std::string merged_store_path() const;
 
+  /// Live status snapshot paths (written when
+  /// ShardRunnerConfig::worker_status is on), next to the journals.
+  [[nodiscard]] std::string worker_status_path(std::size_t shard) const;
+  [[nodiscard]] std::string merged_status_path() const;
+  /// Where write_merged_status() puts the cluster-level aggregate.
+  [[nodiscard]] std::string aggregate_status_path() const;
+
   /// One worker's pass: pre-checks and probes the candidates of `shard`,
   /// journaling into shard_store_path(shard). Stops before the baseline /
   /// selection stages (those need global state). Safe to run concurrently
-  /// with other shards' workers in other processes or threads.
+  /// with other shards' workers in other processes or threads. All
+  /// `observers` (nullptrs are ignored) see the job's events.
   SearchResult run_worker(std::size_t shard, CandidateSource& source,
                           const FixedDesign& fixed,
-                          Observer* observer = nullptr);
+                          const std::vector<Observer*>& observers = {});
 
   /// The driver's pass: merges every shard journal (throws
   /// std::runtime_error when a worker never reported, i.e. its journal is
@@ -67,7 +90,17 @@ class ShardRunner {
   SearchResult merge_and_rank(CandidateSource& source,
                               const FixedDesign& fixed,
                               const filter::EarlyStopModel* early_stop = nullptr,
-                              Observer* observer = nullptr);
+                              const std::vector<Observer*>& observers = {});
+
+  /// Reads every worker's status snapshot (index == shard number; nullopt
+  /// for a worker that has not written one yet).
+  [[nodiscard]] std::vector<std::optional<obs::StatusSnapshot>>
+  worker_statuses() const;
+
+  /// Driver-side aggregation: merges the worker snapshots into one
+  /// cluster-level document (obs::aggregate_status), atomically writes it
+  /// to aggregate_status_path(), and returns it.
+  util::JsonValue write_merged_status() const;
 
  private:
   const env::TaskDomain* domain_;

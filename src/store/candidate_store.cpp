@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/scoped_timer.h"
 #include "util/fs.h"
 #include "util/json.h"
 #include "util/strings.h"
@@ -132,10 +133,20 @@ bool CandidateStore::load() {
   return torn_tail;
 }
 
+void CandidateStore::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_.store(metrics, std::memory_order_release);
+}
+
 std::optional<OutcomeRecord> CandidateStore::lookup(
     const Fingerprint& fp) const {
+  obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_acquire);
+  obs::ScopedTimer timer(obs::maybe_histogram(metrics, "store.lookup.seconds"));
   std::lock_guard lock(mutex_);
   const auto it = index_.find(fp.hex());
+  if (metrics != nullptr) {
+    metrics->counter("store.lookups").add();
+    if (it != index_.end()) metrics->counter("store.lookup_hits").add();
+  }
   if (it == index_.end()) return std::nullopt;
   return records_[it->second];
 }
@@ -157,8 +168,12 @@ bool CandidateStore::put(const OutcomeRecord& record) {
   if (record.fingerprint.is_zero()) {
     throw std::invalid_argument("CandidateStore::put: zero fingerprint");
   }
+  obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_acquire);
+  obs::ScopedTimer timer(obs::maybe_histogram(metrics, "store.append.seconds"));
+  if (metrics != nullptr) metrics->counter("store.appends").add();
   std::lock_guard lock(mutex_);
   if (!put_locked(record)) return false;
+  if (metrics != nullptr) metrics->counter("store.appends_accepted").add();
   if (out_.is_open()) {
     const std::string line = encode_line(record, scope_) + "\n";
     out_.write(line.data(), static_cast<std::streamsize>(line.size()));

@@ -21,6 +21,7 @@
 // checkpoint concurrently from the pool.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <fstream>
 #include <mutex>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "nn/arch.h"
+#include "obs/metrics.h"
 #include "store/fingerprint.h"
 
 namespace nada::store {
@@ -118,6 +120,14 @@ class CandidateStore {
   /// recovered_line_errors() to zero (the rewritten file is clean).
   std::size_t compact();
 
+  /// Attaches a profiling registry (pure readout, never changes journal
+  /// bytes): lookup()/put() latencies land in store.lookup.seconds /
+  /// store.append.seconds, volumes in store.lookups, store.lookup_hits,
+  /// store.appends, store.appends_accepted. Pass nullptr to detach. The
+  /// registry must outlive the store (SearchJob wires its
+  /// JobOptions::metrics in here automatically).
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] const StoreScope& scope() const { return scope_; }
   [[nodiscard]] std::size_t recovered_line_errors() const {
@@ -137,6 +147,9 @@ class CandidateStore {
   bool put_locked(const OutcomeRecord& record);
 
   mutable std::mutex mutex_;
+  // atomic, not mutex-guarded: lookup/put read it before taking mutex_ so
+  // the recorded latency includes lock wait (the contended part).
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
   std::string path_;
   StoreScope scope_;
   std::ofstream out_;  ///< append handle, kept open for the store's life

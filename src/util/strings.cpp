@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 
 namespace nada::util {
 
@@ -84,6 +85,27 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+std::string format_duration(double seconds) {
+  if (std::isnan(seconds)) return "nan";
+  if (seconds < 0) return "-" + format_duration(-seconds);
+  if (std::isinf(seconds)) return "inf";
+  char buf[64];
+  if (seconds < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1000.0);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1000.0);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (seconds < 3600.0) {
+    const auto whole = static_cast<long>(seconds);
+    std::snprintf(buf, sizeof(buf), "%ldm%02lds", whole / 60, whole % 60);
+  } else {
+    const auto minutes = static_cast<long>(seconds / 60.0);
+    std::snprintf(buf, sizeof(buf), "%ldh%02ldm", minutes / 60, minutes % 60);
+  }
+  return buf;
 }
 
 std::string replace_all(std::string text, std::string_view from,

@@ -39,6 +39,14 @@ std::uint64_t fnv1a64(std::string_view text, std::uint64_t seed);
 std::string replace_all(std::string text, std::string_view from,
                         std::string_view to);
 
+/// Fixed-precision human duration: "0.012ms" under a millisecond, "23.4ms"
+/// under a second, "1.53s" under a minute, then "2m05s" / "1h02m". The one
+/// formatter every duration a human reads goes through — StreamObserver
+/// stage/window lines, status snapshots, driver summaries — so progress
+/// output never degrades to raw doubles like "1.2e-05s". NaN prints "nan",
+/// negatives keep their sign.
+std::string format_duration(double seconds);
+
 /// Shortest decimal representation that round-trips the double
 /// (std::to_chars). Non-finite values print as "nan" / "inf" / "-inf".
 /// Canonical encodings (fingerprints, store records) depend on this being

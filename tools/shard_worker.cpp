@@ -26,6 +26,16 @@
 // funnel in rolling windows of W candidates — same rankings and journal
 // records, constant memory; the stream-equivalence-smoke CI job diffs the
 // two), --quiet (suppress per-candidate events).
+//
+// Observability sinks (all pure readout — a run with every sink attached
+// is bit-identical to a silent run; the metrics-smoke CI job diffs the
+// two; see docs/OBSERVABILITY.md):
+//   --metrics-out F   final MetricsRegistry snapshot as one JSON document
+//   --trace-out F     every search event as one JSONL line
+//   --status-out F    live, atomically-replaced status snapshot
+// Sharded runs additionally always get per-worker heartbeat files next to
+// the shard journals (<journal>.status.json); merge mode prints one
+// summary line per worker from them and writes the cluster aggregate.
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
@@ -40,6 +50,10 @@
 #include "examples/example_common.h"
 #include "gen/arch_gen.h"
 #include "gen/state_gen.h"
+#include "obs/metrics.h"
+#include "obs/metrics_observer.h"
+#include "obs/status.h"
+#include "obs/trace_sink.h"
 #include "search/candidate.h"
 #include "search/observer.h"
 #include "search/shard_runner.h"
@@ -47,6 +61,7 @@
 #include "store/candidate_store.h"
 #include "trace/generator.h"
 #include "util/fs.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 #include "video/video.h"
 
@@ -67,6 +82,9 @@ struct Args {
   std::size_t threads = 0;
   std::size_t window = 0;
   bool quiet = false;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string status_out;
 };
 
 [[noreturn]] void usage(const std::string& error) {
@@ -75,7 +93,8 @@ struct Args {
             << " [--shard I] [--shards N] [--store-dir DIR]"
             << " [--domain abr|cc] [--search state|arch] [--candidates N]"
             << " [--seed S] [--gen-seed G] [--threads T] [--window W]"
-            << " [--quiet]\n";
+            << " [--quiet] [--metrics-out F] [--trace-out F]"
+            << " [--status-out F]\n";
   std::exit(2);
 }
 
@@ -99,6 +118,9 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--threads") args.threads = std::stoul(value(i));
     else if (flag == "--window") args.window = std::stoul(value(i));
     else if (flag == "--quiet") args.quiet = true;
+    else if (flag == "--metrics-out") args.metrics_out = value(i);
+    else if (flag == "--trace-out") args.trace_out = value(i);
+    else if (flag == "--status-out") args.status_out = value(i);
     else usage("unknown flag " + flag);
   }
   if (args.mode != "worker" && args.mode != "merge" && args.mode != "single") {
@@ -228,36 +250,96 @@ int run(const Args& args) {
     fixed.state = &*fixed_state;
   }
 
+  // Optional observability sinks. All of them are pure readout; building
+  // them up front keeps the three modes identical in what they attach.
   search::StreamObserver observer(std::cout, !args.quiet);
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::MetricsObserver> metrics_observer;
+  std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::StatusWriter> status;
+  std::vector<search::Observer*> observers{&observer};
+  if (!args.metrics_out.empty()) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    metrics_observer = std::make_unique<obs::MetricsObserver>(*registry);
+    observers.push_back(metrics_observer.get());
+  }
+  if (!args.trace_out.empty()) {
+    util::ensure_directories(util::parent_directory(args.trace_out));
+    trace = std::make_unique<obs::TraceSink>(args.trace_out);
+    observers.push_back(trace.get());
+  }
+  if (!args.status_out.empty()) {
+    util::ensure_directories(util::parent_directory(args.status_out));
+    const std::string label =
+        args.mode == "worker" ? "worker-" + std::to_string(args.shard) + "/" +
+                                    std::to_string(args.shards)
+        : args.mode == "merge" ? "driver"
+                               : "single";
+    status = std::make_unique<obs::StatusWriter>(
+        obs::StatusConfig{args.status_out, label, args.candidates});
+    observers.push_back(status.get());
+  }
+  // Final sink writes shared by every mode: terminal status snapshot, then
+  // the metrics snapshot (one JSON document, atomically replaced).
+  const auto finish_sinks = [&] {
+    if (status != nullptr) status->finish();
+    if (registry != nullptr) {
+      util::ensure_directories(util::parent_directory(args.metrics_out));
+      util::write_file_atomic(args.metrics_out,
+                              registry->snapshot().dump() + "\n");
+      std::cout << "metrics: " << args.metrics_out << "\n";
+    }
+  };
+
   search::ShardRunnerConfig shard_config;
   shard_config.num_shards = args.shards;
   shard_config.store_dir = args.store_dir;
+  shard_config.metrics = registry.get();
   search::ShardRunner runner(*domain, config, args.seed, shard_config,
                              pool.get());
 
   if (args.mode == "worker") {
     const auto result =
-        runner.run_worker(args.shard, *source, fixed, &observer);
+        runner.run_worker(args.shard, *source, fixed, observers);
     std::cout << "worker " << args.shard << "/" << args.shards << ": "
               << result.n_total - result.n_out_of_shard << " of "
               << result.n_total << " candidates in shard, "
               << result.n_probes_run << " probes run, "
               << result.cache_hits() << " cache hits\n"
               << "journal: " << runner.shard_store_path(args.shard) << "\n";
+    finish_sinks();
     return 0;
   }
 
   if (args.mode == "merge") {
     const auto result = runner.merge_and_rank(*source, fixed, nullptr,
-                                              &observer);
+                                              observers);
     std::cout << "driver: merged " << args.shards << " shard journals, "
               << result.cache_hits() << " stage results from shards, "
               << result.n_probes_run << " probes and "
               << result.n_full_trains_run
               << " full trainings executed by the driver\n"
               << "journal: " << runner.merged_store_path() << "\n";
+    // One summary line per worker from its heartbeat file, then the
+    // cluster-level aggregate document.
+    const auto statuses = runner.worker_statuses();
+    for (std::size_t shard = 0; shard < statuses.size(); ++shard) {
+      if (!statuses[shard].has_value()) {
+        std::cout << "worker " << shard << ": no status reported\n";
+        continue;
+      }
+      const auto& worker = *statuses[shard];
+      std::cout << "worker " << shard << ": "
+                << worker.counter("entered") << " candidates, "
+                << worker.counter("cache_hits") << " cache hits, "
+                << worker.counter("failed") << " failures, "
+                << util::format_duration(worker.elapsed_seconds) << "\n";
+    }
+    runner.write_merged_status();
+    std::cout << "cluster status: " << runner.aggregate_status_path() << "\n";
     print_ranking(result, ranked_fingerprints(*source, fixed, result,
                                               config.num_candidates));
+    finish_sinks();
     return 0;
   }
 
@@ -271,14 +353,16 @@ int run(const Args& args) {
   search::JobOptions options;
   options.store = &store;
   options.pool = pool.get();
+  options.metrics = registry.get();
   search::SearchJob job(*domain, config, args.seed, *source, fixed, options);
-  job.add_observer(&observer);  // --quiet already trims candidate events
+  for (search::Observer* o : observers) job.add_observer(o);
   const auto result = job.run_to_completion();
   std::cout << "single: " << result.n_probes_run << " probes and "
             << result.n_full_trains_run << " full trainings executed\n"
             << "journal: " << store.path() << "\n";
   print_ranking(result, ranked_fingerprints(*source, fixed, result,
                                             config.num_candidates));
+  finish_sinks();
   return 0;
 }
 
