@@ -4,6 +4,9 @@ namespace nada::cc {
 
 dsl::Bindings bindings_from_cc_observation(const CcObservation& obs) {
   dsl::Bindings b;
+  // One entry per cc_input_variables() slot; reserved up front to spare
+  // per-step rehashing (bucket layout is unobservable — nothing iterates).
+  b.reserve(cc_input_variables().size());
   b.emplace("send_rate_mbps", dsl::Value(obs.send_rate_mbps));
   b.emplace("ack_rate_mbps", dsl::Value(obs.ack_rate_mbps));
   b.emplace("rtt_ms", dsl::Value(obs.rtt_ms));
@@ -14,6 +17,10 @@ dsl::Bindings bindings_from_cc_observation(const CcObservation& obs) {
 }
 
 const std::vector<dsl::InputVariable>& cc_input_variables() {
+  // Order is the CC domain's canonical slot numbering (see
+  // dsl::BindingCatalog::slot_index); the bytecode compiler annotates
+  // input references with these positions, so treat the list as
+  // append-only.
   static const std::vector<dsl::InputVariable> kVars = {
       {"send_rate_mbps", true},   {"ack_rate_mbps", true},
       {"rtt_ms", true},           {"loss_fraction", true},

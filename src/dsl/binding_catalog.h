@@ -14,7 +14,10 @@
 // the strength of an unrelated domain's bindings.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dsl/interpreter.h"
@@ -47,6 +50,20 @@ class BindingCatalog {
   /// A randomized observation for the normalization fuzz check. Values are
   /// drawn from wide but physically meaningful ranges.
   [[nodiscard]] virtual Bindings fuzz(util::Rng& rng) const = 0;
+
+  /// Position of `name` in variables() order — the domain's canonical slot
+  /// numbering. The bytecode compiler annotates each input reference with
+  /// this slot, and canned()/fuzz() observations bind exactly this set, so
+  /// slot order is a stable contract per domain. nullopt when `name` is
+  /// outside the vocabulary.
+  [[nodiscard]] std::optional<std::size_t> slot_index(
+      std::string_view name) const {
+    const auto& vars = variables();
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
 };
 
 }  // namespace nada::dsl

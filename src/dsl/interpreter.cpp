@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "util/stats.h"
 
@@ -336,6 +337,25 @@ std::map<std::string, Builtin> make_builtins() {
 const std::map<std::string, Builtin>& builtins() {
   static const std::map<std::string, Builtin> kRegistry = make_builtins();
   return kRegistry;
+}
+
+const std::vector<IndexedBuiltin>& builtin_table() {
+  static const std::vector<IndexedBuiltin> kTable = [] {
+    std::vector<IndexedBuiltin> table;
+    table.reserve(builtins().size());
+    for (const auto& [name, builtin] : builtins()) {
+      table.push_back(IndexedBuiltin{&name, &builtin});
+    }
+    return table;
+  }();
+  return kTable;
+}
+
+int builtin_index(const std::string& name) {
+  const auto& reg = builtins();
+  const auto it = reg.find(name);
+  if (it == reg.end()) return -1;
+  return static_cast<int>(std::distance(reg.begin(), it));
 }
 
 Value eval_expr(const Expr& expr, const Bindings& inputs,

@@ -34,6 +34,23 @@ struct Builtin {
 /// the candidate generator enumerates this to assemble programs.
 [[nodiscard]] const std::map<std::string, Builtin>& builtins();
 
+/// One entry of the flat builtin table: the registry flattened in
+/// name-sorted (std::map) order so call sites can be resolved to dense
+/// indices once, at bytecode-compile time, instead of a map lookup per
+/// call per step.
+struct IndexedBuiltin {
+  const std::string* name = nullptr;
+  const Builtin* builtin = nullptr;
+};
+
+/// The builtin registry as a flat, index-addressable table. Indices are
+/// stable for the process lifetime (the registry never changes after
+/// first use).
+[[nodiscard]] const std::vector<IndexedBuiltin>& builtin_table();
+
+/// Index of `name` in builtin_table(), or -1 when unknown.
+[[nodiscard]] int builtin_index(const std::string& name);
+
 /// Evaluates one expression. `inputs` are the observation variables;
 /// `locals` are let-bindings accumulated so far.
 [[nodiscard]] Value eval_expr(const Expr& expr, const Bindings& inputs,

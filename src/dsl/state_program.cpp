@@ -1,16 +1,84 @@
 #include "dsl/state_program.h"
 
+#include <atomic>
+#include <cstdlib>
+
+#include "dsl/binding_catalog.h"
 #include "dsl/parser.h"
+#include "dsl/vm.h"
 
 namespace nada::dsl {
+namespace {
 
-StateProgram StateProgram::compile(std::string source) {
+std::atomic<int> g_exec_mode{-1};  // -1: not yet read from the environment
+
+int read_exec_mode_env() {
+  const char* v = std::getenv("NADA_DSL_EXEC");
+  if (v != nullptr && std::string(v) == "tree") {
+    return static_cast<int>(ExecMode::kTree);
+  }
+  return static_cast<int>(ExecMode::kVm);
+}
+
+}  // namespace
+
+ExecMode exec_mode() {
+  int mode = g_exec_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = read_exec_mode_env();
+    g_exec_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<ExecMode>(mode);
+}
+
+void set_exec_mode(ExecMode mode) {
+  g_exec_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+StateProgram::StateProgram(std::string source, Program program,
+                           const BindingCatalog* catalog)
+    : source_(std::move(source)),
+      program_(std::move(program)),
+      code_(std::make_shared<const CompiledProgram>(
+          compile_program(program_, catalog))),
+      signature_cache_(std::make_shared<SignatureCache>()) {}
+
+StateProgram StateProgram::compile(std::string source,
+                                   const BindingCatalog* catalog) {
   Program program = parse(source);
-  return StateProgram(std::move(source), std::move(program));
+  return StateProgram(std::move(source), std::move(program), catalog);
 }
 
 StateMatrix StateProgram::run(const Bindings& inputs) const {
-  return run_program(program_, inputs);
+  if (exec_mode() == ExecMode::kTree) {
+    return run_program(program_, inputs);
+  }
+  // One VM per thread: run() is called concurrently on shared programs
+  // (rl::run_sessions fans one program out across seed workers), and a Vm
+  // is single-threaded mutable state. The matrix is copied out for API
+  // compatibility; allocation-free execution uses PolicyAgent's own Vm.
+  thread_local Vm vm;
+  return vm.run(*code_, inputs);
+}
+
+std::vector<std::size_t> StateProgram::signature_row_lengths(
+    const BindingCatalog& catalog) const {
+  {
+    std::lock_guard<std::mutex> lock(signature_cache_->mu);
+    if (signature_cache_->catalog == &catalog) {
+      return signature_cache_->lengths;
+    }
+  }
+  std::vector<std::size_t> lengths = run(catalog.canned()).row_lengths();
+  prime_signature(catalog, lengths);
+  return lengths;
+}
+
+void StateProgram::prime_signature(const BindingCatalog& catalog,
+                                   std::vector<std::size_t> lengths) const {
+  std::lock_guard<std::mutex> lock(signature_cache_->mu);
+  signature_cache_->catalog = &catalog;
+  signature_cache_->lengths = std::move(lengths);
 }
 
 const std::string& pensieve_state_source() {

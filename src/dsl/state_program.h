@@ -8,36 +8,103 @@
 // histories and CC state functions over rate/RTT/loss histories; only the
 // binding vocabulary changes (src/env and src/cc own those vocabularies).
 //
+// Execution: compile() parses the source AND lowers it to register
+// bytecode (bytecode.h); run() dispatches to the bytecode VM or the
+// tree-walk interpreter per exec_mode(). The VM is the default and is
+// bit-identical to the tree-walk — same matrices, same error messages —
+// so rankings, store journals, and sim_rev are unchanged; NADA_DSL_EXEC
+// exists for differential testing and as an escape hatch, and
+// deliberately does NOT feed the store digest.
+//
 // The original Pensieve state is provided in this language
 // (pensieve_state_source) and serves as the ABR seed design.
 #pragma once
 
+#include <cstddef>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "dsl/ast.h"
+#include "dsl/bytecode.h"
 #include "dsl/interpreter.h"
 
 namespace nada::dsl {
 
+class BindingCatalog;
+
+/// Which engine StateProgram::run uses.
+enum class ExecMode { kTree, kVm };
+
+/// The process-wide execution mode: NADA_DSL_EXEC=tree selects the
+/// tree-walk interpreter, anything else (including unset) the VM. Read
+/// once, then cached; set_exec_mode overrides it.
+[[nodiscard]] ExecMode exec_mode();
+
+/// Process-wide override for tests and benches (e.g. differential runs).
+void set_exec_mode(ExecMode mode);
+
 class StateProgram {
  public:
-  /// Parses `source`; throws CompileError on syntax errors.
-  [[nodiscard]] static StateProgram compile(std::string source);
+  /// Parses and lowers `source`; throws CompileError on syntax errors.
+  /// Lowering never rejects a parseable program (semantic errors surface
+  /// at run time with tree-walk-identical messages; see bytecode.h).
+  /// `catalog`, when given, annotates the bytecode's input table with the
+  /// domain's canonical slot indices (execution is unaffected; see
+  /// InputRef::catalog_slot).
+  [[nodiscard]] static StateProgram compile(
+      std::string source, const BindingCatalog* catalog = nullptr);
 
   /// Runs against a set of observation bindings (see BindingCatalog);
   /// throws RuntimeError on evaluation errors, including references to
-  /// variables outside the bound vocabulary.
+  /// variables outside the bound vocabulary, and BudgetError (VM mode)
+  /// when a run exceeds the execution budget.
   [[nodiscard]] StateMatrix run(const Bindings& inputs) const;
 
   [[nodiscard]] const std::string& source() const { return source_; }
   [[nodiscard]] const Program& program() const { return program_; }
 
+  /// The lowered bytecode. Immutable and shared_ptr-owned: hot paths that
+  /// keep their own Vm (rl::PolicyAgent) execute this directly.
+  [[nodiscard]] const CompiledProgram& code() const { return *code_; }
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> code_ptr() const {
+    return code_;
+  }
+
+  /// Row lengths of this program's state matrix under `catalog`'s canned
+  /// observation — the network input signature. Computed at most once per
+  /// (program, catalog) and cached on the program, so agent construction
+  /// does not re-run the program (filter::compilation_check primes the
+  /// cache from its trial run). Thread-safe: pre-check workers compile and
+  /// probe the same program concurrently.
+  [[nodiscard]] std::vector<std::size_t> signature_row_lengths(
+      const BindingCatalog& catalog) const;
+
+  /// Seeds the signature cache with row lengths already computed from a
+  /// run on `catalog`'s canned observation (the compilation check's trial
+  /// run), so later signature_row_lengths calls are lookup-only.
+  void prime_signature(const BindingCatalog& catalog,
+                       std::vector<std::size_t> lengths) const;
+
  private:
-  StateProgram(std::string source, Program program)
-      : source_(std::move(source)), program_(std::move(program)) {}
+  StateProgram(std::string source, Program program,
+               const BindingCatalog* catalog);
+
+  // The signature cache outlives moves of the StateProgram (the store
+  // pipeline moves compiled programs into per-candidate slots) and must be
+  // lockable from const methods on shared instances, hence a shared_ptr
+  // to a heap-allocated mutex-guarded record.
+  struct SignatureCache {
+    std::mutex mu;
+    const BindingCatalog* catalog = nullptr;
+    std::vector<std::size_t> lengths;
+  };
 
   std::string source_;
   Program program_;
+  std::shared_ptr<const CompiledProgram> code_;
+  std::shared_ptr<SignatureCache> signature_cache_;
 };
 
 /// The original Pensieve state representation, expressed in NadaScript:

@@ -61,6 +61,22 @@ class Value {
     return is_vector_ ? "vector" : "scalar";
   }
 
+  /// In-place scalar write for the bytecode VM's register file: no
+  /// allocation, and the register's vector capacity (if any) is kept for
+  /// later vector results.
+  void set_scalar(double s) {
+    is_vector_ = false;
+    scalar_ = s;
+  }
+
+  /// In-place vector write for the VM: marks this value as a vector and
+  /// returns the element buffer so the caller can resize() + fill it,
+  /// reusing whatever capacity the register already holds.
+  [[nodiscard]] std::vector<double>& mutable_vector() {
+    is_vector_ = true;
+    return vector_;
+  }
+
  private:
   bool is_vector_;
   double scalar_;

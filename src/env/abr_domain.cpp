@@ -9,6 +9,10 @@ namespace nada::env {
 
 dsl::Bindings bindings_from_observation(const Observation& obs) {
   dsl::Bindings b;
+  // One entry per input_variables() slot; reserving up front spares the
+  // per-step rehash churn (this runs once per env step on every funnel
+  // path). Nothing iterates the map, so bucket layout is unobservable.
+  b.reserve(input_variables().size());
   b.emplace("throughput_mbps", dsl::Value(obs.throughput_mbps));
   b.emplace("download_time_s", dsl::Value(obs.download_time_s));
   b.emplace("buffer_size_s_history", dsl::Value(obs.buffer_s_history));
@@ -25,6 +29,10 @@ dsl::Bindings bindings_from_observation(const Observation& obs) {
 }
 
 const std::vector<dsl::InputVariable>& input_variables() {
+  // Order is the ABR domain's canonical slot numbering (see
+  // dsl::BindingCatalog::slot_index); the bytecode compiler annotates
+  // input references with these positions, so treat the list as
+  // append-only.
   static const std::vector<dsl::InputVariable> kVars = {
       {"throughput_mbps", true},
       {"download_time_s", true},

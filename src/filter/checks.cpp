@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsl/vm.h"
 #include "util/rng.h"
 
 namespace nada::filter {
@@ -10,7 +11,8 @@ CheckResult compilation_check(const std::string& source,
                               const dsl::BindingCatalog& catalog,
                               std::optional<dsl::StateProgram>* out) {
   try {
-    dsl::StateProgram program = dsl::StateProgram::compile(source);
+    dsl::StateProgram program =
+        dsl::StateProgram::compile(source, &catalog);
 
     // Trial run (the paper's execution check).
     const dsl::StateMatrix matrix = program.run(catalog.canned());
@@ -28,8 +30,17 @@ CheckResult compilation_check(const std::string& source,
       return CheckResult::fail("state shape varies across observations");
     }
 
+    // The trial run just computed the network input signature; cache it on
+    // the program so agent construction (rl::derive_signature) never has
+    // to execute the program again.
+    program.prime_signature(catalog, matrix.row_lengths());
+
     if (out != nullptr) *out = std::move(program);
     return CheckResult::ok();
+  } catch (const dsl::BudgetError& e) {
+    CheckResult result = CheckResult::fail(e.what());
+    result.exceeded_budget = dsl::instruction_budget();
+    return result;
   } catch (const std::exception& e) {
     return CheckResult::fail(e.what());
   }
@@ -59,6 +70,11 @@ CheckResult normalization_check(const dsl::StateProgram& program,
         }
       }
     }
+  } catch (const dsl::BudgetError& e) {
+    CheckResult result =
+        CheckResult::fail(std::string("fuzz run raised: ") + e.what());
+    result.exceeded_budget = dsl::instruction_budget();
+    return result;
   } catch (const std::exception& e) {
     // A runtime error on fuzz inputs means the program is fragile; the
     // paper's pipeline would hit the same exception during training, so

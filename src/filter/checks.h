@@ -27,10 +27,14 @@ namespace nada::filter {
 struct CheckResult {
   bool passed = false;
   std::string reason;  ///< empty when passed
+  /// Nonzero when the failure was the VM's execution budget (the run
+  /// exceeded this many cost units; see dsl::instruction_budget and
+  /// docs/DSL.md). Diagnostic only — not journaled.
+  std::uint64_t exceeded_budget = 0;
 
-  [[nodiscard]] static CheckResult ok() { return {true, ""}; }
+  [[nodiscard]] static CheckResult ok() { return {true, "", 0}; }
   [[nodiscard]] static CheckResult fail(std::string why) {
-    return {false, std::move(why)};
+    return {false, std::move(why), 0};
   }
 };
 

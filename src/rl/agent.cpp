@@ -4,9 +4,12 @@ namespace nada::rl {
 
 nn::StateSignature derive_signature(const dsl::StateProgram& program,
                                     const dsl::BindingCatalog& catalog) {
-  const dsl::StateMatrix matrix = program.run(catalog.canned());
+  // Served from the compiled program's signature cache: compilation_check
+  // primes it from the trial run, so the funnel derives every agent's
+  // input signature without re-executing the program. A cold cache (e.g.
+  // a program built outside the pre-checks) computes it once.
   nn::StateSignature sig;
-  sig.row_lengths = matrix.row_lengths();
+  sig.row_lengths = program.signature_row_lengths(catalog);
   return sig;
 }
 
@@ -26,16 +29,35 @@ PolicyAgent::PolicyAgent(const dsl::StateProgram& program,
                          util::Rng& rng)
     : PolicyAgent(program, spec, num_actions, env::abr_catalog(), rng) {}
 
+const dsl::StateMatrix& PolicyAgent::eval_state(const dsl::Bindings& obs) {
+  ++exec_runs_;
+  if (dsl::exec_mode() == dsl::ExecMode::kTree) {
+    tree_matrix_ = program_->run(obs);
+    return tree_matrix_;
+  }
+  return vm_.run(program_->code(), obs);
+}
+
+const std::vector<nn::Vec>& PolicyAgent::network_rows(
+    const dsl::StateMatrix& matrix) {
+  row_cache_.resize(matrix.rows.size());
+  for (std::size_t i = 0; i < matrix.rows.size(); ++i) {
+    row_cache_[i].assign(matrix.rows[i].values.begin(),
+                         matrix.rows[i].values.end());
+  }
+  return row_cache_;
+}
+
 PolicyAgent::Decision PolicyAgent::decide(const dsl::Bindings& obs,
                                           bool sample, util::Rng& rng) {
-  const dsl::StateMatrix matrix = program_->run(obs);
+  const dsl::StateMatrix& matrix = eval_state(obs);
   if (!matrix.all_finite()) {
     throw dsl::RuntimeError("state program produced non-finite values");
   }
   // Inference-only forward: bit-identical to net().forward, leaves the
   // training caches alone, and rides the fast path on a synced net (the
   // batched probe trainer's checkpoint evaluations).
-  const auto out = net_->forward_inference(matrix.to_network_rows());
+  const auto out = net_->forward_inference(network_rows(matrix));
   Decision d;
   d.probs = out.probs;
   d.value = out.value;
@@ -57,8 +79,8 @@ PolicyAgent::Decision PolicyAgent::decide(const env::Observation& obs,
 
 void PolicyAgent::forward_backward(const dsl::Bindings& obs,
                                    const nn::Vec& dlogits, double dvalue) {
-  const dsl::StateMatrix matrix = program_->run(obs);
-  (void)net_->forward(matrix.to_network_rows());
+  const dsl::StateMatrix& matrix = eval_state(obs);
+  (void)net_->forward(network_rows(matrix));
   net_->backward(dlogits, dvalue);
 }
 

@@ -4,16 +4,20 @@
 // agent binds the two together: it runs the state program on each raw
 // observation (expressed as DSL bindings, so any TaskDomain's observations
 // fit) and feeds the resulting matrix to the network. The network's input
-// signature is derived from a trial run of the state program on the
-// domain catalog's canned observation, so any state shape the DSL can
-// produce gets a matching network.
+// signature is the program's row lengths under the domain catalog's canned
+// observation, served from the signature cache on the compiled program
+// (primed by filter::compilation_check's trial run), so constructing an
+// agent does not execute the program.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "dsl/binding_catalog.h"
 #include "dsl/state_program.h"
+#include "dsl/vm.h"
 #include "env/abr_domain.h"
 #include "nn/arch.h"
 #include "util/rng.h"
@@ -52,6 +56,24 @@ class PolicyAgent {
   void forward_backward(const dsl::Bindings& obs, const nn::Vec& dlogits,
                         double dvalue);
 
+  /// Runs the state program on `obs` through the active engine (the
+  /// agent-owned Vm by default, the tree-walk under NADA_DSL_EXEC=tree)
+  /// and returns the agent-owned matrix, valid until the next eval_state
+  /// call. This is the per-step inner loop: VM-mode scalar ops perform no
+  /// heap allocation, and the matrix/row buffers are reused across steps.
+  const dsl::StateMatrix& eval_state(const dsl::Bindings& obs);
+
+  /// `matrix` flattened into the agent-owned network-row buffers
+  /// (capacity-reusing equivalent of StateMatrix::to_network_rows).
+  const std::vector<nn::Vec>& network_rows(const dsl::StateMatrix& matrix);
+
+  /// Cumulative Vm counters (zero in tree mode); see obs `dsl.exec.*`.
+  [[nodiscard]] const dsl::Vm::Stats& exec_stats() const {
+    return vm_.stats();
+  }
+  /// State-program runs through eval_state, counted in both engines.
+  [[nodiscard]] std::uint64_t exec_runs() const { return exec_runs_; }
+
   [[nodiscard]] nn::ActorCriticNet& net() { return *net_; }
   [[nodiscard]] const dsl::StateProgram& program() const { return *program_; }
   [[nodiscard]] const nn::StateSignature& signature() const { return sig_; }
@@ -60,6 +82,10 @@ class PolicyAgent {
   const dsl::StateProgram* program_;
   nn::StateSignature sig_;
   std::unique_ptr<nn::ActorCriticNet> net_;
+  dsl::Vm vm_;                      ///< agent-owned: agents are thread-confined
+  dsl::StateMatrix tree_matrix_;    ///< tree-mode scratch
+  std::vector<nn::Vec> row_cache_;  ///< network_rows scratch
+  std::uint64_t exec_runs_ = 0;
 };
 
 /// The historical name from when the agent was ABR-only.

@@ -101,15 +101,15 @@ void BatchProbeTrainer::step_candidate(Candidate& c) const {
   // Mirrors PolicyAgent::decide(obs, sample=true, rng) followed by
   // episode->step(), but keeps the state rows for the fused update instead
   // of discarding them.
-  const dsl::StateMatrix matrix = c.agent->program().run(c.obs);
+  const dsl::StateMatrix& matrix = c.agent->eval_state(c.obs);
   if (!matrix.all_finite()) {
     throw dsl::RuntimeError("state program produced non-finite values");
   }
-  const std::vector<nn::Vec> rows = matrix.to_network_rows();
   // Capture forward: bit-identical to net().forward, runs on the synced
   // fast inference path, and writes this step's row of the batch caches so
   // the epoch update can go straight to backward_batch.
-  auto out = c.agent->net().forward_capture(rows, c.actions.size());
+  auto out = c.agent->net().forward_capture(c.agent->network_rows(matrix),
+                                            c.actions.size());
   const std::size_t action = c.rng.weighted_index(out.probs);
   env::DomainStep sr = c.episode->step(action);
   c.step_probs.push_back(std::move(out.probs));
@@ -303,6 +303,23 @@ void BatchProbeTrainer::train_block(std::span<const ProbeJob> jobs,
     } catch (const std::exception& e) {
       c.fail(e);
     }
+  }
+
+  // DSL execution volume, aggregated once per block rather than per step
+  // (the counters are atomics; per-step adds would serialize the pool).
+  if (config_.metrics != nullptr) {
+    std::uint64_t runs = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cost_units = 0;
+    for (const Candidate& c : block) {
+      if (c.agent == nullptr) continue;
+      runs += c.agent->exec_runs();
+      instructions += c.agent->exec_stats().instructions;
+      cost_units += c.agent->exec_stats().cost_units;
+    }
+    config_.metrics->counter("dsl.exec.runs").add(runs);
+    config_.metrics->counter("dsl.exec.instructions").add(instructions);
+    config_.metrics->counter("dsl.exec.cost_units").add(cost_units);
   }
 }
 

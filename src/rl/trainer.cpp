@@ -197,8 +197,8 @@ void Trainer::run_epoch(PolicyAgent& agent, nn::Adam& optimizer,
   std::vector<dsl::StateMatrix> matrices;
   matrices.reserve(steps.size());
   for (std::size_t t = 0; t < steps.size(); ++t) {
-    matrices.push_back(agent.program().run(steps[t].obs));
-    const auto out = agent.net().forward(matrices[t].to_network_rows());
+    matrices.push_back(agent.eval_state(steps[t].obs));
+    const auto out = agent.net().forward(agent.network_rows(matrices[t]));
     advantages[t] = returns[t] - out.value;
   }
   condition_advantages(config_, advantages);
@@ -210,7 +210,7 @@ void Trainer::run_epoch(PolicyAgent& agent, nn::Adam& optimizer,
   double reward_sum = 0.0;
   for (std::size_t t = 0; t < steps.size(); ++t) {
     reward_sum += steps[t].reward;
-    const auto out = agent.net().forward(matrices[t].to_network_rows());
+    const auto out = agent.net().forward(agent.network_rows(matrices[t]));
     nn::Vec dlogits(num_actions);
     const double dvalue =
         a2c_step_gradient(config_, out.probs, steps[t].action, advantages[t],
