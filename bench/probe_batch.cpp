@@ -9,10 +9,12 @@
 // must be bit-identical to the serial ones.
 #include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "gen/state_gen.h"
+#include "nn/mat_kernels.h"
 #include "rl/batch_probe.h"
 #include "rl/trainer.h"
 #include "trace/generator.h"
@@ -54,9 +56,17 @@ int main() {
   arch.scalar_hidden = 32;
   arch.merge_hidden = 32;
 
+  // Every row is labeled with the NN kernel flavor it ran under: scalar
+  // and avx2 rows are mutually comparable (bit-identical results), fma
+  // rows are a different numeric universe (pinned-divergent) and must
+  // never be diffed against scalar/avx2 rows — the label is what makes a
+  // cross-flavor CSV comparison an explicit choice instead of an accident.
+  const std::string flavor = nn::kernel_flavor_name(nn::kernel_flavor());
+  std::cout << "nn kernel flavor: " << flavor << "\n";
+
   util::TextTable table("Early-probe throughput (higher is better)");
-  table.set_header({"candidates", "serial cand/s", "batched cand/s",
-                    "speedup", "bit-identical"});
+  table.set_header({"candidates", "kernel", "serial cand/s",
+                    "batched cand/s", "speedup", "bit-identical"});
 
   // CI runs this bench as the bit-identity smoke check: any divergence
   // must fail the job, not just print.
@@ -94,7 +104,7 @@ int main() {
 
     const double serial_rate = cohort / std::max(serial_s, 1e-9);
     const double batch_rate = cohort / std::max(batch_s, 1e-9);
-    table.add_row_mixed({std::to_string(cohort)},
+    table.add_row_mixed({std::to_string(cohort), flavor},
                         {serial_rate, batch_rate, batch_rate / serial_rate,
                          identical ? 1.0 : 0.0},
                         2);
@@ -138,6 +148,70 @@ int main() {
                      "serial at candidate " << i << "\n";
       }
     }
+  }
+
+  // Kernel-flavor sweep: the same cohort under each runnable flavor.
+  // Cross-flavor comparisons follow the contract: avx2 must reproduce the
+  // scalar curves bit-for-bit (a divergence fails the bench), while fma is
+  // pinned-divergent — its rows are labeled so, never silently compared.
+  {
+    const nn::KernelFlavor entry_flavor = nn::kernel_flavor();
+    std::vector<nn::KernelFlavor> flavors = {nn::KernelFlavor::kScalar};
+    if (nn::built_with_avx2_kernels() && nn::cpu_supports_avx2()) {
+      flavors.push_back(nn::KernelFlavor::kAvx2);
+    }
+    if (nn::built_with_fma_kernels() && nn::cpu_supports_avx2() &&
+        nn::cpu_supports_fma()) {
+      flavors.push_back(nn::KernelFlavor::kFma);
+    }
+
+    const std::size_t cohort = 16;
+    std::vector<rl::ProbeJob> jobs;
+    for (std::size_t i = 0; i < cohort; ++i) {
+      jobs.push_back(rl::ProbeJob{&programs[i % programs.size()], &arch,
+                                  0x9e3779b9ULL * (i + 1)});
+    }
+    const rl::BatchProbeTrainer batch_trainer(
+        dataset, video, rl::BatchProbeConfig{probe_config, 4});
+
+    util::TextTable sweep("Kernel-flavor sweep (batched, cohort 16)");
+    sweep.set_header({"kernel", "batched cand/s", "vs scalar"});
+    std::vector<rl::TrainResult> scalar_results;
+    for (const nn::KernelFlavor f : flavors) {
+      nn::set_kernel_flavor(f);
+      bench::Stopwatch flavor_timer;
+      const auto flavor_results = batch_trainer.train(jobs, nullptr);
+      const double rate = cohort / std::max(flavor_timer.seconds(), 1e-9);
+      std::string comparison = "(reference)";
+      if (f == nn::KernelFlavor::kScalar) {
+        scalar_results = flavor_results;
+      } else {
+        bool identical = true;
+        for (std::size_t i = 0; i < cohort; ++i) {
+          identical &= flavor_results[i].train_rewards ==
+                       scalar_results[i].train_rewards;
+        }
+        if (f == nn::KernelFlavor::kAvx2) {
+          comparison = identical ? "bit-identical" : "DIVERGED";
+          if (!identical) {
+            all_identical = false;
+            std::cout << "ERROR: avx2 curves diverged from scalar — the "
+                         "bit-identity contract is broken\n";
+          }
+        } else {
+          // fma may diverge from scalar (fused rounding) — that is the
+          // documented contract. Curves CAN still match bitwise: rewards
+          // are quantized by env dynamics, so low-order logit changes
+          // only surface when they flip a sampled action.
+          comparison = identical ? "curves match (divergence allowed)"
+                                 : "divergent (pinned, kernel=fma)";
+        }
+      }
+      sweep.add_row({nn::kernel_flavor_name(f), util::format_double(rate, 2),
+                     comparison});
+    }
+    nn::set_kernel_flavor(entry_flavor);
+    std::cout << sweep.to_string() << "\n";
   }
 
   std::cout << table.to_string() << "\n";

@@ -510,7 +510,7 @@ Vec ActorCriticNet::get_weights() const {
   Vec flat;
   auto* self = const_cast<ActorCriticNet*>(this);
   for (const auto& p : self->params()) {
-    const Vec& d = p.value->data();
+    const auto& d = p.value->data();
     flat.insert(flat.end(), d.begin(), d.end());
   }
   return flat;
@@ -519,7 +519,7 @@ Vec ActorCriticNet::get_weights() const {
 void ActorCriticNet::set_weights(const Vec& weights) {
   std::size_t offset = 0;
   for (auto& p : params()) {
-    Vec& d = p.value->data();
+    auto& d = p.value->data();
     if (offset + d.size() > weights.size()) {
       throw std::invalid_argument("set_weights: vector too short");
     }

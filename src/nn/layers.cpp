@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/mat_kernels.h"
+
 namespace nada::nn {
 
 const char* activation_name(Activation a) {
@@ -90,15 +92,11 @@ Vec Dense::infer(const Vec& x) const {
   Vec z;
   if (!wt_cache_.empty()) {
     // Fast path over W^T: z[j] accumulates the k-th product at sweep k —
-    // the same k-ascending chain as matvec, but with a contiguous inner
-    // loop the compiler can vectorize.
+    // the same k-ascending chain as matvec, with a contiguous inner loop
+    // dispatched to the active kernel flavor.
     z.assign(w_.rows(), 0.0);
-    const std::size_t out = w_.rows();
-    for (std::size_t k = 0; k < x.size(); ++k) {
-      const double xk = x[k];
-      const double* wt_row = wt_cache_.data().data() + k * out;
-      for (std::size_t j = 0; j < out; ++j) z[j] += wt_row[j] * xk;
-    }
+    active_kernels().wt_axpy(wt_cache_.ptr(), x.data(), z.data(), x.size(),
+                             w_.rows());
   } else {
     z = w_.matvec(x);
   }
@@ -129,11 +127,8 @@ Vec Dense::forward_capture(const Vec& x, std::size_t row) {
   const auto zr = zb_cache_.row(row);
   if (!wt_cache_.empty()) {
     std::fill(zr.begin(), zr.end(), 0.0);
-    for (std::size_t k = 0; k < x.size(); ++k) {
-      const double xk = x[k];
-      const double* wt_row = wt_cache_.data().data() + k * out;
-      for (std::size_t j = 0; j < out; ++j) zr[j] += wt_row[j] * xk;
-    }
+    active_kernels().wt_axpy(wt_cache_.ptr(), x.data(), zr.data(), x.size(),
+                             out);
   } else {
     const Vec z = w_.matvec(x);
     std::copy(z.begin(), z.end(), zr.begin());
@@ -216,17 +211,14 @@ Conv1D::Conv1D(std::size_t seq_len, std::size_t filters, std::size_t kernel,
 
 void Conv1D::conv_one(const double* x, double* z) const {
   if (!wt_cache_.empty()) {
-    // Vectorizable form over W^T: initialize with the bias, then add the
+    // Vectorized form over W^T: initialize with the bias, then add the
     // kernel taps k-ascending — the identical per-element chain as the
-    // f-major loops below, with a contiguous filter-inner sweep.
+    // f-major loops below, dispatched to the active kernel flavor.
+    const KernelTable& kernels = active_kernels();
     for (std::size_t t = 0; t < out_len_; ++t) {
       double* zt = z + t * filters_;
       for (std::size_t f = 0; f < filters_; ++f) zt[f] = b_(f, 0);
-      for (std::size_t k = 0; k < kernel_; ++k) {
-        const double xk = x[t + k];
-        const double* wt_row = wt_cache_.data().data() + k * filters_;
-        for (std::size_t f = 0; f < filters_; ++f) zt[f] += wt_row[f] * xk;
-      }
+      kernels.wt_axpy(wt_cache_.ptr(), x + t, zt, kernel_, filters_);
     }
     return;
   }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/mat_kernels.h"
+
 namespace nada::nn {
 
 Mat::Mat(std::size_t rows, std::size_t cols, double fill)
@@ -97,57 +99,34 @@ double Mat::frobenius_norm() const {
   return std::sqrt(acc);
 }
 
-// The batched kernels below are register-tiled: four samples (or four
-// accumulation steps) advance together through independent accumulators.
-// This breaks the single FMA dependency chain that makes matvec
-// latency-bound and cuts the weight-matrix traffic by 4x — while each
-// OUTPUT ELEMENT still accumulates its own products in exactly the serial
-// order, so results stay bit-identical to the single-sample loops (pinned
-// by tests/nn_test.cpp's bitwise comparisons).
+// The batched kernels are register-tiled: four samples (or four
+// accumulation steps) advance together through independent accumulators,
+// while each OUTPUT ELEMENT still accumulates its own products in exactly
+// the serial order, so results stay bit-identical to the single-sample
+// loops (pinned by tests/nn_test.cpp's bitwise comparisons). The loop
+// bodies live in nn/mat_kernels.* in scalar/avx2/fma flavors; these
+// wrappers shape-check, tally call volume for the nn.matmul.* metrics,
+// and dispatch to the active flavor.
+
+namespace {
+
+inline void tally_matmul(std::size_t n, std::size_t inner, std::size_t m) {
+  KernelCounters& counters = thread_kernel_counters();
+  counters.matmul_calls += 1;
+  counters.matmul_flops +=
+      2 * static_cast<std::uint64_t>(n) * inner * m;
+}
+
+}  // namespace
 
 Mat matmul_nt(const Mat& a, const Mat& b) {
   if (a.cols() != b.cols()) {
     throw std::invalid_argument("matmul_nt: inner dimension mismatch");
   }
   Mat c(a.rows(), b.rows());
-  const std::size_t k_dim = a.cols();
-  const std::size_t m = b.rows();
-  std::size_t i = 0;
-  for (; i + 4 <= a.rows(); i += 4) {
-    const double* a0 = a.data().data() + i * k_dim;
-    const double* a1 = a0 + k_dim;
-    const double* a2 = a1 + k_dim;
-    const double* a3 = a2 + k_dim;
-    double* c0 = c.data().data() + i * m;
-    double* c1 = c0 + m;
-    double* c2 = c1 + m;
-    double* c3 = c2 + m;
-    for (std::size_t j = 0; j < m; ++j) {
-      const double* brow = b.data().data() + j * k_dim;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (std::size_t k = 0; k < k_dim; ++k) {
-        const double w = brow[k];
-        s0 += w * a0[k];
-        s1 += w * a1[k];
-        s2 += w * a2[k];
-        s3 += w * a3[k];
-      }
-      c0[j] = s0;
-      c1[j] = s1;
-      c2[j] = s2;
-      c3[j] = s3;
-    }
-  }
-  for (; i < a.rows(); ++i) {
-    const double* arow = a.data().data() + i * k_dim;
-    double* crow = c.data().data() + i * m;
-    for (std::size_t j = 0; j < m; ++j) {
-      const double* brow = b.data().data() + j * k_dim;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < k_dim; ++k) acc += brow[k] * arow[k];
-      crow[j] = acc;
-    }
-  }
+  tally_matmul(a.rows(), a.cols(), b.rows());
+  active_kernels().matmul_nt(a.ptr(), b.ptr(), c.ptr(), a.rows(), a.cols(),
+                             b.rows());
   return c;
 }
 
@@ -155,40 +134,10 @@ Mat matmul(const Mat& a, const Mat& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("matmul: inner dimension mismatch");
   }
-  Mat c(a.rows(), b.cols());
-  const std::size_t r_dim = a.cols();
-  const std::size_t m = b.cols();
-  std::size_t i = 0;
-  for (; i + 4 <= a.rows(); i += 4) {
-    const double* a0 = a.data().data() + i * r_dim;
-    const double* a1 = a0 + r_dim;
-    const double* a2 = a1 + r_dim;
-    const double* a3 = a2 + r_dim;
-    double* c0 = c.data().data() + i * m;
-    double* c1 = c0 + m;
-    double* c2 = c1 + m;
-    double* c3 = c2 + m;
-    for (std::size_t r = 0; r < r_dim; ++r) {
-      const double* brow = b.data().data() + r * m;
-      const double x0 = a0[r], x1 = a1[r], x2 = a2[r], x3 = a3[r];
-      for (std::size_t j = 0; j < m; ++j) {
-        const double w = brow[j];
-        c0[j] += w * x0;
-        c1[j] += w * x1;
-        c2[j] += w * x2;
-        c3[j] += w * x3;
-      }
-    }
-  }
-  for (; i < a.rows(); ++i) {
-    const double* arow = a.data().data() + i * r_dim;
-    double* crow = c.data().data() + i * m;
-    for (std::size_t r = 0; r < r_dim; ++r) {
-      const double ar = arow[r];
-      const double* brow = b.data().data() + r * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += brow[j] * ar;
-    }
-  }
+  Mat c(a.rows(), b.cols());  // zero-filled; the kernel accumulates
+  tally_matmul(a.rows(), a.cols(), b.cols());
+  active_kernels().matmul(a.ptr(), b.ptr(), c.ptr(), a.rows(), a.cols(),
+                          b.cols());
   return c;
 }
 
@@ -196,43 +145,9 @@ void add_matmul_tn(Mat& c, const Mat& a, const Mat& b) {
   if (a.rows() != b.rows() || c.rows() != a.cols() || c.cols() != b.cols()) {
     throw std::invalid_argument("add_matmul_tn: shape mismatch");
   }
-  const std::size_t r_dim = c.rows();
-  const std::size_t m = c.cols();
-  // Four samples per sweep over C, accumulated IN SAMPLE ORDER per element:
-  // (((c + p_n) + p_{n+1}) + p_{n+2}) + p_{n+3} is exactly the serial
-  // add_outer chain, while C is streamed 4x less often.
-  std::size_t n = 0;
-  for (; n + 4 <= a.rows(); n += 4) {
-    const double* a0 = a.data().data() + n * a.cols();
-    const double* a1 = a0 + a.cols();
-    const double* a2 = a1 + a.cols();
-    const double* a3 = a2 + a.cols();
-    const double* b0 = b.data().data() + n * m;
-    const double* b1 = b0 + m;
-    const double* b2 = b1 + m;
-    const double* b3 = b2 + m;
-    for (std::size_t r = 0; r < r_dim; ++r) {
-      const double x0 = a0[r], x1 = a1[r], x2 = a2[r], x3 = a3[r];
-      double* crow = c.data().data() + r * m;
-      for (std::size_t j = 0; j < m; ++j) {
-        double acc = crow[j];
-        acc += x0 * b0[j];
-        acc += x1 * b1[j];
-        acc += x2 * b2[j];
-        acc += x3 * b3[j];
-        crow[j] = acc;
-      }
-    }
-  }
-  for (; n < a.rows(); ++n) {
-    const double* arow = a.data().data() + n * a.cols();
-    const double* brow = b.data().data() + n * m;
-    for (std::size_t r = 0; r < r_dim; ++r) {
-      const double ar = arow[r];
-      double* crow = c.data().data() + r * m;
-      for (std::size_t j = 0; j < m; ++j) crow[j] += ar * brow[j];
-    }
-  }
+  tally_matmul(a.rows(), c.rows(), c.cols());
+  active_kernels().add_matmul_tn(a.ptr(), b.ptr(), c.ptr(), a.rows(),
+                                 c.rows(), c.cols());
 }
 
 void vec_add_inplace(Vec& a, std::span<const double> b) {

@@ -10,15 +10,25 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/rng.h"
 
 namespace nada::nn {
 
 using Vec = std::vector<double>;
 
+/// Matrix element storage: 32-byte aligned so the SIMD kernel flavors (see
+/// nn/mat_kernels.h) always see a register-aligned base pointer. Rows at an
+/// arbitrary column count are not individually aligned — the kernels use
+/// unaligned loads — but whole-matrix sweeps start on a vector boundary.
+using AlignedVec = std::vector<double, util::AlignedAlloc<double, 32>>;
+
 /// Row-major dense matrix.
 class Mat {
  public:
+  /// Storage alignment guarantee, in bytes (one AVX2 register of doubles).
+  static constexpr std::size_t kAlignment = 32;
+
   Mat() = default;
   Mat(std::size_t rows, std::size_t cols, double fill = 0.0);
 
@@ -30,8 +40,12 @@ class Mat {
   double& operator()(std::size_t r, std::size_t c);
   double operator()(std::size_t r, std::size_t c) const;
 
-  [[nodiscard]] Vec& data() { return data_; }
-  [[nodiscard]] const Vec& data() const { return data_; }
+  [[nodiscard]] AlignedVec& data() { return data_; }
+  [[nodiscard]] const AlignedVec& data() const { return data_; }
+
+  /// Aligned base pointer (32-byte; see kAlignment).
+  [[nodiscard]] double* ptr() { return data_.data(); }
+  [[nodiscard]] const double* ptr() const { return data_.data(); }
 
   /// View of one row (rows are contiguous in the row-major layout).
   [[nodiscard]] std::span<const double> row(std::size_t r) const {
@@ -71,7 +85,7 @@ class Mat {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  Vec data_;
+  AlignedVec data_;
 };
 
 // ---- Batched (matrix-matrix) kernels --------------------------------------
@@ -80,6 +94,11 @@ class Mat {
 // per-element accumulation order matches its single-sample counterpart
 // exactly, so batched results are bit-identical to a loop of single-sample
 // calls — the property the batched/serial probe equivalence test pins down.
+//
+// Since the SIMD flavors landed, these wrappers shape-check, account call
+// volume, and dispatch to the active kernel flavor (nn/mat_kernels.h):
+// scalar and avx2 are bit-identical by contract, fma is pinned-divergent
+// and scoped out of scalar journals via the kernel=fma store-scope token.
 
 /// C = A * B^T with A (n x k) and B (m x k) -> C (n x m). Row i of C is
 /// bit-identical to B.matvec(row i of A): the k-dimension accumulates in

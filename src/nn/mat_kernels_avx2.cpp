@@ -1,0 +1,7 @@
+// AVX2 (unfused) kernel flavor. Compiled into its own object library with
+// -mavx2 -mno-fma -ffp-contract=off: AVX2 lanes, but every
+// multiply-accumulate stays a separate IEEE mul and add so results are
+// bit-identical to the scalar kernels. See mat_kernels_simd.inc.
+#define NADA_KERNEL_NS avx2
+#define NADA_KERNEL_FUSED 0
+#include "nn/mat_kernels_simd.inc"

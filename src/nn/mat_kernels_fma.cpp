@@ -1,0 +1,7 @@
+// AVX2+FMA kernel flavor. Compiled into its own object library with
+// -mavx2 -mfma: fused multiply-add rounds once per accumulate step, so
+// results are PINNED-DIVERGENT from scalar/avx2 and runs under this flavor
+// carry a kernel=fma store-scope token. See mat_kernels_simd.inc.
+#define NADA_KERNEL_NS fma
+#define NADA_KERNEL_FUSED 1
+#include "nn/mat_kernels_simd.inc"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "nn/mat_kernels.h"
 #include "nn/optimizer.h"
 #include "obs/scoped_timer.h"
 #include "util/stats.h"
@@ -194,9 +195,15 @@ void BatchProbeTrainer::train_block(std::span<const ProbeJob> jobs,
                                     std::span<TrainResult> results) const {
   obs::ScopedTimer timer(
       obs::maybe_histogram(config_.metrics, "rl.probe_block.seconds"));
+  // A block runs entirely on one thread, so the delta of this thread's
+  // kernel tallies across the block is exactly the block's own mat-mat
+  // volume (published below alongside the dsl.exec.* aggregates).
+  const nn::KernelCounters kernels_before = nn::thread_kernel_counters();
   if (config_.metrics != nullptr) {
     config_.metrics->counter("rl.probe_blocks").add();
     config_.metrics->counter("rl.probe_block_candidates").add(jobs.size());
+    config_.metrics->gauge("nn.kernel.flavor")
+        .set(static_cast<double>(static_cast<int>(nn::kernel_flavor())));
   }
   const auto& train = config_.train;
   std::vector<Candidate> block;
@@ -320,6 +327,11 @@ void BatchProbeTrainer::train_block(std::span<const ProbeJob> jobs,
     config_.metrics->counter("dsl.exec.runs").add(runs);
     config_.metrics->counter("dsl.exec.instructions").add(instructions);
     config_.metrics->counter("dsl.exec.cost_units").add(cost_units);
+    const nn::KernelCounters& kernels_after = nn::thread_kernel_counters();
+    config_.metrics->counter("nn.matmul.calls")
+        .add(kernels_after.matmul_calls - kernels_before.matmul_calls);
+    config_.metrics->counter("nn.matmul.flops")
+        .add(kernels_after.matmul_flops - kernels_before.matmul_flops);
   }
 }
 

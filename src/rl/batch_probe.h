@@ -55,7 +55,10 @@ struct BatchProbeConfig {
   std::size_t block_size = 4;
   /// Optional profiling registry (pure readout): per-block wall clock in
   /// rl.probe_block.seconds, volumes in rl.probe_blocks /
-  /// rl.probe_block_candidates. Must outlive the trainer.
+  /// rl.probe_block_candidates, DSL execution volume in dsl.exec.*, and
+  /// batched mat-mat kernel volume in nn.matmul.calls / nn.matmul.flops
+  /// plus the active flavor in the nn.kernel.flavor gauge
+  /// (0=scalar, 1=avx2, 2=fma). Must outlive the trainer.
   obs::MetricsRegistry* metrics = nullptr;
 };
 

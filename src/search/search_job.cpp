@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "filter/checks.h"
+#include "nn/mat_kernels.h"
 #include "obs/scoped_timer.h"
 #include "rl/agent.h"
 #include "rl/batch_probe.h"
@@ -175,8 +176,13 @@ store::StoreScope store_scope(const env::TaskDomain& domain,
   // older revision are scoped out rather than silently mixed with
   // incomparable fresh results. Execution-only knobs (probe_batch,
   // probe_block) never feed the digest: batched and serial runs are
-  // bit-identical and share journals.
-  spec << "sim_rev=2;" << store::canonical_train_config(config.train)
+  // bit-identical and share journals. The NN kernel flavor is such a knob
+  // for scalar and avx2 (bit-identical by contract) but NOT for fma, whose
+  // fused rounding changes result bits — runs under the fma flavor carry a
+  // kernel=fma token so their journals never alias scalar/avx2 ones.
+  spec << "sim_rev=2;";
+  if (nn::kernel_flavor() == nn::KernelFlavor::kFma) spec << "kernel=fma;";
+  spec << store::canonical_train_config(config.train)
        << ";seeds=" << config.seeds
        << ";early_epochs=" << config.early_epochs
        << ";norm_threshold=" << config.normalization_threshold

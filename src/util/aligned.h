@@ -1,0 +1,53 @@
+// Over-aligned allocator for SIMD-friendly buffers.
+//
+// nn::Mat stores its elements through this allocator so every matrix base
+// pointer is 32-byte aligned (one AVX2 register of doubles). The vector
+// kernels still use unaligned loads — a row at an arbitrary column count is
+// not itself aligned — but an aligned base keeps whole-matrix sweeps and
+// the first row on register-width boundaries and never splits a cache line
+// within a load.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <new>
+
+namespace nada::util {
+
+template <typename T, std::size_t Align>
+struct AlignedAlloc {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Align >= alignof(T), "alignment below the type's natural");
+
+  using value_type = T;
+
+  AlignedAlloc() = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAlloc&, const AlignedAlloc&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAlloc&, const AlignedAlloc&) {
+    return false;
+  }
+};
+
+}  // namespace nada::util

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <string>
 
 #include "nn/arch.h"
 #include "nn/classifier.h"
@@ -271,6 +273,146 @@ TEST(Mat, BatchedKernelShapeMismatchThrows) {
   EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
   Mat c(3, 3);
   EXPECT_THROW(add_matmul_tn(c, a, b), std::invalid_argument);
+}
+
+// The kernels reject bad shapes with stable, kernel-naming messages; these
+// are the diagnostics operators see when a capture cache and a gradient
+// matrix drift apart, so the text itself is pinned.
+TEST(Mat, BatchedKernelMismatchMessages) {
+  auto message_of = [](auto&& fn) -> std::string {
+    try {
+      fn();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "(no throw)";
+  };
+  Mat a(2, 3);
+  Mat b(2, 4);
+  Mat c(3, 3);
+  EXPECT_EQ(message_of([&] { (void)matmul_nt(a, b); }),
+            "matmul_nt: inner dimension mismatch");
+  EXPECT_EQ(message_of([&] { (void)matmul(a, b); }),
+            "matmul: inner dimension mismatch");
+  EXPECT_EQ(message_of([&] { add_matmul_tn(c, a, b); }),
+            "add_matmul_tn: shape mismatch");
+  // Zero-dimension matrices are unrepresentable, so "0-row" inputs are
+  // rejected at construction — the kernels never see them.
+  EXPECT_EQ(message_of([&] { Mat m(0, 3); }), "Mat: zero dimension");
+  EXPECT_EQ(message_of([&] { Mat m(3, 0); }), "Mat: zero dimension");
+}
+
+/// Fills a matrix with a deterministic pseudo-random pattern.
+Mat random_mat(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Mat m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+// Tail-vs-tiled pins: the kernels tile four rows (matmul, matmul_nt) or
+// four samples (add_matmul_tn) per sweep and fall back to a remainder loop
+// for the rest. A row's result must not depend on which path computed it,
+// so every row count around the tile boundary is compared bitwise against
+// the serial single-sample reference — and against the same rows computed
+// inside a full tile via a padded operand.
+TEST(Mat, MatmulNtTailRowsMatchTiledBitwise) {
+  const Mat b = random_mat(5, 3, 90);
+  for (const std::size_t rows : {1u, 2u, 3u, 5u, 6u, 7u, 9u}) {
+    const Mat a = random_mat(rows, 3, 100 + rows);
+    const Mat c = matmul_nt(a, b);
+    // Serial reference: row i is exactly b.matvec(row i of a).
+    for (std::size_t i = 0; i < rows; ++i) {
+      const Vec expect = b.matvec(a.row(i));
+      for (std::size_t j = 0; j < b.rows(); ++j) {
+        EXPECT_EQ(c(i, j), expect[j]) << "rows=" << rows << " i=" << i;
+      }
+    }
+    // Padded operand: the same leading rows now run through the 4-row tile.
+    const std::size_t padded_rows = ((rows + 3) / 4) * 4;
+    Mat padded(padded_rows, 3);
+    std::copy(a.data().begin(), a.data().end(), padded.data().begin());
+    const Mat c_padded = matmul_nt(padded, b);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < b.rows(); ++j) {
+        EXPECT_EQ(c(i, j), c_padded(i, j)) << "rows=" << rows << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Mat, MatmulTailRowsMatchTiledBitwise) {
+  const Mat b = random_mat(3, 4, 91);
+  for (const std::size_t rows : {1u, 2u, 3u, 5u, 6u, 7u, 9u}) {
+    const Mat a = random_mat(rows, 3, 200 + rows);
+    const Mat c = matmul(a, b);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const Vec expect = b.matvec_transposed(a.row(i));
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        EXPECT_EQ(c(i, j), expect[j]) << "rows=" << rows << " i=" << i;
+      }
+    }
+    const std::size_t padded_rows = ((rows + 3) / 4) * 4;
+    Mat padded(padded_rows, 3);
+    std::copy(a.data().begin(), a.data().end(), padded.data().begin());
+    const Mat c_padded = matmul(padded, b);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        EXPECT_EQ(c(i, j), c_padded(i, j)) << "rows=" << rows << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Mat, AddMatmulTnTailSamplesMatchSerialBitwise) {
+  // The n-dimension (samples) is the accumulation order here, so the pin is
+  // against the serial add_outer chain at every count around the tile edge.
+  for (const std::size_t samples : {1u, 2u, 3u, 5u, 6u, 7u, 9u}) {
+    const Mat a = random_mat(samples, 3, 300 + samples);
+    const Mat b = random_mat(samples, 4, 400 + samples);
+    Mat serial(3, 4, 0.25);
+    for (std::size_t n = 0; n < samples; ++n) {
+      serial.add_outer(a.row(n), b.row(n));
+    }
+    Mat batched(3, 4, 0.25);
+    add_matmul_tn(batched, a, b);
+    EXPECT_EQ(serial.data(), batched.data()) << "samples=" << samples;
+  }
+}
+
+TEST(Mat, BatchedKernelsDegenerateShapes) {
+  // 1-col outputs, 1-row inputs, and inner dimension 1: every degenerate
+  // edge still matches the serial reference bitwise.
+  const Mat a1 = random_mat(1, 4, 500);   // single sample
+  const Mat b1 = random_mat(1, 4, 501);   // single output element (nt)
+  const Mat c_nt = matmul_nt(a1, b1);
+  ASSERT_EQ(c_nt.rows(), 1u);
+  ASSERT_EQ(c_nt.cols(), 1u);
+  EXPECT_EQ(c_nt(0, 0), b1.matvec(a1.row(0))[0]);
+
+  const Mat bcol = random_mat(4, 1, 502);  // 1-col B
+  const Mat c_col = matmul(a1, bcol);
+  ASSERT_EQ(c_col.cols(), 1u);
+  EXPECT_EQ(c_col(0, 0), bcol.matvec_transposed(a1.row(0))[0]);
+
+  const Mat ak1 = random_mat(5, 1, 503);  // inner dimension 1
+  const Mat bk1 = random_mat(3, 1, 504);
+  const Mat c_k1 = matmul_nt(ak1, bk1);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(c_k1(i, j), bk1.matvec(ak1.row(i))[j]);
+    }
+  }
+
+  Mat acc(1, 1, -0.5);  // 1x1 accumulator
+  const Mat at = random_mat(5, 1, 505);
+  const Mat bt = random_mat(5, 1, 506);
+  Mat acc_serial(1, 1, -0.5);
+  for (std::size_t n = 0; n < 5; ++n) {
+    acc_serial.add_outer(at.row(n), bt.row(n));
+  }
+  add_matmul_tn(acc, at, bt);
+  EXPECT_EQ(acc(0, 0), acc_serial(0, 0));
 }
 
 /// Two layers built from the same seed have identical weights; run B
