@@ -191,9 +191,29 @@ std::optional<StatusSnapshot> read_status(const std::string& path) {
   }
 }
 
+const char* worker_health_name(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kOk: return "ok";
+    case WorkerHealth::kStale: return "stale";
+    case WorkerHealth::kMissing: return "missing";
+  }
+  return "unknown";
+}
+
+WorkerHealth classify_worker(const std::optional<StatusSnapshot>& worker,
+                             double now_unix,
+                             double staleness_threshold_seconds) {
+  if (!worker.has_value()) return WorkerHealth::kMissing;
+  if (worker->done()) return WorkerHealth::kOk;
+  if (staleness_threshold_seconds <= 0.0) return WorkerHealth::kOk;
+  const double age = now_unix - worker->heartbeat_unix;
+  return age > staleness_threshold_seconds ? WorkerHealth::kStale
+                                           : WorkerHealth::kOk;
+}
+
 util::JsonValue aggregate_status(
     const std::vector<std::optional<StatusSnapshot>>& workers,
-    double now_unix) {
+    double now_unix, double staleness_threshold_seconds) {
   util::JsonValue doc = util::JsonValue::object();
   doc.set("kind", util::JsonValue::string("aggregate"));
   doc.set("generated_unix", util::JsonValue::number(now_unix));
@@ -204,8 +224,15 @@ util::JsonValue aggregate_status(
   std::size_t stream_total = 0;
   double heartbeat_age_max = 0.0;
   std::map<std::string, std::uint64_t> summed;
+  std::map<WorkerHealth, std::size_t> health_counts;
   util::JsonValue list = util::JsonValue::array();
+  util::JsonValue health_list = util::JsonValue::array();
   for (const auto& worker : workers) {
+    const WorkerHealth health =
+        classify_worker(worker, now_unix, staleness_threshold_seconds);
+    ++health_counts[health];
+    health_list.push_back(
+        util::JsonValue::string(worker_health_name(health)));
     if (!worker.has_value()) {
       list.push_back(util::JsonValue::null());
       continue;
@@ -227,6 +254,17 @@ util::JsonValue aggregate_status(
     doc.set("heartbeat_age_max_seconds",
             util::JsonValue::number(heartbeat_age_max));
   }
+  doc.set("staleness_threshold_seconds",
+          util::JsonValue::number(staleness_threshold_seconds));
+  util::JsonValue health = util::JsonValue::object();
+  for (const WorkerHealth h :
+       {WorkerHealth::kOk, WorkerHealth::kStale, WorkerHealth::kMissing}) {
+    health.set(worker_health_name(h),
+               util::JsonValue::number(
+                   static_cast<double>(health_counts[h])));
+  }
+  doc.set("health", std::move(health));
+  doc.set("worker_health", std::move(health_list));
   util::JsonValue counters = util::JsonValue::object();
   for (const auto& [key, value] : summed) {
     counters.set(key, util::JsonValue::number(static_cast<double>(value)));

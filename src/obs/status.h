@@ -136,14 +136,38 @@ struct StatusSnapshot {
 /// Decodes an in-memory status document (exposed for aggregate payloads).
 [[nodiscard]] StatusSnapshot decode_status(util::JsonValue document);
 
+/// Liveness verdict for one worker slot, judged from its status snapshot
+/// (the passive-telemetry signal the supervisor's restart/reassignment
+/// decisions run on — see docs/SERVICE.md):
+///   kMissing — no parsable snapshot (never started, or died pre-write),
+///   kOk      — done, or heartbeat age within the staleness threshold,
+///   kStale   — alive on paper but heartbeat older than the threshold.
+enum class WorkerHealth { kOk, kStale, kMissing };
+
+[[nodiscard]] const char* worker_health_name(WorkerHealth health);
+
+/// Classifies one snapshot against `staleness_threshold_seconds`. A done
+/// worker is never stale (it will not heartbeat again, by design); a
+/// threshold <= 0 disables staleness entirely (every reporting worker is
+/// kOk).
+[[nodiscard]] WorkerHealth classify_worker(
+    const std::optional<StatusSnapshot>& worker, double now_unix,
+    double staleness_threshold_seconds);
+
 /// The driver-side merge: all worker snapshots in one document —
 ///   {"kind":"aggregate","generated_unix":...,"n_workers":N,"n_reporting":r,
 ///    "n_done":d,"heartbeat_age_max_seconds":...,"stream_position_total":...,
+///    "staleness_threshold_seconds":...,
+///    "health":{"ok":...,"stale":...,"missing":...},
+///    "worker_health":["ok"|"stale"|"missing" per slot],
 ///    "counters":{summed...},"workers":[per-worker docs, missing => null]}
-/// `now_unix` feeds the heartbeat ages (pass the current wall clock).
+/// `now_unix` feeds the heartbeat ages (pass the current wall clock);
+/// `staleness_threshold_seconds` feeds the ok|stale|missing classification
+/// (<= 0, the default, never marks a worker stale). Schema history in
+/// docs/OBSERVABILITY.md.
 [[nodiscard]] util::JsonValue aggregate_status(
     const std::vector<std::optional<StatusSnapshot>>& workers,
-    double now_unix);
+    double now_unix, double staleness_threshold_seconds = 0.0);
 
 /// Current wall clock as unix seconds (the `now_unix` for aggregate_status
 /// and the timestamp source every obs sink shares).

@@ -224,6 +224,13 @@ SearchJob::SearchJob(const env::TaskDomain& domain, SearchConfig config,
           " shards");
     }
   }
+  if (options_.range.has_value() &&
+      options_.range->lo > options_.range->hi) {
+    throw std::invalid_argument(
+        "SearchJob: empty fingerprint range [" +
+        std::to_string(options_.range->lo) + ", " +
+        std::to_string(options_.range->hi) + "]");
+  }
   if (options_.store != nullptr &&
       !(options_.store->scope() == scope())) {
     throw std::invalid_argument(
@@ -327,8 +334,11 @@ SearchResult SearchJob::resume() {
 }
 
 bool SearchJob::in_shard(std::size_t i) const {
-  return !plan_.has_value() ||
-         plan_->shard_of(fps_[i]) == options_.shard->shard;
+  if (plan_.has_value() &&
+      plan_->shard_of(fps_[i]) != options_.shard->shard) {
+    return false;
+  }
+  return !options_.range.has_value() || options_.range->contains(fps_[i]);
 }
 
 bool SearchJob::trainable(std::size_t i) const {

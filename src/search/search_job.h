@@ -107,6 +107,15 @@ struct JobOptions {
   /// mode): candidates outside the slice are skipped and counted in
   /// SearchResult::n_out_of_shard.
   std::optional<ShardSlice> shard;
+  /// Restrict execution to an explicit fingerprint sub-range (lease mode,
+  /// inclusive bounds on Fingerprint::hi): candidates outside the range are
+  /// skipped and counted in SearchResult::n_out_of_shard. The supervisor
+  /// grants these sub-range leases (src/svc/); because membership is by
+  /// content hash and per-candidate seeds are fingerprint-derived, any
+  /// partition of the space into ranges computes the same records as a
+  /// single unrestricted run. Composes with `shard` (both filters apply),
+  /// though supervised runs use `range` alone.
+  std::optional<store::ShardPlan::Range> range;
   /// Profiling registry for the hot paths the Observer event stream cannot
   /// see from outside: candidate generation pulls and fingerprinting
   /// (search.generate.pull_seconds / search.generate.fingerprint_seconds),

@@ -113,6 +113,64 @@ SearchResult ShardRunner::merge_and_rank(CandidateSource& source,
   return result;
 }
 
+SearchResult ShardRunner::run_range(const store::ShardPlan::Range& range,
+                                    const std::string& journal_path,
+                                    CandidateSource& source,
+                                    const FixedDesign& fixed,
+                                    const std::vector<Observer*>& observers) {
+  const std::string parent = util::parent_directory(journal_path);
+  if (!parent.empty()) util::ensure_directories(parent);
+  source.reset();
+  store::CandidateStore store(journal_path, scope_);
+  SearchJob::Options options;
+  options.store = &store;
+  options.pool = pool_;
+  options.range = range;
+  options.metrics = shards_.metrics;
+  SearchJob job(*domain_, config_, seed_, source, fixed, options);
+  std::unique_ptr<obs::StatusWriter> status;
+  if (shards_.worker_status) {
+    status = std::make_unique<obs::StatusWriter>(obs::StatusConfig{
+        journal_path + ".status.json", "lease-" + std::to_string(range.lo),
+        config_.num_candidates});
+    job.add_observer(status.get());
+  }
+  for (Observer* observer : observers) job.add_observer(observer);
+  SearchResult result = job.run_until(StageKind::kBaseline);
+  if (status != nullptr) status->finish();
+  return result;
+}
+
+SearchResult ShardRunner::merge_and_rank_paths(
+    std::span<const std::string> journals, CandidateSource& source,
+    const FixedDesign& fixed, const filter::EarlyStopModel* early_stop,
+    const std::vector<Observer*>& observers) {
+  util::ensure_directories(shards_.store_dir);
+  source.reset();
+  store::CandidateStore merged(merged_store_path(), scope_);
+  store::merge_existing_shard_files(journals, merged);
+  SearchJob::Options options;
+  options.store = &merged;
+  options.pool = pool_;
+  options.early_stop_model = early_stop;
+  options.metrics = shards_.metrics;
+  SearchJob job(*domain_, config_, seed_, source, fixed, options);
+  std::unique_ptr<obs::StatusWriter> status;
+  if (shards_.worker_status) {
+    status = std::make_unique<obs::StatusWriter>(obs::StatusConfig{
+        merged_status_path(), "driver", config_.num_candidates});
+    job.add_observer(status.get());
+  }
+  for (Observer* observer : observers) job.add_observer(observer);
+  SearchResult result = job.run_to_completion();
+  if (status != nullptr) status->finish();
+  return result;
+}
+
+std::string ShardRunner::service_prefix() const {
+  return scope_.env + "-" + scope_.config_digest.substr(0, 12) + "-svc-";
+}
+
 std::vector<std::optional<obs::StatusSnapshot>> ShardRunner::worker_statuses()
     const {
   std::vector<std::optional<obs::StatusSnapshot>> statuses;
@@ -123,10 +181,12 @@ std::vector<std::optional<obs::StatusSnapshot>> ShardRunner::worker_statuses()
   return statuses;
 }
 
-util::JsonValue ShardRunner::write_merged_status() const {
+util::JsonValue ShardRunner::write_merged_status(
+    double staleness_threshold_seconds) const {
   util::ensure_directories(shards_.store_dir);
   util::JsonValue doc =
-      obs::aggregate_status(worker_statuses(), obs::unix_now());
+      obs::aggregate_status(worker_statuses(), obs::unix_now(),
+                            staleness_threshold_seconds);
   util::write_file_atomic(aggregate_status_path(), doc.dump() + "\n");
   return doc;
 }

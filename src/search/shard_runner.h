@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,35 @@ class ShardRunner {
                           const FixedDesign& fixed,
                           const std::vector<Observer*>& observers = {});
 
+  /// Supervised (lease) variant of run_worker: executes exactly the
+  /// candidates whose fingerprint lands in `range`, journaling into the
+  /// caller-provided `journal_path` (the lease journal the supervisor
+  /// granted) with the heartbeat at journal_path + ".status.json". Ranges
+  /// need not align with any static shard boundary — equivalence holds for
+  /// ANY partition of the fingerprint space, which is what makes crash
+  /// restart and straggler splitting safe (svc::Supervisor).
+  SearchResult run_range(const store::ShardPlan::Range& range,
+                         const std::string& journal_path,
+                         CandidateSource& source, const FixedDesign& fixed,
+                         const std::vector<Observer*>& observers = {});
+
+  /// Supervised variant of merge_and_rank: merges the caller-provided
+  /// journal list (typically svc::SupervisorReport::journal_paths — every
+  /// journal any lease attempt ever owned, partials included) instead of
+  /// the static shard layout. Missing journals are tolerated
+  /// (store::merge_existing_shard_files): whatever the merge lacks, the
+  /// funnel pass recomputes bit-identically.
+  SearchResult merge_and_rank_paths(std::span<const std::string> journals,
+                                    CandidateSource& source,
+                                    const FixedDesign& fixed,
+                                    const filter::EarlyStopModel* early_stop = nullptr,
+                                    const std::vector<Observer*>& observers = {});
+
+  /// Scope-derived file-name prefix for svc::SupervisorConfig::prefix, so
+  /// concurrent supervised searches with different protocols never collide
+  /// in one directory (same convention as shard_store_path).
+  [[nodiscard]] std::string service_prefix() const;
+
   /// The driver's pass: merges every shard journal (throws
   /// std::runtime_error when a worker never reported, i.e. its journal is
   /// missing) into merged_store_path(), then runs the full funnel against
@@ -99,8 +129,11 @@ class ShardRunner {
 
   /// Driver-side aggregation: merges the worker snapshots into one
   /// cluster-level document (obs::aggregate_status), atomically writes it
-  /// to aggregate_status_path(), and returns it.
-  util::JsonValue write_merged_status() const;
+  /// to aggregate_status_path(), and returns it. A positive
+  /// `staleness_threshold_seconds` feeds the ok|stale|missing worker
+  /// health classification (0 never marks a worker stale).
+  util::JsonValue write_merged_status(
+      double staleness_threshold_seconds = 0.0) const;
 
  private:
   const env::TaskDomain* domain_;

@@ -1,6 +1,7 @@
 #include "store/shard.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/fs.h"
 #include "util/strings.h"
@@ -47,6 +48,30 @@ std::vector<std::vector<std::size_t>> ShardPlan::partition(
   return shards;
 }
 
+std::pair<ShardPlan::Range, ShardPlan::Range> split_range(
+    ShardPlan::Range parent, std::uint64_t boundary) {
+  if (boundary <= parent.lo || boundary > parent.hi) {
+    throw std::invalid_argument(
+        "split_range: boundary " + std::to_string(boundary) +
+        " outside (" + std::to_string(parent.lo) + ", " +
+        std::to_string(parent.hi) + "]");
+  }
+  return {ShardPlan::Range{parent.lo, boundary - 1},
+          ShardPlan::Range{boundary, parent.hi}};
+}
+
+std::pair<ShardPlan::Range, ShardPlan::Range> split_midpoint(
+    ShardPlan::Range parent) {
+  if (!parent.splittable()) {
+    throw std::invalid_argument(
+        "split_midpoint: single-value range [" + std::to_string(parent.lo) +
+        ", " + std::to_string(parent.hi) + "] is not splittable");
+  }
+  // lo + ceil(width/2) without overflow: width()-1 == hi-lo fits, and the
+  // midpoint lands strictly inside (lo, hi] for every splittable range.
+  return split_range(parent, parent.lo + (parent.hi - parent.lo) / 2 + 1);
+}
+
 std::size_t merge_shard_files(std::span<const std::string> shard_paths,
                               CandidateStore& dest) {
   std::size_t accepted = 0;
@@ -63,6 +88,23 @@ std::size_t merge_shard_files(std::span<const std::string> shard_paths,
     }
   }
   return accepted;
+}
+
+std::size_t merge_existing_shard_files(std::span<const std::string> paths,
+                                       CandidateStore& dest,
+                                       std::size_t* missing) {
+  std::vector<std::string> present;
+  present.reserve(paths.size());
+  std::size_t absent = 0;
+  for (const auto& path : paths) {
+    if (util::file_exists(path)) {
+      present.push_back(path);
+    } else {
+      ++absent;
+    }
+  }
+  if (missing != nullptr) *missing = absent;
+  return merge_shard_files(present, dest);
 }
 
 }  // namespace nada::store

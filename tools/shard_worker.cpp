@@ -1,8 +1,8 @@
 // shard_worker: the multi-process sharded-search CLI.
 //
 // One search, N worker processes, one driver. Every process replays the
-// same candidate stream; a worker executes only its ShardPlan range of
-// the fingerprint space and journals into its own shard store; the driver
+// same candidate stream; a worker executes only its slice of the
+// fingerprint space and journals into its own shard store; the driver
 // merges the shard journals, selects globally, runs the top-K full
 // trainings, and prints the ranking. `single` mode runs the identical
 // search in one process — its ranking and journal records must match the
@@ -19,6 +19,16 @@
 //   # the same search, one process:
 //   shard_worker --mode single --store-dir /tmp/single
 //
+// Worker mode has a second face: a LEASE worker under the svc::Supervisor
+// (tools/search_service). Instead of --shard/--shards it takes an explicit
+// fingerprint sub-range and journal —
+//
+//   shard_worker --mode worker --journal /tmp/s/lease-3.jsonl \
+//     --range-lo 8000000000000000 --range-hi bfffffffffffffff
+//
+// — because supervised ranges are born from splits and re-grants, not from
+// a static plan. The heartbeat lands at <journal>.status.json either way.
+//
 // Ranking lines are printed as `RANK,<position>,<id>,<fingerprint>,<score>`
 // so two runs diff with grep + diff. Flags: --domain abr|cc,
 // --search state|arch, --candidates N, --seed S, --gen-seed G,
@@ -26,6 +36,21 @@
 // funnel in rolling windows of W candidates — same rankings and journal
 // records, constant memory; the stream-equivalence-smoke CI job diffs the
 // two), --quiet (suppress per-candidate events).
+//
+// Fault injection (TEST ONLY — they exist so tests/svc_test.cpp and the
+// supervisor-smoke CI job can exercise the supervisor's restart and
+// straggler paths with real processes; never set them in a real run):
+//   --crash-after-candidates N   after N in-range candidate completions,
+//                                append a torn half-record to the journal
+//                                and _exit(42) — a hard kill mid-append,
+//                                exercising torn-line recovery
+//   --stall-after-candidates N   after N completions, stop making progress
+//                                (and heartbeating) while staying alive —
+//                                a straggler for the staleness killer
+//
+// Exit codes (pinned in tests/svc_test.cpp; the supervisor branches on
+// them): 0 ok, 1 runtime failure, 2 bad arguments (supervisor fails fast —
+// a restart would reproduce it), 42 injected crash.
 //
 // Observability sinks (all pure readout — a run with every sink attached
 // is bit-identical to a silent run; the metrics-smoke CI job diffs the
@@ -36,34 +61,29 @@
 // Sharded runs additionally always get per-worker heartbeat files next to
 // the shard journals (<journal>.status.json); merge mode prints one
 // summary line per worker from them and writes the cluster aggregate.
-#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
-#include <set>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "cc/cc_domain.h"
-#include "env/abr_domain.h"
-#include "examples/example_common.h"
-#include "gen/arch_gen.h"
-#include "gen/state_gen.h"
 #include "obs/metrics.h"
 #include "obs/metrics_observer.h"
 #include "obs/status.h"
 #include "obs/trace_sink.h"
-#include "search/candidate.h"
 #include "search/observer.h"
 #include "search/shard_runner.h"
-#include "search/search_job.h"
 #include "store/candidate_store.h"
-#include "trace/generator.h"
+#include "svc/lease_log.h"
+#include "tools/cli_common.h"
 #include "util/fs.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
-#include "video/video.h"
 
 namespace {
 
@@ -85,17 +105,26 @@ struct Args {
   std::string metrics_out;
   std::string trace_out;
   std::string status_out;
+  // Lease mode (supervised worker): explicit range + journal.
+  std::string journal;
+  std::optional<std::uint64_t> range_lo;
+  std::optional<std::uint64_t> range_hi;
+  // Test-only fault injection.
+  std::optional<std::size_t> crash_after;
+  std::optional<std::size_t> stall_after;
 };
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "shard_worker: " << error << "\n"
             << "usage: shard_worker --mode worker|merge|single"
             << " [--shard I] [--shards N] [--store-dir DIR]"
+            << " [--journal F --range-lo HEX --range-hi HEX]"
             << " [--domain abr|cc] [--search state|arch] [--candidates N]"
             << " [--seed S] [--gen-seed G] [--threads T] [--window W]"
             << " [--quiet] [--metrics-out F] [--trace-out F]"
-            << " [--status-out F]\n";
-  std::exit(2);
+            << " [--status-out F] [--crash-after-candidates N]"
+            << " [--stall-after-candidates N]\n";
+  std::exit(tools::kExitUsage);
 }
 
 Args parse_args(int argc, char** argv) {
@@ -103,6 +132,14 @@ Args parse_args(int argc, char** argv) {
   auto value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage(std::string(argv[i]) + " needs a value");
     return argv[++i];
+  };
+  auto hex_value = [&](int& i) -> std::uint64_t {
+    const std::string text = value(i);
+    try {
+      return svc::parse_hex_u64(text);
+    } catch (const std::exception&) {
+      usage(std::string(argv[i - 1]) + ": malformed hex '" + text + "'");
+    }
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -121,6 +158,13 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--metrics-out") args.metrics_out = value(i);
     else if (flag == "--trace-out") args.trace_out = value(i);
     else if (flag == "--status-out") args.status_out = value(i);
+    else if (flag == "--journal") args.journal = value(i);
+    else if (flag == "--range-lo") args.range_lo = hex_value(i);
+    else if (flag == "--range-hi") args.range_hi = hex_value(i);
+    else if (flag == "--crash-after-candidates")
+      args.crash_after = std::stoul(value(i));
+    else if (flag == "--stall-after-candidates")
+      args.stall_after = std::stoul(value(i));
     else usage("unknown flag " + flag);
   }
   if (args.mode != "worker" && args.mode != "merge" && args.mode != "single") {
@@ -136,122 +180,67 @@ Args parse_args(int argc, char** argv) {
   if (args.mode == "worker" && args.shard >= args.shards) {
     usage("--shard out of range");
   }
+  const bool lease = !args.journal.empty() || args.range_lo.has_value() ||
+                     args.range_hi.has_value();
+  if (lease) {
+    if (args.mode != "worker") usage("--journal/--range-* need --mode worker");
+    if (args.journal.empty() || !args.range_lo || !args.range_hi) {
+      usage("lease mode needs all of --journal, --range-lo, --range-hi");
+    }
+    if (*args.range_lo > *args.range_hi) {
+      usage("--range-lo must be <= --range-hi");
+    }
+  }
+  if ((args.crash_after || args.stall_after) && args.mode != "worker") {
+    usage("fault injection needs --mode worker");
+  }
   return args;
 }
 
-/// The demo-scale funnel config every mode shares (the search must be
-/// identical across worker, merge, and single runs for the diff to mean
-/// anything).
-search::SearchConfig demo_config(std::size_t candidates) {
-  search::SearchConfig config = examples::demo_funnel_config(
-      candidates, /*early_epochs=*/8, /*full_train_top=*/3, /*seeds=*/2,
-      /*epochs=*/24, /*test_interval=*/8, /*max_eval_traces=*/4);
-  config.baseline_arch = examples::small_pensieve_arch(8, 8, 8, 16);
-  return config;
-}
+/// TEST ONLY. Counts in-range candidate completions (anything past the
+/// entered/out-of-shard bookkeeping: cache hits, failures, probes, ...) and
+/// fires the configured fault once the count is reached. The crash mimics a
+/// power cut mid-append — half a JSON record, no newline, then _exit — so
+/// the restarted worker exercises the store's torn-line recovery for real.
+class FaultInjector : public search::Observer {
+ public:
+  FaultInjector(const Args& args, std::string journal_path)
+      : args_(&args), journal_path_(std::move(journal_path)) {}
 
-/// Fingerprints of the ranked outcomes only, pulled by replaying the
-/// stream in small windows and keeping just the wanted positions — the
-/// ranking printout must not hold O(num_candidates) specs when the search
-/// itself ran at O(window) memory.
-std::map<std::size_t, std::string> ranked_fingerprints(
-    search::CandidateSource& source, const search::FixedDesign& fixed,
-    const search::SearchResult& result, std::size_t num_candidates) {
-  std::set<std::size_t> wanted;
-  for (const auto& outcome : result.outcomes) {
-    if (outcome.fully_trained) wanted.insert(outcome.stream_index);
-  }
-  std::map<std::size_t, std::string> out;
-  source.reset();
-  std::size_t position = 0;
-  while (!wanted.empty() && position < num_candidates) {
-    const auto window = source.generate(
-        std::min<std::size_t>(64, num_candidates - position));
-    if (window.empty()) break;
-    for (const auto& spec : window) {
-      if (wanted.erase(position) > 0) {
-        out[position] = search::fingerprint_of(spec, fixed).hex();
-      }
-      ++position;
+  void on_candidate(const search::CandidateEvent& event) override {
+    if (event.type == search::CandidateEventType::kEntered ||
+        event.type == search::CandidateEventType::kOutOfShard) {
+      return;
+    }
+    ++completions_;
+    if (args_->crash_after && completions_ >= *args_->crash_after) {
+      std::ofstream torn(journal_path_, std::ios::app);
+      torn << R"({"v":1,"id":"torn-by-crash-injection","stage":)";
+      torn.flush();
+      std::_Exit(tools::kExitCrashInjected);
+    }
+    if (args_->stall_after && completions_ >= *args_->stall_after) {
+      // Stay alive, make no progress, heartbeat never again (the status
+      // writer only writes on events, and no event ever follows): the
+      // supervisor's staleness check must kill us.
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
     }
   }
-  return out;
-}
 
-void print_ranking(const search::SearchResult& result,
-                   const std::map<std::size_t, std::string>& fingerprints) {
-  // Fully trained outcomes, best first; ties by stream position (the
-  // funnel's own tie-break), so the listing is deterministic. Outcomes are
-  // addressed through stream_index rather than their result position: in
-  // streaming mode the result holds only the retained candidates, and the
-  // ranking must still diff cleanly against a batch run.
-  std::vector<std::size_t> ranked;
-  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
-    if (result.outcomes[i].fully_trained) ranked.push_back(i);
-  }
-  std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
-    if (result.outcomes[a].test_score != result.outcomes[b].test_score) {
-      return result.outcomes[a].test_score > result.outcomes[b].test_score;
-    }
-    return result.outcomes[a].stream_index < result.outcomes[b].stream_index;
-  });
-  std::cout << "baseline score: " << result.original_score << "\n";
-  for (std::size_t r = 0; r < ranked.size(); ++r) {
-    const auto& outcome = result.outcomes[ranked[r]];
-    std::cout << "RANK," << r + 1 << "," << outcome.id << ","
-              << fingerprints.at(outcome.stream_index) << ","
-              << outcome.test_score << "\n";
-  }
-}
+ private:
+  const Args* args_;
+  std::string journal_path_;
+  std::size_t completions_ = 0;
+};
 
 int run(const Args& args) {
-  // Build the domain. The (dataset seed, cc parameters) here are fixed:
-  // every process of one sharded search must score candidates on the same
-  // data or the merged journals would not be comparable.
-  std::unique_ptr<env::TaskDomain> domain;
-  trace::Dataset dataset;
-  std::optional<video::Video> video;
-  cc::CcConfig cc_config;
-  if (args.domain == "abr") {
-    dataset = trace::build_dataset(trace::Environment::k4G, 0.05, 21);
-    video = video::make_test_video(video::youtube_ladder(), 42);
-    domain = std::make_unique<env::AbrDomain>(dataset, *video);
-  } else {
-    dataset = trace::build_dataset(trace::Environment::k4G, 0.2, 7);
-    cc_config.init_rate_mbps = 2.0;
-    cc_config.steps_per_episode = 60;
-    domain = std::make_unique<cc::CcDomain>(dataset, cc_config);
-  }
-
-  search::SearchConfig config = demo_config(args.candidates);
-  // Execution knob only: batch (--window 0) and streaming runs share one
-  // store scope, so their journals are directly comparable.
-  config.window_size = args.window;
+  const auto setup = tools::make_search_setup(
+      args.domain, args.search, args.candidates, args.gen_seed, args.window);
   std::unique_ptr<util::ThreadPool> pool;
   if (args.threads > 0) pool = std::make_unique<util::ThreadPool>(args.threads);
 
-  // Candidate stream + the fixed design half.
-  std::unique_ptr<gen::StateGenerator> state_gen;
-  std::unique_ptr<gen::ArchGenerator> arch_gen;
-  std::unique_ptr<search::CandidateSource> source;
-  std::optional<dsl::StateProgram> fixed_state;
-  search::FixedDesign fixed;
-  if (args.search == "state") {
-    state_gen = std::make_unique<gen::StateGenerator>(
-        args.domain == "cc" ? gen::cc_state_space() : gen::abr_state_space(),
-        gen::gpt4_profile(), gen::PromptStrategy{}, args.gen_seed);
-    source = std::make_unique<search::StateCandidateSource>(*state_gen);
-    fixed.arch = &config.baseline_arch;
-  } else {
-    arch_gen = std::make_unique<gen::ArchGenerator>(
-        gen::gpt4_profile(), gen::PromptStrategy{}, args.gen_seed, 0.25);
-    source = std::make_unique<search::ArchCandidateSource>(*arch_gen);
-    fixed_state = dsl::StateProgram::compile(domain->baseline_state_source());
-    fixed.state = &*fixed_state;
-  }
-
   // Optional observability sinks. All of them are pure readout; building
-  // them up front keeps the three modes identical in what they attach.
+  // them up front keeps the modes identical in what they attach.
   search::StreamObserver observer(std::cout, !args.quiet);
   std::unique_ptr<obs::MetricsRegistry> registry;
   std::unique_ptr<obs::MetricsObserver> metrics_observer;
@@ -295,25 +284,42 @@ int run(const Args& args) {
   shard_config.num_shards = args.shards;
   shard_config.store_dir = args.store_dir;
   shard_config.metrics = registry.get();
-  search::ShardRunner runner(*domain, config, args.seed, shard_config,
-                             pool.get());
+  search::ShardRunner runner(*setup->domain, setup->config, args.seed,
+                             shard_config, pool.get());
 
   if (args.mode == "worker") {
-    const auto result =
-        runner.run_worker(args.shard, *source, fixed, observers);
-    std::cout << "worker " << args.shard << "/" << args.shards << ": "
-              << result.n_total - result.n_out_of_shard << " of "
-              << result.n_total << " candidates in shard, "
+    const bool lease = !args.journal.empty();
+    const std::string journal_path =
+        lease ? args.journal : runner.shard_store_path(args.shard);
+    std::unique_ptr<FaultInjector> fault;
+    if (args.crash_after || args.stall_after) {
+      fault = std::make_unique<FaultInjector>(args, journal_path);
+      observers.push_back(fault.get());
+    }
+    search::SearchResult result;
+    if (lease) {
+      const store::ShardPlan::Range range{*args.range_lo, *args.range_hi};
+      result = runner.run_range(range, journal_path, *setup->source,
+                                setup->fixed, observers);
+      std::cout << "lease [" << svc::hex_u64(range.lo) << ", "
+                << svc::hex_u64(range.hi) << "]: ";
+    } else {
+      result = runner.run_worker(args.shard, *setup->source, setup->fixed,
+                                 observers);
+      std::cout << "worker " << args.shard << "/" << args.shards << ": ";
+    }
+    std::cout << result.n_total - result.n_out_of_shard << " of "
+              << result.n_total << " candidates in range, "
               << result.n_probes_run << " probes run, "
               << result.cache_hits() << " cache hits\n"
-              << "journal: " << runner.shard_store_path(args.shard) << "\n";
+              << "journal: " << journal_path << "\n";
     finish_sinks();
-    return 0;
+    return tools::kExitOk;
   }
 
   if (args.mode == "merge") {
-    const auto result = runner.merge_and_rank(*source, fixed, nullptr,
-                                              observers);
+    const auto result = runner.merge_and_rank(*setup->source, setup->fixed,
+                                              nullptr, observers);
     std::cout << "driver: merged " << args.shards << " shard journals, "
               << result.cache_hits() << " stage results from shards, "
               << result.n_probes_run << " probes and "
@@ -337,10 +343,12 @@ int run(const Args& args) {
     }
     runner.write_merged_status();
     std::cout << "cluster status: " << runner.aggregate_status_path() << "\n";
-    print_ranking(result, ranked_fingerprints(*source, fixed, result,
-                                              config.num_candidates));
+    tools::print_ranking(
+        std::cout, result,
+        tools::ranked_fingerprints(*setup->source, setup->fixed, result,
+                                   setup->config.num_candidates));
     finish_sinks();
-    return 0;
+    return tools::kExitOk;
   }
 
   // single: the whole funnel in this process, its own journal.
@@ -354,16 +362,19 @@ int run(const Args& args) {
   options.store = &store;
   options.pool = pool.get();
   options.metrics = registry.get();
-  search::SearchJob job(*domain, config, args.seed, *source, fixed, options);
+  search::SearchJob job(*setup->domain, setup->config, args.seed,
+                        *setup->source, setup->fixed, options);
   for (search::Observer* o : observers) job.add_observer(o);
   const auto result = job.run_to_completion();
   std::cout << "single: " << result.n_probes_run << " probes and "
             << result.n_full_trains_run << " full trainings executed\n"
             << "journal: " << store.path() << "\n";
-  print_ranking(result, ranked_fingerprints(*source, fixed, result,
-                                            config.num_candidates));
+  tools::print_ranking(
+      std::cout, result,
+      tools::ranked_fingerprints(*setup->source, setup->fixed, result,
+                                 setup->config.num_candidates));
   finish_sinks();
-  return 0;
+  return tools::kExitOk;
 }
 
 }  // namespace
@@ -373,6 +384,6 @@ int main(int argc, char** argv) {
     return run(parse_args(argc, argv));
   } catch (const std::exception& e) {
     std::cerr << "shard_worker: " << e.what() << "\n";
-    return 1;
+    return tools::kExitRuntime;
   }
 }
