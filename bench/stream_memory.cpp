@@ -14,7 +14,18 @@
 // throughput. No store is attached — a store would add its own O(n)
 // in-memory index to both modes (see docs/STORE_FORMAT.md).
 //
-// Writes bench_results/stream_memory.csv.
+// A second table measures the candidate store's open path per format:
+// journals of 10k/100k/1M synthetic records (scaled by NADA_SCALE_GEN) are
+// opened in forked children, timing CandidateStore construction plus one
+// lookup and recording peak RSS. Expected shape: the JSONL columns grow
+// linearly in both time and RSS (open materializes every record); the
+// binary columns stay flat — the mmap'd sidecar makes open O(index) and
+// the lookup deserializes one frame ("frames decoded" pins that at 1).
+//
+// Writes bench_results/stream_memory.csv and
+// bench_results/store_open.csv. Args: `store-only` / `funnel-only` run a
+// single table (CI's store-format-smoke job uses store-only at full
+// scale).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +35,8 @@
 #include "gen/state_gen.h"
 #include "search/candidate.h"
 #include "search/search_job.h"
+#include "store/candidate_store.h"
+#include "store/record_codec.h"
 #include "trace/generator.h"
 #include "util/table.h"
 
@@ -39,8 +52,13 @@ int main() {
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/strings.h"
 
 namespace {
 
@@ -148,12 +166,193 @@ RunStats measure(std::size_t candidates, std::size_t window) {
   return stats;
 }
 
+// ---- store-format open path ------------------------------------------------
+
+store::StoreScope bench_scope() {
+  return store::StoreScope{"bench", "store-open-bench-digest"};
+}
+
+store::Fingerprint nth_fingerprint(std::size_t i) {
+  store::Fingerprint fp;
+  fp.hi = util::mix64(0x9e3779b97f4a7c15ULL + i);
+  fp.lo = util::mix64(0x2545f4914f6cdd1dULL ^ i) | 1;
+  return fp;
+}
+
+store::OutcomeRecord nth_record(std::size_t i) {
+  store::OutcomeRecord r;
+  r.fingerprint = nth_fingerprint(i);
+  r.stage = store::Stage::kProbed;
+  r.id = "cand-" + std::to_string(i);
+  r.source = "emit \"x\" = " + std::to_string(i) + ";\n";
+  r.compiled = true;
+  r.normalized = true;
+  r.early_probed = true;
+  r.early_rewards = {0.25, 0.5, 0.75};
+  return r;
+}
+
+/// Writes an n-record journal in `format` (and, for binary, lets a throwaway
+/// open build + persist the sidecar, as any real prior run would have).
+std::string build_journal(std::size_t n, store::StoreFormat format,
+                          const std::string& dir) {
+  const std::string path = dir + "/open-bench-" + std::to_string(n) +
+                           store::journal_extension(format);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (format == store::StoreFormat::kBinary) {
+    out.write(store::kBinaryJournalMagic.data(),
+              static_cast<std::streamsize>(store::kBinaryJournalMagic.size()));
+  }
+  std::string buffer;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (format == store::StoreFormat::kBinary) {
+      buffer += store::encode_record(nth_record(i), bench_scope());
+    } else {
+      buffer += store::CandidateStore::encode_line(nth_record(i),
+                                                   bench_scope()) +
+                "\n";
+    }
+    if (buffer.size() > (1u << 20)) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  out.flush();
+  if (!out) {
+    std::cerr << "stream_memory: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out.close();
+  if (format == store::StoreFormat::kBinary) {
+    // Build the sidecar (as any real prior run would have) in a child, so
+    // the rebuild scan's RSS is not inherited by the measurement fork.
+    const pid_t pid = fork();
+    if (pid == 0) {
+      store::CandidateStore store(path, bench_scope());
+      _exit(0);
+    }
+    int status = 0;
+    if (pid < 0 || waitpid(pid, &status, 0) != pid || status != 0) {
+      std::cerr << "stream_memory: sidecar build for " << path << " failed\n";
+      std::exit(1);
+    }
+  }
+  return path;
+}
+
+struct OpenStats {
+  std::size_t records = 0;
+  double open_ms = 0.0;
+  double lookup_ms = 0.0;
+  std::size_t frames_decoded = 0;
+  double peak_rss_mb = 0.0;
+};
+
+/// Forked child: time CandidateStore construction and one cache-hit
+/// lookup; peak RSS comes from the parent's wait4.
+OpenStats measure_open(const std::string& path, std::size_t n) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("stream_memory: pipe");
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("stream_memory: fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const auto t0 = std::chrono::steady_clock::now();
+    store::CandidateStore store(path, bench_scope());
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto got = store.lookup(nth_fingerprint(n / 2));
+    const auto t2 = std::chrono::steady_clock::now();
+    if (!got.has_value() || store.size() != n) {
+      std::cerr << "stream_memory: store at " << path << " lost records\n";
+      _exit(1);
+    }
+    const double open_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double lookup_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    FILE* out = fdopen(fds[1], "w");
+    std::fprintf(out, "%zu %.9f %.9f %zu\n", store.size(), open_ms, lookup_ms,
+                 store.decoded_frames());
+    std::fclose(out);
+    _exit(0);
+  }
+  close(fds[1]);
+  OpenStats stats;
+  FILE* in = fdopen(fds[0], "r");
+  if (std::fscanf(in, "%zu %lf %lf %zu", &stats.records, &stats.open_ms,
+                  &stats.lookup_ms, &stats.frames_decoded) != 4) {
+    std::cerr << "stream_memory: open-bench child reported no stats\n";
+    std::exit(1);
+  }
+  std::fclose(in);
+  int status = 0;
+  struct rusage usage{};
+  if (wait4(pid, &status, 0, &usage) != pid || status != 0) {
+    std::cerr << "stream_memory: open-bench child failed (status " << status
+              << ")\n";
+    std::exit(1);
+  }
+  stats.peak_rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+  return stats;
+}
+
+int run_store_table(const util::ScaleConfig& scale) {
+  const std::vector<std::size_t> counts = {scale.gen_count(10'000),
+                                           scale.gen_count(100'000),
+                                           scale.gen_count(1'000'000)};
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "nada_store_open_bench")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  util::TextTable table("store open path (jsonl vs binary+index)");
+  table.set_header({"format", "records", "open ms", "lookup ms",
+                    "frames decoded", "peak RSS MB"});
+  for (const std::size_t n : counts) {
+    for (const auto format :
+         {store::StoreFormat::kJsonl, store::StoreFormat::kBinary}) {
+      const std::string path = build_journal(n, format, dir);
+      const OpenStats stats = measure_open(path, n);
+      const char* name =
+          format == store::StoreFormat::kBinary ? "binary" : "jsonl";
+      table.add_row({name, std::to_string(stats.records),
+                     util::format_double(stats.open_ms, 2),
+                     util::format_double(stats.lookup_ms, 3),
+                     std::to_string(stats.frames_decoded),
+                     util::format_double(stats.peak_rss_mb, 1)});
+      std::cout << name << " " << n << " records: open "
+                << util::format_double(stats.open_ms, 2) << " ms, "
+                << stats.frames_decoded << " frame(s) decoded, "
+                << util::format_double(stats.peak_rss_mb, 1)
+                << " MB peak\n";
+    }
+  }
+  table.print(std::cout);
+  bench::save_csv("store_open.csv", table);
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (!mode.empty() && mode != "store-only" && mode != "funnel-only") {
+    std::cerr << "usage: stream_memory [store-only|funnel-only]\n";
+    return 2;
+  }
   const util::ScaleConfig scale = util::ScaleConfig::from_env();
   bench::banner("stream_memory: batch vs rolling-window funnel memory",
                 scale);
+  if (mode == "store-only") return run_store_table(scale);
 
   const std::vector<std::size_t> counts = {
       scale.gen_count(1000), scale.gen_count(5000), scale.gen_count(20000)};
@@ -186,6 +385,7 @@ int main() {
   }
   table.print(std::cout);
   bench::save_csv("stream_memory.csv", table);
+  if (mode != "funnel-only") return run_store_table(scale);
   return 0;
 }
 #endif

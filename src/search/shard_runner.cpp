@@ -29,13 +29,15 @@ std::string ShardRunner::shard_store_path(std::size_t shard) const {
   return shards_.store_dir + "/" + scope_.env + "-" +
          scope_.config_digest.substr(0, 12) + "-shard-" +
          std::to_string(shard) + "-of-" +
-         std::to_string(shards_.num_shards) + ".jsonl";
+         std::to_string(shards_.num_shards) +
+         store::journal_extension(store::store_format_from_env());
 }
 
 std::string ShardRunner::merged_store_path() const {
   return shards_.store_dir + "/" + scope_.env + "-" +
          scope_.config_digest.substr(0, 12) + "-merged-" +
-         std::to_string(shards_.num_shards) + ".jsonl";
+         std::to_string(shards_.num_shards) +
+         store::journal_extension(store::store_format_from_env());
 }
 
 std::string ShardRunner::worker_status_path(std::size_t shard) const {

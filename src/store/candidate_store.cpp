@@ -1,10 +1,14 @@
 #include "store/candidate_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
 #include "obs/scoped_timer.h"
+#include "store/record_codec.h"
 #include "util/fs.h"
 #include "util/json.h"
 #include "util/strings.h"
@@ -12,66 +16,19 @@
 namespace nada::store {
 namespace {
 
-std::optional<nn::TemporalUnit> temporal_from_name(const std::string& name) {
-  for (const auto u : {nn::TemporalUnit::kConv1D, nn::TemporalUnit::kRnn,
-                       nn::TemporalUnit::kLstm, nn::TemporalUnit::kDense}) {
-    if (name == nn::temporal_unit_name(u)) return u;
+constexpr std::uint64_t kMagicBytes = 8;
+
+bool entry_less(const MmapIndex::Entry& a, const MmapIndex::Entry& b) {
+  return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+}
+
+void resize_journal(const std::string& path, std::uint64_t bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, bytes, ec);
+  if (ec) {
+    throw std::runtime_error("CandidateStore: cannot truncate torn tail of " +
+                             path + ": " + ec.message());
   }
-  return std::nullopt;
-}
-
-std::optional<nn::Activation> activation_from_name(const std::string& name) {
-  for (const auto a :
-       {nn::Activation::kLinear, nn::Activation::kRelu,
-        nn::Activation::kLeakyRelu, nn::Activation::kTanh,
-        nn::Activation::kSigmoid, nn::Activation::kElu}) {
-    if (name == nn::activation_name(a)) return a;
-  }
-  return std::nullopt;
-}
-
-util::JsonValue encode_arch(const nn::ArchSpec& spec) {
-  util::JsonValue out = util::JsonValue::object();
-  out.set("temporal",
-          util::JsonValue::string(nn::temporal_unit_name(spec.temporal)));
-  out.set("conv_filters",
-          util::JsonValue::number(static_cast<double>(spec.conv_filters)));
-  out.set("conv_kernel",
-          util::JsonValue::number(static_cast<double>(spec.conv_kernel)));
-  out.set("rnn_hidden",
-          util::JsonValue::number(static_cast<double>(spec.rnn_hidden)));
-  out.set("scalar_hidden",
-          util::JsonValue::number(static_cast<double>(spec.scalar_hidden)));
-  out.set("merge_hidden",
-          util::JsonValue::number(static_cast<double>(spec.merge_hidden)));
-  out.set("merge_layers",
-          util::JsonValue::number(static_cast<double>(spec.merge_layers)));
-  out.set("activation",
-          util::JsonValue::string(nn::activation_name(spec.activation)));
-  out.set("shared_trunk", util::JsonValue::boolean(spec.shared_trunk));
-  return out;
-}
-
-std::optional<nn::ArchSpec> decode_arch(const util::JsonValue& value) {
-  if (value.type() != util::JsonValue::Type::kObject) return std::nullopt;
-  nn::ArchSpec spec;
-  const auto temporal = temporal_from_name(value.get("temporal").as_string());
-  const auto activation =
-      activation_from_name(value.get("activation").as_string());
-  if (!temporal.has_value() || !activation.has_value()) return std::nullopt;
-  spec.temporal = *temporal;
-  spec.activation = *activation;
-  const auto as_size = [&value](const char* key) {
-    return static_cast<std::size_t>(value.get(key).as_number());
-  };
-  spec.conv_filters = as_size("conv_filters");
-  spec.conv_kernel = as_size("conv_kernel");
-  spec.rnn_hidden = as_size("rnn_hidden");
-  spec.scalar_hidden = as_size("scalar_hidden");
-  spec.merge_hidden = as_size("merge_hidden");
-  spec.merge_layers = as_size("merge_layers");
-  spec.shared_trunk = value.get("shared_trunk").as_bool();
-  return spec;
 }
 
 }  // namespace
@@ -85,24 +42,96 @@ const char* stage_name(Stage stage) {
   return "?";
 }
 
+StoreFormat store_format_from_env() {
+  const char* raw = std::getenv("NADA_STORE_FORMAT");
+  if (raw == nullptr || *raw == '\0') return StoreFormat::kJsonl;
+  const std::string value = util::to_lower(raw);
+  if (value == "jsonl") return StoreFormat::kJsonl;
+  if (value == "binary") return StoreFormat::kBinary;
+  // A typo must not silently run a long search on the wrong format.
+  throw std::runtime_error(
+      "NADA_STORE_FORMAT must be 'jsonl' or 'binary', got '" +
+      std::string(raw) + "'");
+}
+
+const char* journal_extension(StoreFormat format) {
+  return format == StoreFormat::kBinary ? ".nsb" : ".jsonl";
+}
+
+StoreFormat format_for_path(std::string_view path) {
+  return path.ends_with(".nsb") ? StoreFormat::kBinary : StoreFormat::kJsonl;
+}
+
 CandidateStore::CandidateStore(std::string path, StoreScope scope)
-    : path_(std::move(path)), scope_(std::move(scope)) {
+    : path_(std::move(path)), scope_(std::move(scope)),
+      format_(format_for_path(path_)) {
   if (scope_.env.empty() || scope_.config_digest.empty()) {
     throw std::invalid_argument("CandidateStore: empty scope");
   }
-  const bool torn_tail = load();
   util::ensure_directories(util::parent_directory(path_));
+  if (format_ == StoreFormat::kJsonl) {
+    const bool torn_tail = load();
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("CandidateStore: cannot open " + path_ +
+                               " for append");
+    }
+    if (torn_tail) {
+      // The journal ends mid-line (crash during an append). Terminate the
+      // torn line so the next record starts clean; the fragment itself
+      // stays behind as one skipped line.
+      out_ << '\n';
+      out_.flush();
+    }
+  } else {
+    const bool fresh_index = load_binary();
+    open_append_handle();
+    if (fresh_index) {
+      // Recovery scanned records the sidecar did not cover; persist so the
+      // next open is O(index) again. Loud: an unwritable sidecar here
+      // means every future open pays a full rescan.
+      persist_index_locked();
+    }
+  }
+}
+
+CandidateStore::~CandidateStore() {
+  if (format_ == StoreFormat::kBinary && index_dirty_) {
+    // Best-effort: the sidecar is a cache, and a failed write here only
+    // costs the next open a tail scan.
+    try {
+      std::lock_guard lock(mutex_);
+      persist_index_locked();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+}
+
+std::uint64_t CandidateStore::scope_hash() const {
+  return MmapIndex::scope_hash(scope_.env, scope_.config_digest);
+}
+
+void CandidateStore::open_append_handle() {
   out_.open(path_, std::ios::binary | std::ios::app);
   if (!out_) {
     throw std::runtime_error("CandidateStore: cannot open " + path_ +
                              " for append");
   }
-  if (torn_tail) {
-    // The journal ends mid-line (crash during an append). Terminate the
-    // torn line so the next record starts clean; the fragment itself stays
-    // behind as one skipped line.
-    out_ << '\n';
+  if (append_offset_ < kMagicBytes) {
+    // Brand-new journal (or one whose torn creation was truncated away):
+    // the magic goes down before any record can.
+    out_.write(kBinaryJournalMagic.data(),
+               static_cast<std::streamsize>(kBinaryJournalMagic.size()));
     out_.flush();
+    if (!out_) {
+      throw std::runtime_error("CandidateStore: cannot initialize " + path_);
+    }
+    append_offset_ = kMagicBytes;
+  }
+  in_.open(path_, std::ios::binary);
+  if (!in_) {
+    throw std::runtime_error("CandidateStore: cannot open " + path_ +
+                             " for reading");
   }
 }
 
@@ -133,8 +162,247 @@ bool CandidateStore::load() {
   return torn_tail;
 }
 
+bool CandidateStore::load_binary() {
+  std::error_code ec;
+  const auto raw_size = std::filesystem::file_size(path_, ec);
+  if (ec) return false;  // missing: open_append_handle creates it
+  std::uint64_t file_size = raw_size;
+
+  {
+    std::ifstream probe(path_, std::ios::binary);
+    char magic[kMagicBytes] = {};
+    probe.read(magic, sizeof(magic));
+    const auto got = static_cast<std::size_t>(probe.gcount());
+    if (got < kMagicBytes) {
+      if (std::memcmp(magic, kBinaryJournalMagic.data(), got) == 0) {
+        // Crash during journal creation: nothing durable existed yet.
+        resize_journal(path_, 0);
+        return false;
+      }
+      throw std::runtime_error("CandidateStore: " + path_ +
+                               " is not a binary store journal (short/bad "
+                               "header)");
+    }
+    if (std::memcmp(magic, kBinaryJournalMagic.data(), kMagicBytes) != 0) {
+      throw std::runtime_error(
+          "CandidateStore: " + path_ +
+          " is not a binary store journal (bad magic); was a JSONL journal "
+          "renamed to .nsb? use tools/store_convert");
+    }
+  }
+  append_offset_ = file_size;
+
+  // Fast path: a sidecar that covers the journal exactly - O(index) open,
+  // no record ever touched.
+  if (base_.open(index_path(), scope_hash())) {
+    if (base_.covered_bytes() == file_size) {
+      distinct_ = base_.size();
+      return false;
+    }
+    if (base_.covered_bytes() >= kMagicBytes &&
+        base_.covered_bytes() < file_size) {
+      // The journal grew past the sidecar (appends after the last clean
+      // close, or a crash before the sidecar flush): scan only the tail.
+      const std::uint64_t covered = base_.covered_bytes();
+      std::string tail;
+      {
+        std::ifstream in(path_, std::ios::binary);
+        in.seekg(static_cast<std::streamoff>(covered));
+        tail.resize(static_cast<std::size_t>(file_size - covered));
+        in.read(tail.data(), static_cast<std::streamsize>(tail.size()));
+        if (static_cast<std::uint64_t>(in.gcount()) != tail.size()) {
+          throw std::runtime_error("CandidateStore: short read of " + path_);
+        }
+      }
+      distinct_ = base_.size();
+      const ScanStats stats = scan_binary_journal(
+          tail, [&](std::uint64_t offset, std::string_view frame) {
+            auto record = decode_record(frame, scope_);
+            if (!record.has_value()) {
+              ++line_errors_;  // foreign scope or malformed body
+              return;
+            }
+            ++decoded_frames_;
+            const std::string key = record->fingerprint.hex();
+            const auto it = delta_.find(key);
+            std::optional<Stage> current;
+            if (it != delta_.end()) {
+              current = it->second.stage;
+            } else if (const auto entry = base_.find(record->fingerprint)) {
+              current = static_cast<Stage>(entry->stage);
+            }
+            if (!current.has_value()) ++distinct_;
+            if (!current.has_value() || *current < record->stage) {
+              delta_[key] = DeltaEntry{covered + offset, record->stage};
+            }
+          });
+      line_errors_ += stats.corrupt_frames;
+      if (stats.torn_tail) {
+        ++line_errors_;
+        file_size = covered + stats.clean_end;
+        resize_journal(path_, file_size);
+        append_offset_ = file_size;
+      }
+      return true;
+    }
+    // covered > file_size: the journal shrank under the sidecar (external
+    // rewrite); the entries point past EOF. Rebuild from scratch.
+    base_.close();
+  }
+  rebuild_index_locked();
+  return false;  // rebuild_index_locked already persisted the sidecar
+}
+
+std::size_t CandidateStore::rebuild_index_locked() {
+  std::string content = util::read_file_if_exists(path_).value_or("");
+  if (content.size() < kMagicBytes) content.clear();
+  std::unordered_map<std::string, MmapIndex::Entry> latest;
+  line_errors_ = 0;
+  const std::string_view frames_view =
+      content.empty() ? std::string_view{}
+                      : std::string_view(content).substr(kMagicBytes);
+  const ScanStats stats = scan_binary_journal(
+      frames_view, [&](std::uint64_t offset, std::string_view frame) {
+        auto record = decode_record(frame, scope_);
+        if (!record.has_value()) {
+          ++line_errors_;
+          return;
+        }
+        ++decoded_frames_;
+        MmapIndex::Entry entry;
+        entry.hi = record->fingerprint.hi;
+        entry.lo = record->fingerprint.lo;
+        entry.offset = kMagicBytes + offset;
+        entry.stage = static_cast<std::uint32_t>(record->stage);
+        auto [it, inserted] =
+            latest.emplace(record->fingerprint.hex(), entry);
+        if (!inserted && it->second.stage < entry.stage) it->second = entry;
+      });
+  line_errors_ += stats.corrupt_frames;
+  std::uint64_t covered = content.empty() ? kMagicBytes
+                                          : kMagicBytes + stats.clean_end;
+  if (stats.torn_tail) {
+    ++line_errors_;
+    resize_journal(path_, covered);
+  }
+  append_offset_ = covered;
+
+  std::vector<MmapIndex::Entry> entries;
+  entries.reserve(latest.size());
+  for (auto& [key, entry] : latest) entries.push_back(entry);
+  std::sort(entries.begin(), entries.end(), entry_less);
+  MmapIndex::write(index_path(), entries, covered, scope_hash());
+  if (!base_.open(index_path(), scope_hash())) {
+    throw std::runtime_error("CandidateStore: cannot map rebuilt index " +
+                             index_path());
+  }
+  delta_.clear();
+  distinct_ = base_.size();
+  index_dirty_ = false;
+  return distinct_;
+}
+
+std::size_t CandidateStore::rebuild_index() {
+  if (format_ != StoreFormat::kBinary) return 0;
+  std::lock_guard lock(mutex_);
+  return rebuild_index_locked();
+}
+
+void CandidateStore::persist_index_locked() {
+  std::vector<MmapIndex::Entry> fresh;
+  fresh.reserve(delta_.size());
+  for (const auto& [key, d] : delta_) {
+    const auto fp = Fingerprint::from_hex(key);
+    MmapIndex::Entry entry;
+    entry.hi = fp->hi;
+    entry.lo = fp->lo;
+    entry.offset = d.offset;
+    entry.stage = static_cast<std::uint32_t>(d.stage);
+    fresh.push_back(entry);
+  }
+  std::sort(fresh.begin(), fresh.end(), entry_less);
+
+  // Merge the sorted delta over the sorted base; delta wins on ties.
+  std::vector<MmapIndex::Entry> merged;
+  merged.reserve(base_.size() + fresh.size());
+  const MmapIndex::Entry* b = base_.entries();
+  const MmapIndex::Entry* b_end = b + base_.size();
+  std::size_t f = 0;
+  while (b != b_end || f < fresh.size()) {
+    if (b == b_end) {
+      merged.push_back(fresh[f++]);
+    } else if (f == fresh.size()) {
+      merged.push_back(*b++);
+    } else if (entry_less(*b, fresh[f])) {
+      merged.push_back(*b++);
+    } else if (entry_less(fresh[f], *b)) {
+      merged.push_back(fresh[f++]);
+    } else {
+      merged.push_back(fresh[f++]);
+      ++b;
+    }
+  }
+  MmapIndex::write(index_path(), merged, append_offset_, scope_hash());
+  if (!base_.open(index_path(), scope_hash())) {
+    throw std::runtime_error("CandidateStore: cannot map index " +
+                             index_path());
+  }
+  delta_.clear();
+  index_dirty_ = false;
+}
+
 void CandidateStore::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_.store(metrics, std::memory_order_release);
+}
+
+std::optional<CandidateStore::DeltaEntry> CandidateStore::binary_entry_locked(
+    const Fingerprint& fp) const {
+  const auto it = delta_.find(fp.hex());
+  if (it != delta_.end()) return it->second;
+  if (const auto entry = base_.find(fp)) {
+    return DeltaEntry{entry->offset, static_cast<Stage>(entry->stage)};
+  }
+  return std::nullopt;
+}
+
+std::optional<OutcomeRecord> CandidateStore::read_frame_locked(
+    std::uint64_t offset) const {
+  if (!in_.is_open()) return std::nullopt;
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  std::string header(kFrameHeaderBytes, '\0');
+  in_.read(header.data(), static_cast<std::streamsize>(header.size()));
+  if (static_cast<std::size_t>(in_.gcount()) != header.size()) {
+    ++line_errors_;
+    return std::nullopt;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[i]))
+           << (8 * i);
+  }
+  if (len > kMaxFrameBodyBytes ||
+      offset + kFrameHeaderBytes + len > append_offset_) {
+    ++line_errors_;
+    return std::nullopt;
+  }
+  std::string frame = std::move(header);
+  frame.resize(kFrameHeaderBytes + len);
+  in_.read(frame.data() + kFrameHeaderBytes, static_cast<std::streamsize>(len));
+  if (static_cast<std::size_t>(in_.gcount()) != len) {
+    ++line_errors_;
+    return std::nullopt;
+  }
+  auto record = decode_record(frame, scope_);
+  if (!record.has_value()) {
+    // The index pointed here but the bytes no longer decode (flipped bit,
+    // partial overwrite): surface as a miss + recovery count, never as a
+    // crash — the funnel recomputes the candidate instead.
+    ++line_errors_;
+    return std::nullopt;
+  }
+  ++decoded_frames_;
+  return record;
 }
 
 std::optional<OutcomeRecord> CandidateStore::lookup(
@@ -142,13 +410,23 @@ std::optional<OutcomeRecord> CandidateStore::lookup(
   obs::MetricsRegistry* metrics = metrics_.load(std::memory_order_acquire);
   obs::ScopedTimer timer(obs::maybe_histogram(metrics, "store.lookup.seconds"));
   std::lock_guard lock(mutex_);
-  const auto it = index_.find(fp.hex());
+  std::optional<OutcomeRecord> result;
+  bool hit = false;
+  if (format_ == StoreFormat::kJsonl) {
+    const auto it = index_.find(fp.hex());
+    hit = it != index_.end();
+    if (hit) result = records_[it->second];
+  } else {
+    if (const auto entry = binary_entry_locked(fp)) {
+      result = read_frame_locked(entry->offset);
+      hit = result.has_value();
+    }
+  }
   if (metrics != nullptr) {
     metrics->counter("store.lookups").add();
-    if (it != index_.end()) metrics->counter("store.lookup_hits").add();
+    if (hit) metrics->counter("store.lookup_hits").add();
   }
-  if (it == index_.end()) return std::nullopt;
-  return records_[it->second];
+  return result;
 }
 
 bool CandidateStore::put_locked(const OutcomeRecord& record) {
@@ -172,30 +450,73 @@ bool CandidateStore::put(const OutcomeRecord& record) {
   obs::ScopedTimer timer(obs::maybe_histogram(metrics, "store.append.seconds"));
   if (metrics != nullptr) metrics->counter("store.appends").add();
   std::lock_guard lock(mutex_);
-  if (!put_locked(record)) return false;
-  if (metrics != nullptr) metrics->counter("store.appends_accepted").add();
-  if (out_.is_open()) {
-    const std::string line = encode_line(record, scope_) + "\n";
-    out_.write(line.data(), static_cast<std::streamsize>(line.size()));
-    out_.flush();
-    if (!out_) {
-      // Losing durability silently (e.g. ENOSPC) would let a run keep
-      // "checkpointing" into the void; fail loudly instead.
-      throw std::runtime_error("CandidateStore: append to " + path_ +
-                               " failed (disk full or I/O error)");
+  if (format_ == StoreFormat::kJsonl) {
+    if (!put_locked(record)) return false;
+    if (metrics != nullptr) metrics->counter("store.appends_accepted").add();
+    if (out_.is_open()) {
+      const std::string line = encode_line(record, scope_) + "\n";
+      out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+      out_.flush();
+      if (!out_) {
+        // Losing durability silently (e.g. ENOSPC) would let a run keep
+        // "checkpointing" into the void; fail loudly instead.
+        throw std::runtime_error("CandidateStore: append to " + path_ +
+                                 " failed (disk full or I/O error)");
+      }
     }
+    return true;
   }
+
+  const auto existing = binary_entry_locked(record.fingerprint);
+  if (existing.has_value() && existing->stage >= record.stage) return false;
+  if (metrics != nullptr) metrics->counter("store.appends_accepted").add();
+  const std::string frame = encode_record(record, scope_);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("CandidateStore: append to " + path_ +
+                             " failed (disk full or I/O error)");
+  }
+  delta_[record.fingerprint.hex()] =
+      DeltaEntry{append_offset_, record.stage};
+  if (!existing.has_value()) ++distinct_;
+  append_offset_ += frame.size();
+  index_dirty_ = true;
   return true;
 }
 
 std::size_t CandidateStore::size() const {
   std::lock_guard lock(mutex_);
-  return records_.size();
+  return format_ == StoreFormat::kJsonl ? records_.size() : distinct_;
+}
+
+std::vector<OutcomeRecord> CandidateStore::scan_records_locked() const {
+  std::vector<OutcomeRecord> out;
+  const auto content = util::read_file_if_exists(path_);
+  if (!content.has_value() || content->size() < kMagicBytes) return out;
+  std::unordered_map<std::string, std::size_t> by_key;
+  scan_binary_journal(
+      std::string_view(*content).substr(kMagicBytes),
+      [&](std::uint64_t, std::string_view frame) {
+        auto record = decode_record(frame, scope_);
+        if (!record.has_value()) return;  // snapshot: no error mutation
+        ++decoded_frames_;
+        const std::string key = record->fingerprint.hex();
+        const auto it = by_key.find(key);
+        if (it == by_key.end()) {
+          by_key.emplace(key, out.size());
+          out.push_back(std::move(*record));
+        } else if (out[it->second].stage < record->stage) {
+          out[it->second] = std::move(*record);
+        }
+      });
+  return out;
 }
 
 std::vector<OutcomeRecord> CandidateStore::records() const {
   std::lock_guard lock(mutex_);
-  return records_;
+  if (format_ == StoreFormat::kJsonl) return records_;
+  return scan_records_locked();
 }
 
 std::size_t CandidateStore::merge_from(const CandidateStore& other) {
@@ -214,6 +535,91 @@ std::size_t CandidateStore::merge_from(const CandidateStore& other) {
 
 std::size_t CandidateStore::compact() {
   std::lock_guard lock(mutex_);
+  if (format_ == StoreFormat::kBinary) {
+    // Count live journal units (frames, corrupt frames, a torn fragment)
+    // so the caller learns how much was reclaimed.
+    std::size_t old_units = 0;
+    std::vector<OutcomeRecord> keep;
+    {
+      const auto content = util::read_file_if_exists(path_);
+      std::unordered_map<std::string, std::size_t> by_key;
+      if (content.has_value() && content->size() >= kMagicBytes) {
+        const ScanStats stats = scan_binary_journal(
+            std::string_view(*content).substr(kMagicBytes),
+            [&](std::uint64_t, std::string_view frame) {
+              auto record = decode_record(frame, scope_);
+              if (!record.has_value()) return;
+              const std::string key = record->fingerprint.hex();
+              const auto it = by_key.find(key);
+              if (it == by_key.end()) {
+                by_key.emplace(key, keep.size());
+                keep.push_back(std::move(*record));
+              } else if (keep[it->second].stage < record->stage) {
+                keep[it->second] = std::move(*record);
+              }
+            });
+        old_units =
+            stats.frames + stats.corrupt_frames + (stats.torn_tail ? 1 : 0);
+      }
+    }
+
+    const std::string tmp_path = path_ + ".compact.tmp";
+    std::vector<MmapIndex::Entry> entries;
+    entries.reserve(keep.size());
+    std::uint64_t offset = kMagicBytes;
+    {
+      std::ofstream tmp(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!tmp) {
+        throw std::runtime_error("CandidateStore::compact: cannot open " +
+                                 tmp_path);
+      }
+      tmp.write(kBinaryJournalMagic.data(),
+                static_cast<std::streamsize>(kBinaryJournalMagic.size()));
+      for (const auto& record : keep) {
+        const std::string frame = encode_record(record, scope_);
+        tmp.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+        MmapIndex::Entry entry;
+        entry.hi = record.fingerprint.hi;
+        entry.lo = record.fingerprint.lo;
+        entry.offset = offset;
+        entry.stage = static_cast<std::uint32_t>(record.stage);
+        entries.push_back(entry);
+        offset += frame.size();
+      }
+      tmp.flush();
+      if (!tmp) {
+        throw std::runtime_error("CandidateStore::compact: write to " +
+                                 tmp_path + " failed");
+      }
+    }
+    out_.close();
+    in_.close();
+    if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+      out_.open(path_, std::ios::binary | std::ios::app);
+      in_.open(path_, std::ios::binary);
+      throw std::runtime_error("CandidateStore::compact: rename " + tmp_path +
+                               " -> " + path_ + " failed");
+    }
+    append_offset_ = offset;
+    out_.open(path_, std::ios::binary | std::ios::app);
+    in_.open(path_, std::ios::binary);
+    if (!out_ || !in_) {
+      throw std::runtime_error("CandidateStore::compact: cannot reopen " +
+                               path_);
+    }
+    std::sort(entries.begin(), entries.end(), entry_less);
+    MmapIndex::write(index_path(), entries, append_offset_, scope_hash());
+    if (!base_.open(index_path(), scope_hash())) {
+      throw std::runtime_error("CandidateStore::compact: cannot map index " +
+                               index_path());
+    }
+    delta_.clear();
+    distinct_ = keep.size();
+    index_dirty_ = false;
+    line_errors_ = 0;
+    return old_units > keep.size() ? old_units - keep.size() : 0;
+  }
+
   // Count the live journal's lines (incl. blank/torn/foreign ones) so the
   // caller learns how much was reclaimed.
   std::size_t old_lines = 0;
@@ -268,76 +674,19 @@ std::size_t CandidateStore::compact() {
 
 std::string CandidateStore::encode_line(const OutcomeRecord& record,
                                         const StoreScope& scope) {
-  util::JsonValue out = util::JsonValue::object();
-  out.set("fp", util::JsonValue::string(record.fingerprint.hex()));
-  out.set("env", util::JsonValue::string(scope.env));
-  out.set("digest", util::JsonValue::string(scope.config_digest));
-  out.set("stage", util::JsonValue::number(
-                       static_cast<double>(static_cast<int>(record.stage))));
-  out.set("id", util::JsonValue::string(record.id));
-  out.set("source", util::JsonValue::string(record.source));
-  if (record.arch.has_value()) out.set("arch", encode_arch(*record.arch));
-  out.set("compiled", util::JsonValue::boolean(record.compiled));
-  out.set("compile_error", util::JsonValue::string(record.compile_error));
-  out.set("normalized", util::JsonValue::boolean(record.normalized));
-  out.set("normalization_error",
-          util::JsonValue::string(record.normalization_error));
-  out.set("early_probed", util::JsonValue::boolean(record.early_probed));
-  out.set("early_rewards", util::json_doubles(record.early_rewards));
-  out.set("fully_trained", util::JsonValue::boolean(record.fully_trained));
-  out.set("test_score", util::JsonValue::number(record.test_score));
-  out.set("emulation_score", util::JsonValue::number(record.emulation_score));
-  out.set("curve_epochs", util::json_doubles(record.curve_epochs));
-  out.set("median_curve", util::json_doubles(record.median_curve));
-  return out.dump();
+  return encode_jsonl_line(record, scope);
 }
 
 std::optional<OutcomeRecord> CandidateStore::decode_line(
     const std::string& line, const StoreScope& scope) {
-  util::JsonValue value;
-  try {
-    value = util::JsonValue::parse(line);
-  } catch (const std::runtime_error&) {
-    return std::nullopt;
-  }
-  if (value.type() != util::JsonValue::Type::kObject) return std::nullopt;
-  if (value.get("env").as_string() != scope.env ||
-      value.get("digest").as_string() != scope.config_digest) {
-    return std::nullopt;
-  }
-  const auto fp = Fingerprint::from_hex(value.get("fp").as_string());
-  if (!fp.has_value()) return std::nullopt;
-  const double stage_raw = value.get("stage").as_number(-1.0);
-  if (stage_raw < 0.0 || stage_raw > 2.0) return std::nullopt;
-
-  OutcomeRecord record;
-  record.fingerprint = *fp;
-  record.stage = static_cast<Stage>(static_cast<int>(stage_raw));
-  record.id = value.get("id").as_string();
-  record.source = value.get("source").as_string();
-  if (value.has("arch")) {
-    record.arch = decode_arch(value.get("arch"));
-    if (!record.arch.has_value()) return std::nullopt;
-  }
-  record.compiled = value.get("compiled").as_bool();
-  record.compile_error = value.get("compile_error").as_string();
-  record.normalized = value.get("normalized").as_bool();
-  record.normalization_error = value.get("normalization_error").as_string();
-  record.early_probed = value.get("early_probed").as_bool();
-  record.early_rewards = util::json_to_doubles(value.get("early_rewards"));
-  record.fully_trained = value.get("fully_trained").as_bool();
-  record.test_score = value.get("test_score").as_number(-1e9);
-  record.emulation_score = value.get("emulation_score").as_number();
-  record.curve_epochs = util::json_to_doubles(value.get("curve_epochs"));
-  record.median_curve = util::json_to_doubles(value.get("median_curve"));
-  return record;
+  return decode_jsonl_line(line, scope);
 }
 
 std::string default_store_path(const StoreScope& scope) {
   const char* dir = std::getenv("NADA_STORE_DIR");
   std::string base = (dir != nullptr && *dir != '\0') ? dir : "nada_store";
   return base + "/" + scope.env + "-" + scope.config_digest.substr(0, 16) +
-         ".jsonl";
+         journal_extension(store_format_from_env());
 }
 
 }  // namespace nada::store

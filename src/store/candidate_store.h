@@ -1,17 +1,31 @@
 // Persistent, content-addressed store of candidate outcomes.
 //
-// The store is the funnel's memory between runs: an append-only JSONL
-// journal of per-candidate results keyed by (fingerprint, environment,
+// The store is the funnel's memory between runs: an append-only journal
+// of per-candidate results keyed by (fingerprint, environment,
 // train-config digest). The pipeline checkpoints into it after every
 // funnel stage, so
 //
 //   * a rerun over the same candidate stream skips straight to the
 //     recorded results (zero duplicate probes or full trainings),
 //   * a run killed mid-funnel resumes from whatever the journal holds —
-//     load-on-open tolerates a torn final line (the crash case) by
+//     load-on-open tolerates a torn final append (the crash case) by
 //     dropping it,
 //   * shard stores produced by independent workers merge by union, with
 //     the furthest-progressed record winning per fingerprint.
+//
+// Two on-disk formats implement the same contract (docs/STORE_FORMAT.md):
+//
+//   * JSONL (".jsonl", the default) — one JSON object per line,
+//     human-greppable; opening loads every record into memory.
+//   * binary (".nsb") — length-prefixed checksummed frames plus an mmap'd
+//     fingerprint->offset sidecar ("<journal>.idx"), so open() costs
+//     O(index) instead of O(records) and lookup() deserializes exactly one
+//     frame. Built for million-candidate journals.
+//
+// The format is chosen by file extension; path producers (default paths,
+// shard runners, the supervisor) pick the extension from
+// NADA_STORE_FORMAT=jsonl|binary. Both formats hold identical record sets
+// for identical runs, and tools/store_convert migrates either direction.
 //
 // Records carry a Stage marking how far through the funnel the work
 // products go; `put` is append-only and monotone (a record never regresses
@@ -23,16 +37,19 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "nn/arch.h"
 #include "obs/metrics.h"
 #include "store/fingerprint.h"
+#include "store/mmap_index.h"
 
 namespace nada::store {
 
@@ -44,6 +61,25 @@ enum class Stage : int {
 };
 
 [[nodiscard]] const char* stage_name(Stage stage);
+
+/// On-disk journal encoding. JSONL is the default until binary parity has
+/// been proven in a deployment; both satisfy the same store contract.
+enum class StoreFormat {
+  kJsonl,
+  kBinary,
+};
+
+/// Reads NADA_STORE_FORMAT ("jsonl" | "binary"; unset/empty = jsonl).
+/// Throws std::runtime_error on any other value — a typo must not silently
+/// run a million-candidate search on the wrong format.
+[[nodiscard]] StoreFormat store_format_from_env();
+
+/// ".jsonl" / ".nsb" — what path producers append for `format`.
+[[nodiscard]] const char* journal_extension(StoreFormat format);
+
+/// Format implied by a journal path: ".nsb" is binary, everything else is
+/// JSONL (the historical default for extensionless test paths).
+[[nodiscard]] StoreFormat format_for_path(std::string_view path);
 
 /// The work products of one candidate's trip through the funnel. Field for
 /// field this mirrors core::CandidateOutcome minus the per-run selection
@@ -79,46 +115,65 @@ struct StoreScope {
 
 class CandidateStore {
  public:
-  /// Opens (creating if absent) the journal at `path`. Lines from a
-  /// different scope or with corrupt/torn JSON are skipped and counted in
-  /// `recovered_line_errors()`.
+  /// Opens (creating if absent) the journal at `path`, in the format
+  /// implied by its extension. Records from a different scope or with
+  /// corrupt/torn encodings are skipped and counted in
+  /// `recovered_line_errors()`. A binary journal opens through its mmap'd
+  /// sidecar index when fresh; a stale sidecar triggers a scan of only the
+  /// un-indexed tail, a missing/corrupt one a full rebuild.
   CandidateStore(std::string path, StoreScope scope);
+  ~CandidateStore();
 
   CandidateStore(const CandidateStore&) = delete;
   CandidateStore& operator=(const CandidateStore&) = delete;
 
   /// Latest-stage record for a fingerprint (a copy: the index mutates
-  /// under concurrent puts).
+  /// under concurrent puts). On a binary store this reads exactly one
+  /// frame from disk; a frame that fails its checksum is counted in
+  /// recovered_line_errors() and reported as a miss.
   [[nodiscard]] std::optional<OutcomeRecord> lookup(
       const Fingerprint& fp) const;
 
   /// Journals a record. Monotone per fingerprint: ignored entirely when
-  /// the indexed record already reached `record.stage`. Appends one JSON
-  /// line and flushes before returning, so a crash after put() never loses
-  /// the record; an append that fails (disk full, I/O error) throws rather
-  /// than silently dropping durability. Returns true when the record was
-  /// accepted.
+  /// the indexed record already reached `record.stage`. Appends one
+  /// line/frame and flushes before returning, so a crash after put() never
+  /// loses the record; an append that fails (disk full, I/O error) throws
+  /// rather than silently dropping durability. Returns true when the
+  /// record was accepted.
   bool put(const OutcomeRecord& record);
 
   /// Number of distinct fingerprints indexed.
   [[nodiscard]] std::size_t size() const;
 
-  /// Snapshot of the latest record per fingerprint.
+  /// Snapshot of the latest record per fingerprint, in first-sighting
+  /// order. On a binary store this is the one deliberately O(records)
+  /// call: it re-scans the journal (merge paths and tests want the full
+  /// set; the funnel itself never calls it).
   [[nodiscard]] std::vector<OutcomeRecord> records() const;
 
   /// Unions another store's records into this one (same-scope only;
   /// throws std::invalid_argument otherwise). Returns records accepted.
+  /// Works across formats: the source may be JSONL and this binary, or
+  /// vice versa.
   std::size_t merge_from(const CandidateStore& other);
 
-  /// Rewrites the journal to exactly one line per fingerprint — the
+  /// Rewrites the journal to exactly one record per fingerprint — the
   /// latest-stage record — dropping superseded-stage duplicates, torn
-  /// fragments, and foreign/corrupt lines accumulated across runs.
-  /// Crash-safe: the compacted journal is written to "<path>.compact.tmp",
-  /// flushed, and atomically renamed over the original, so a crash at any
-  /// point leaves either the old journal or the new one, never a mix.
-  /// Returns the number of journal lines dropped. Resets
-  /// recovered_line_errors() to zero (the rewritten file is clean).
+  /// fragments, and foreign/corrupt records accumulated across runs.
+  /// Format-aware: a binary store compacts to fresh frames and rebuilds
+  /// its sidecar index. Crash-safe: the compacted journal is written to
+  /// "<path>.compact.tmp", flushed, and atomically renamed over the
+  /// original, so a crash at any point leaves either the old journal or
+  /// the new one, never a mix. Returns the number of journal
+  /// records/fragments dropped. Resets recovered_line_errors() to zero
+  /// (the rewritten file is clean).
   std::size_t compact();
+
+  /// Binary stores only (no-op returning 0 on JSONL): rescans the journal
+  /// and rewrites the sidecar index from scratch. Returns the number of
+  /// indexed fingerprints. The sidecar is also persisted automatically on
+  /// clean destruction and after open-time recovery.
+  std::size_t rebuild_index();
 
   /// Attaches a profiling registry (pure readout, never changes journal
   /// bytes): lookup()/put() latencies land in store.lookup.seconds /
@@ -130,11 +185,24 @@ class CandidateStore {
 
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] const StoreScope& scope() const { return scope_; }
+  [[nodiscard]] StoreFormat format() const { return format_; }
   [[nodiscard]] std::size_t recovered_line_errors() const {
+    std::lock_guard lock(mutex_);
     return line_errors_;
   }
 
-  // JSONL codec, exposed for tests and external tooling.
+  /// Binary stores: frames deserialized on demand since open (lookup and
+  /// records() reads). The allocation guard for "open() materializes
+  /// nothing": after an indexed open this is 0, and a cache-hit lookup
+  /// raises it by exactly 1. Always 0 on JSONL stores (which materialize
+  /// eagerly at load instead).
+  [[nodiscard]] std::size_t decoded_frames() const {
+    std::lock_guard lock(mutex_);
+    return decoded_frames_;
+  }
+
+  // JSONL codec, exposed for tests and external tooling (thin wrappers
+  // over store/record_codec.h, which also houses the binary codec).
   [[nodiscard]] static std::string encode_line(const OutcomeRecord& record,
                                                const StoreScope& scope);
   /// nullopt when the line is torn/corrupt or from a different scope.
@@ -142,9 +210,29 @@ class CandidateStore {
       const std::string& line, const StoreScope& scope);
 
  private:
-  /// Returns true when the journal ended mid-line (torn final append).
+  struct DeltaEntry {
+    std::uint64_t offset = 0;  ///< frame start in the journal
+    Stage stage = Stage::kChecked;
+  };
+
+  /// Returns true when the journal ended mid-record (torn final append).
   bool load();
+  bool load_binary();
   bool put_locked(const OutcomeRecord& record);
+  /// Latest stage for a fingerprint in the binary backend (delta wins).
+  std::optional<DeltaEntry> binary_entry_locked(const Fingerprint& fp) const;
+  /// Reads + decodes the frame at `offset`; counts a line error and
+  /// returns nullopt on checksum/decode failure.
+  std::optional<OutcomeRecord> read_frame_locked(std::uint64_t offset) const;
+  std::vector<OutcomeRecord> scan_records_locked() const;
+  /// Full journal rescan + sidecar rewrite; returns distinct fingerprints.
+  std::size_t rebuild_index_locked();
+  /// Merges the mmap'd base index with the in-memory delta and persists
+  /// the sidecar. Best-effort in the destructor, loud elsewhere.
+  void persist_index_locked();
+  std::string index_path() const { return path_ + ".idx"; }
+  std::uint64_t scope_hash() const;
+  void open_append_handle();
 
   mutable std::mutex mutex_;
   // atomic, not mutex-guarded: lookup/put read it before taking mutex_ so
@@ -152,15 +240,32 @@ class CandidateStore {
   std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
   std::string path_;
   StoreScope scope_;
+  StoreFormat format_ = StoreFormat::kJsonl;
   std::ofstream out_;  ///< append handle, kept open for the store's life
+  /// Binary backend read handle for on-demand frame loads (seek + read
+  /// under mutex_; reopened after compaction swaps the inode).
+  mutable std::ifstream in_;
+
+  // ---- JSONL backend: every record materialized at load ----
   std::vector<OutcomeRecord> records_;
   // fingerprint hex -> index into records_
   std::unordered_map<std::string, std::size_t> index_;
-  std::size_t line_errors_ = 0;
+
+  // ---- binary backend: offsets only; frames read on demand ----
+  MmapIndex base_;  ///< mmap'd sidecar (may be closed when journal is new)
+  // fingerprint hex -> entry for records appended/upgraded since the
+  // sidecar was built (overrides base_).
+  std::unordered_map<std::string, DeltaEntry> delta_;
+  std::size_t distinct_ = 0;        ///< distinct fingerprints (base + new)
+  std::uint64_t append_offset_ = 0; ///< journal byte length
+  bool index_dirty_ = false;
+
+  mutable std::size_t line_errors_ = 0;
+  mutable std::size_t decoded_frames_ = 0;
 };
 
 /// Default journal location: $NADA_STORE_DIR (default "nada_store")
-/// /<env>-<digest prefix>.jsonl.
+/// /<env>-<digest prefix><.jsonl|.nsb per NADA_STORE_FORMAT>.
 [[nodiscard]] std::string default_store_path(const StoreScope& scope);
 
 }  // namespace nada::store

@@ -568,5 +568,113 @@ TEST(SupervisedEquivalence, KillAndRestartMatchesUninterruptedRun) {
   EXPECT_FALSE(supervised_journal.empty());
 }
 
+/// The same kill-and-restart invariant with NADA_STORE_FORMAT=binary: the
+/// supervisor's lease journals, the workers' stores, and the merged store
+/// all switch to .nsb (workers inherit the env var), a crash tears a
+/// binary frame instead of a JSON line, and the run must still produce
+/// rankings and a record set identical to an uninterrupted JSONL-backed
+/// single-process run — the cross-format equivalence pin.
+TEST(SupervisedEquivalence, BinaryFormatRestartMatchesJsonlRun) {
+  constexpr std::size_t kCandidates = 16;
+  const auto setup = tools::make_search_setup("abr", "state", kCandidates,
+                                              /*gen_seed=*/78, /*window=*/0);
+
+  // --- uninterrupted single-process run, default JSONL store ------------
+  const std::string single_dir = fresh_dir("binequiv_single");
+  store::StoreScope scope;
+  std::vector<std::string> single_lines;
+  search::SearchResult uninterrupted;
+  {
+    search::ShardRunnerConfig single_shards;
+    single_shards.num_shards = 1;
+    single_shards.store_dir = single_dir;
+    single_shards.worker_status = false;
+    search::ShardRunner single_runner(*setup->domain, setup->config, 4321,
+                                      single_shards);
+    scope = single_runner.scope();
+    store::CandidateStore single_store(single_dir + "/single.jsonl", scope);
+    search::JobOptions options;
+    options.store = &single_store;
+    search::SearchJob job(*setup->domain, setup->config, 4321, *setup->source,
+                          setup->fixed, options);
+    uninterrupted = job.run_to_completion();
+    for (const auto& record : single_store.records()) {
+      single_lines.push_back(store::CandidateStore::encode_line(record, scope));
+    }
+    std::sort(single_lines.begin(), single_lines.end());
+  }
+
+  // --- supervised binary-backed run with a mid-append crash -------------
+  const char* saved = std::getenv("NADA_STORE_FORMAT");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::setenv("NADA_STORE_FORMAT", "binary", 1);
+  const auto restore_env = [&] {
+    if (saved != nullptr) {
+      ::setenv("NADA_STORE_FORMAT", saved_value.c_str(), 1);
+    } else {
+      ::unsetenv("NADA_STORE_FORMAT");
+    }
+  };
+  const std::string svc_dir = fresh_dir("binequiv_svc");
+  search::ShardRunnerConfig svc_shards;
+  svc_shards.num_shards = 1;
+  svc_shards.store_dir = svc_dir;
+  search::ShardRunner svc_runner(*setup->domain, setup->config, 4321,
+                                 svc_shards);
+  EXPECT_TRUE(svc_runner.merged_store_path().ends_with(".nsb"));
+  SupervisorConfig config;
+  config.num_workers = 2;
+  config.initial_leases = 2;
+  config.max_restarts = 3;
+  config.heartbeat_timeout_seconds = 5.0;
+  config.poll_interval_seconds = 0.05;
+  config.dir = svc_dir;
+  config.prefix = svc_runner.service_prefix();
+  const auto command = [&svc_dir](const Lease& lease) {
+    std::vector<std::string> argv{
+        NADA_SHARD_WORKER_BIN, "--mode", "worker", "--quiet",
+        "--journal", lease.journal_path,
+        "--range-lo", hex_u64(lease.range.lo),
+        "--range-hi", hex_u64(lease.range.hi),
+        "--store-dir", svc_dir,
+        "--candidates", std::to_string(kCandidates)};
+    if (lease.attempt == 0 && lease.id == 1) {
+      argv.insert(argv.end(), {"--crash-after-candidates", "1"});
+    }
+    return argv;
+  };
+  Supervisor supervisor(config, command);
+  const auto report = supervisor.run();
+  restore_env();
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_GE(report.crash_restarts, 1u);
+  for (const auto& path : report.journal_paths) {
+    EXPECT_TRUE(path.ends_with(".nsb")) << path;
+  }
+
+  ::setenv("NADA_STORE_FORMAT", "binary", 1);
+  const auto supervised = svc_runner.merge_and_rank_paths(
+      report.journal_paths, *setup->source, setup->fixed);
+  const std::string merged_path = svc_runner.merged_store_path();
+  restore_env();
+
+  EXPECT_EQ(supervised.n_total, uninterrupted.n_total);
+  EXPECT_EQ(supervised.n_fully_trained, uninterrupted.n_fully_trained);
+  EXPECT_DOUBLE_EQ(supervised.original_score, uninterrupted.original_score);
+  EXPECT_EQ(trained_rows(supervised), trained_rows(uninterrupted));
+
+  // Identical record sets across formats: every record in the binary
+  // merged store re-encodes to exactly the JSONL journal's line set.
+  store::CandidateStore merged(merged_path, scope);
+  EXPECT_EQ(merged.format(), store::StoreFormat::kBinary);
+  std::vector<std::string> merged_lines;
+  for (const auto& record : merged.records()) {
+    merged_lines.push_back(store::CandidateStore::encode_line(record, scope));
+  }
+  std::sort(merged_lines.begin(), merged_lines.end());
+  EXPECT_EQ(merged_lines, single_lines);
+  EXPECT_FALSE(merged_lines.empty());
+}
+
 }  // namespace
 }  // namespace nada::svc

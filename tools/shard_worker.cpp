@@ -214,8 +214,17 @@ class FaultInjector : public search::Observer {
     }
     ++completions_;
     if (args_->crash_after && completions_ >= *args_->crash_after) {
-      std::ofstream torn(journal_path_, std::ios::app);
-      torn << R"({"v":1,"id":"torn-by-crash-injection","stage":)";
+      std::ofstream torn(journal_path_, std::ios::app | std::ios::binary);
+      if (store::format_for_path(journal_path_) ==
+          store::StoreFormat::kBinary) {
+        // A frame header promising more body bytes than follow — the
+        // binary analogue of half a JSON line.
+        const char partial[] = {100, 0, 0, 0, 1, 2, 3, 4,
+                                5,   6, 7, 8, 't', 'o', 'r', 'n'};
+        torn.write(partial, sizeof(partial));
+      } else {
+        torn << R"({"v":1,"id":"torn-by-crash-injection","stage":)";
+      }
       torn.flush();
       std::_Exit(tools::kExitCrashInjected);
     }
@@ -354,10 +363,11 @@ int run(const Args& args) {
   // single: the whole funnel in this process, its own journal.
   util::ensure_directories(args.store_dir);
   const auto scope = runner.scope();
-  store::CandidateStore store(args.store_dir + "/" + scope.env + "-" +
-                                  scope.config_digest.substr(0, 12) +
-                                  "-single.jsonl",
-                              scope);
+  store::CandidateStore store(
+      args.store_dir + "/" + scope.env + "-" +
+          scope.config_digest.substr(0, 12) + "-single" +
+          store::journal_extension(store::store_format_from_env()),
+      scope);
   search::JobOptions options;
   options.store = &store;
   options.pool = pool.get();
